@@ -1,0 +1,90 @@
+"""Ablation benches: quantify the design choices DESIGN.md calls out.
+
+Not paper figures, but each corresponds to a design argument in the
+paper's Section 2:
+
+* **Timestamp entries per line** (Figure 2): a single entry erases line
+  history on every clock change; two entries recover most of it.
+* **Main-memory timestamps** (Figures 6/7): without them, displaced
+  synchronization produces false data races -- the one thing CORD must
+  never do.
+"""
+
+from repro.cord.config import CordConfig
+from repro.cord.detector import CordDetector
+from repro.detectors.base import DetectionOutcome
+from repro.detectors.ideal import IdealDetector
+from repro.engine import run_program
+from repro.injection import InjectionInterceptor
+from repro.workloads import WorkloadParams, get_workload
+
+PARAMS = WorkloadParams(scale=0.6)
+APPS = ("fft", "fmm", "ocean")
+
+
+def injected_traces(app, n=6):
+    program = get_workload(app).build(PARAMS)
+    traces = []
+    for run in range(n):
+        interceptor = InjectionInterceptor(run * 5)
+        traces.append(
+            run_program(program, seed=50 + run, interceptor=interceptor)
+        )
+    return program, traces
+
+
+def test_entries_per_line_ablation(benchmark):
+    """Detection improves monotonically with history entries per line."""
+
+    def sweep():
+        totals = {}
+        for entries in (1, 2, 4):
+            flagged = 0
+            for app in APPS:
+                program, traces = injected_traces(app)
+                for trace in traces:
+                    outcome = CordDetector(
+                        CordConfig(entries_per_line=entries),
+                        program.n_threads,
+                    ).run(trace)
+                    flagged += outcome.raw_count
+            totals[entries] = flagged
+        return totals
+
+    totals = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nraces detected by entries/line:", totals)
+    assert totals[1] <= totals[2] <= totals[4]
+    # Figure 2's point: a second entry recovers history that a single
+    # timestamp erases on every clock change.
+    if totals[2]:
+        assert totals[2] > totals[1]
+
+
+def test_memory_timestamp_ablation(benchmark):
+    """Without memory timestamps, false positives appear."""
+
+    def sweep():
+        false_with = 0
+        false_without = 0
+        for app in APPS:
+            program, traces = injected_traces(app)
+            for trace in traces:
+                oracle = IdealDetector(program.n_threads).run(trace)
+                with_memts = CordDetector(
+                    CordConfig(), program.n_threads
+                ).run(trace)
+                without = CordDetector(
+                    CordConfig(use_memory_timestamps=False),
+                    program.n_threads,
+                ).run(trace)
+                false_with += len(with_memts.flagged - oracle.flagged)
+                false_without += len(without.flagged - oracle.flagged)
+        return false_with, false_without
+
+    false_with, false_without = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    print("\nfalse positives with/without memory timestamps: %d / %d"
+          % (false_with, false_without))
+    assert false_with == 0          # the paper's guarantee holds
+    assert false_without > 0        # and this is the mechanism it needs

@@ -1,0 +1,89 @@
+"""Component micro-benchmarks: engine, detectors, codec throughput.
+
+Not a paper figure -- these quantify the reproduction's own simulator so
+users can size their campaigns (events/second per component).
+"""
+
+import pytest
+
+from repro.cord import CordConfig, CordDetector, OrderLog
+from repro.detectors import IdealDetector, LimitedVectorDetector
+from repro.cachesim import CacheGeometry
+from repro.engine import run_program
+from repro.timingsim import estimate_overhead
+from repro.workloads import WorkloadParams, get_workload
+
+PARAMS = WorkloadParams(scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return run_program(get_workload("fmm").build(PARAMS), seed=1)
+
+
+def test_engine_throughput(benchmark):
+    program = get_workload("fmm").build(PARAMS)
+    result = benchmark(run_program, program, 1)
+    assert len(result.events) > 500
+
+
+def test_cord_detector_throughput(benchmark, trace):
+    def detect():
+        return CordDetector(CordConfig(), trace.n_threads).run(trace)
+
+    outcome = benchmark(detect)
+    assert outcome.raw_count == 0  # clean run
+
+
+def test_ideal_detector_throughput(benchmark, trace):
+    def detect():
+        return IdealDetector(trace.n_threads).run(trace)
+
+    outcome = benchmark(detect)
+    assert outcome.raw_count == 0
+
+
+def test_vector_detector_throughput(benchmark, trace):
+    def detect():
+        return LimitedVectorDetector(
+            trace.n_threads, CacheGeometry(32 * 1024)
+        ).run(trace)
+
+    outcome = benchmark(detect)
+    assert outcome.raw_count == 0
+
+
+def test_timing_model_throughput(benchmark, trace):
+    result = benchmark(estimate_overhead, trace)
+    assert result.relative_time >= 1.0
+
+
+def test_log_codec_throughput(benchmark, trace):
+    outcome = CordDetector(CordConfig(), trace.n_threads).run(trace)
+    encoded = outcome.log.encode()
+
+    def roundtrip():
+        return OrderLog.decode(encoded)
+
+    decoded = benchmark(roundtrip)
+    assert len(decoded) == len(outcome.log)
+
+
+def test_epoch_oracle_throughput(benchmark, trace):
+    """FastTrack-style epochs vs the full vector oracle (same verdicts)."""
+    from repro.detectors import EpochDetector
+
+    def detect():
+        return EpochDetector(trace.n_threads).run(trace)
+
+    outcome = benchmark(detect)
+    assert outcome.raw_count == 0
+
+
+def test_lockset_throughput(benchmark, trace):
+    from repro.detectors import LocksetDetector
+
+    def detect():
+        return LocksetDetector(trace.n_threads).run(trace)
+
+    benchmark(detect)

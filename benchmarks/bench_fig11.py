@@ -1,0 +1,26 @@
+"""Figure 11: execution time with CORD relative to the baseline machine.
+
+Paper: 0.4 % average overhead, 3 % worst case (cholesky, due to
+address/timestamp-bus contention from bursts of race checks).  Our
+reproduction preserves the shape: near-zero overhead for most apps, the
+largest overhead on the synchronization-heavy cholesky analogue, average
+well under a few percent.
+"""
+
+from repro.experiments import figure11
+
+
+def test_figure11(benchmark):
+    fig = benchmark.pedantic(figure11, rounds=1, iterations=1)
+    print()
+    print(fig.render())
+    average = fig.average[0]
+    worst_app = max(fig.rows, key=lambda app: fig.rows[app][0])
+    worst = fig.rows[worst_app][0]
+    # Average overhead well under a few percent.
+    assert 1.0 <= average < 1.02
+    # Worst case stays single-digit percent and exceeds the average.
+    assert worst < 1.10
+    assert worst > average
+    # The synchronization-heavy apps pay the most.
+    assert worst_app in ("cholesky", "water-n2", "fmm")

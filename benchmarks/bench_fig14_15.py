@@ -1,0 +1,40 @@
+"""Figures 14/15: impact of limited access histories (vector clocks).
+
+Paper: few problems are lost to the two-timestamps-per-line limit
+(InfCache), limiting histories to the L2 adds a small further loss, and
+the severe L1-only restriction degrades detection noticeably; raw race
+rates lose more than problem rates at every step (InfCache alone misses
+18 % of races).
+"""
+
+from repro.experiments import figure14, figure15
+
+
+def test_figure14_problem_detection(benchmark, suite):
+    fig = benchmark(figure14, suite)
+    print()
+    print(fig.render())
+    averages = dict(zip(fig.series, fig.average))
+    # Monotone degradation with tighter buffering.
+    assert averages["InfCache"] >= averages["L2Cache"]
+    assert averages["L2Cache"] >= averages["L1Cache"]
+    # Even the severe restriction detects most problems.
+    assert averages["L1Cache"] >= 0.6
+
+
+def test_figure15_raw_detection(benchmark, suite):
+    fig = benchmark(figure15, suite)
+    print()
+    print(fig.render())
+    averages = dict(zip(fig.series, fig.average))
+    assert averages["InfCache"] >= averages["L2Cache"]
+    assert averages["L2Cache"] >= averages["L1Cache"]
+    # The two-entry limit alone costs real races (paper: 18 %).
+    assert averages["InfCache"] < 1.0
+
+
+def test_raw_loss_exceeds_problem_loss(suite):
+    f14 = figure14(suite)
+    f15 = figure15(suite)
+    for series in ("InfCache", "L2Cache", "L1Cache"):
+        assert f15.average_of(series) <= f14.average_of(series) + 1e-9

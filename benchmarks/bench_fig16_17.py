@@ -1,0 +1,34 @@
+"""Figures 16/17: scalar-clock window sweep (D = 1 / 4 / 16 / 256).
+
+Paper: the naive scalar scheme (D=1) loses most raw detection and much
+problem detection; the sync-read window recovers a large share (the paper
+reports 62 % more problems found at D=16 than D=1), with little further
+gain beyond D=16.
+"""
+
+from repro.experiments import figure16, figure17
+
+
+def test_figure16_problem_detection(benchmark, suite):
+    fig = benchmark(figure16, suite)
+    print()
+    print(fig.render())
+    averages = dict(zip(fig.series, fig.average))
+    assert averages["CORD-D1"] <= averages["CORD-D4"]
+    assert averages["CORD-D4"] <= averages["CORD-D16"] + 1e-9
+    assert averages["CORD-D16"] <= averages["CORD-D256"] + 1e-9
+    # The window mechanism recovers a substantial share of problems.
+    assert averages["CORD-D16"] >= 1.15 * averages["CORD-D1"]
+    # Diminishing returns past D=16 (paper: only barnes improves).
+    assert averages["CORD-D256"] <= averages["CORD-D16"] * 1.15
+
+
+def test_figure17_raw_detection(benchmark, suite):
+    fig = benchmark(figure17, suite)
+    print()
+    print(fig.render())
+    averages = dict(zip(fig.series, fig.average))
+    assert averages["CORD-D1"] <= averages["CORD-D4"]
+    assert averages["CORD-D4"] <= averages["CORD-D16"] + 1e-9
+    # Raw detection gains from D are dramatic (paper's Figure 17).
+    assert averages["CORD-D16"] >= 2 * averages["CORD-D1"]

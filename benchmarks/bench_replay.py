@@ -1,0 +1,24 @@
+"""Section 3.3: order-recording size and replay verification.
+
+Paper: order logs stay under 1 MB per run, and every run -- with and
+without injections -- replays accurately.
+"""
+
+from repro.experiments import order_recording_summary
+from repro.workloads import WorkloadParams
+
+
+def test_order_recording_and_replay(benchmark):
+    summary = benchmark.pedantic(
+        order_recording_summary,
+        kwargs={"params": WorkloadParams()},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(summary.render())
+    assert summary.all_ok
+    for row in summary.rows:
+        assert row.log_bytes_clean < (1 << 20), row.app
+        assert row.clean_replay_ok, row.app
+        assert row.injected_replay_ok, row.app

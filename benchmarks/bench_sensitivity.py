@@ -1,0 +1,52 @@
+"""Ablation sweeps: dense D and cache-capacity sensitivity curves.
+
+Extends Figures 14-17's four sample points per axis into full curves:
+the D knee must sit at small D with a plateau after (the paper found
+D=16 saturating), and detection must grow monotonically with metadata
+capacity up to a plateau (the paper's InfCache ~ L2Cache finding).
+"""
+
+from repro.experiments.sensitivity import cache_sensitivity, d_sensitivity
+from repro.workloads import WorkloadParams
+
+PARAMS = WorkloadParams(scale=0.6)
+
+
+def test_d_sensitivity_curve(benchmark):
+    sweep = benchmark.pedantic(
+        d_sensitivity,
+        kwargs=dict(
+            workloads=("fft", "ocean", "fmm"),
+            d_values=(1, 2, 4, 8, 16, 64),
+            runs_per_app=8,
+            params=PARAMS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(sweep.render())
+    assert sweep.is_monotone_nondecreasing()
+    # The knee: most of the gain arrives by D=4..16; the tail is flat.
+    assert sweep.problem_rates[2] >= 0.9 * sweep.problem_rates[-1]
+    assert sweep.problem_rates[0] < sweep.problem_rates[-1]
+
+
+def test_cache_sensitivity_curve(benchmark):
+    sweep = benchmark.pedantic(
+        cache_sensitivity,
+        kwargs=dict(
+            workloads=("fft", "lu", "barnes"),
+            cache_sizes=(2048, 4096, 8192, 32768, None),
+            runs_per_app=8,
+            params=PARAMS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(sweep.render())
+    assert sweep.is_monotone_nondecreasing()
+    # The paper's finding: the paper-size cache (32 KB) is already at
+    # the plateau (InfCache adds nothing).
+    assert sweep.problem_rates[-2] == sweep.problem_rates[-1]

@@ -1,0 +1,16 @@
+"""Table 1: applications and input sets."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    table = benchmark(table1)
+    rendered = table.render()
+    print()
+    print(rendered)
+    assert len(table.rows) == 12
+    # Spot-check paper input labels.
+    labels = {row[0]: row[1] for row in table.rows}
+    assert labels["raytrace"] == "teapot"
+    assert labels["cholesky"].startswith("tk23")
+    assert labels["volrend"] == "head-sd2"

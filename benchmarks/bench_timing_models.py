@@ -1,0 +1,52 @@
+"""Cross-validation of the two timing models (Figure 11's machinery).
+
+The analytic windowed-queueing model and the event-driven two-phase model
+must agree on the *shape* of Figure 11: tiny overheads everywhere, the
+synchronization-heavy apps paying the most, the embarrassingly parallel
+apps paying the least.
+"""
+
+from repro.engine import run_program
+from repro.timingsim import estimate_overhead, estimate_overhead_detailed
+from repro.workloads import WorkloadParams, all_workloads
+
+PARAMS = WorkloadParams()
+
+
+def run_both():
+    rows = []
+    for spec in all_workloads():
+        trace = run_program(spec.build(PARAMS), seed=1)
+        analytic = estimate_overhead(trace).relative_time
+        detailed = estimate_overhead_detailed(trace)
+        rows.append(
+            (spec.name, analytic, detailed.relative_time,
+             detailed.retirement_stalls)
+        )
+    return rows
+
+
+def test_timing_models_agree_on_shape(benchmark):
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print("%-10s %10s %10s %8s" % ("app", "analytic", "detailed",
+                                   "stalls"))
+    for name, analytic, detailed, stalls in rows:
+        print("%-10s %10.4f %10.4f %8d" % (name, analytic, detailed,
+                                           stalls))
+    by_name = {row[0]: row for row in rows}
+    for _name, analytic, detailed, _stalls in rows:
+        assert 1.0 <= analytic < 1.05
+        assert 1.0 <= detailed < 1.12
+    # Both models: raytrace (embarrassingly parallel) cheaper than
+    # cholesky (the paper's sync-heavy worst case).
+    assert by_name["raytrace"][1] < by_name["cholesky"][1]
+    assert by_name["raytrace"][2] < by_name["cholesky"][2]
+    # Averages stay in the sub-few-percent regime in both models.
+    mean_analytic = sum(r[1] for r in rows) / len(rows)
+    mean_detailed = sum(r[2] for r in rows) / len(rows)
+    assert mean_analytic < 1.01
+    assert mean_detailed < 1.03
+    # The paper's "rare" retirement delays stay rare.
+    total_stalls = sum(r[3] for r in rows)
+    assert total_stalls < 1000

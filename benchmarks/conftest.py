@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures.
+
+The detection figures (10, 12-17) all derive from one injection-campaign
+suite over the twelve applications; it is computed once per benchmark
+session.  Set ``CORD_BENCH_RUNS`` to change the number of injected runs
+per application (default 8; the paper used 20-100 -- raise it for tighter
+per-app numbers at proportional cost).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import Suite, SuiteConfig
+from repro.workloads import WorkloadParams
+
+RUNS_PER_APP = int(os.environ.get("CORD_BENCH_RUNS", "8"))
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The full 12-application campaign suite (computed once)."""
+    config = SuiteConfig(
+        runs_per_app=RUNS_PER_APP,
+        params=WorkloadParams(),
+    )
+    instance = Suite(config)
+    instance.campaigns()
+    return instance

@@ -1,0 +1,63 @@
+"""Regenerate every table and figure of the paper's evaluation.
+
+    python examples/reproduce_paper.py            # full (several minutes)
+    python examples/reproduce_paper.py --quick    # 3 apps, fewer runs
+
+The output is the source of EXPERIMENTS.md's "measured" columns.
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    Suite,
+    SuiteConfig,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    figure17,
+    order_recording_summary,
+    table1,
+)
+from repro.workloads import WorkloadParams
+
+
+def main(quick=False):
+    if quick:
+        config = SuiteConfig(
+            runs_per_app=5,
+            workloads=("fft", "raytrace", "ocean"),
+            params=WorkloadParams(scale=0.5),
+        )
+    else:
+        config = SuiteConfig(runs_per_app=12)
+
+    print(table1().render())
+
+    start = time.time()
+    suite = Suite(config)
+    suite.campaigns()
+    print("\n[injection campaigns over %d app(s), %d runs each: %.0fs]"
+          % (len(config.workload_names()), config.runs_per_app,
+             time.time() - start))
+
+    for driver in (figure10, figure12, figure13, figure14, figure15,
+                   figure16, figure17):
+        print()
+        print(driver(suite).render())
+
+    print()
+    workloads = config.workloads if quick else None
+    print(figure11(params=config.params, workloads=workloads).render())
+
+    print()
+    print(order_recording_summary(
+        params=config.params, workloads=workloads).render())
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

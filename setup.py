@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is configured in ``pyproject.toml``; this file only enables
+pip's legacy editable-install path (``setup.py develop``), which does not
+require building a wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,112 @@
+"""Reproduction of *CORD: Cost-effective Order-Recording and Data race
+detection* (Milos Prvulovic, HPCA-12, 2006).
+
+The package implements the paper's hardware mechanism and the full
+evaluation stack around it:
+
+* the CORD detector itself -- scalar logical clocks with the sync-read
+  window ``D``, two-timestamp per-cache-line access histories with
+  per-word read/write bits, check-filter bits, the main-memory timestamp
+  pair, order recording, and deterministic replay (:mod:`repro.cord`);
+* comparison detectors -- the Ideal vector-clock oracle and the
+  InfCache/L2Cache/L1Cache limited-history vector configurations
+  (:mod:`repro.detectors`);
+* the simulated testbed -- a functional multithreaded execution engine
+  with seeded interleaving, labeled synchronization lowering, twelve
+  Splash-2 workload analogues, the Section 3.4 fault injector, and an
+  approximate CMP timing model for the overhead experiment
+  (:mod:`repro.engine`, :mod:`repro.workloads`, :mod:`repro.injection`,
+  :mod:`repro.timingsim`);
+* experiment drivers reproducing every table and figure of the paper's
+  evaluation (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import (
+        CordConfig, CordDetector, run_program, get_workload,
+        WorkloadParams, replay_trace, verify_replay,
+    )
+
+    program = get_workload("raytrace").build(WorkloadParams())
+    trace = run_program(program, seed=42)
+    outcome = CordDetector(CordConfig(d=16), program.n_threads).run(trace)
+    print("data races:", outcome.raw_count,
+          "order log bytes:", outcome.log_bytes)
+    replayed = replay_trace(program, outcome.log)
+    assert verify_replay(trace, replayed).equivalent
+"""
+
+from repro.common.errors import (
+    ConfigError,
+    CordError,
+    DeadlockError,
+    LogFormatError,
+    ReplayDivergenceError,
+    SimulationError,
+)
+from repro.cord import (
+    CordConfig,
+    CordDetector,
+    CordOutcome,
+    OrderLog,
+    replay_trace,
+    verify_replay,
+)
+from repro.detectors import (
+    DetectionOutcome,
+    IdealDetector,
+    LimitedVectorDetector,
+    standard_suite,
+)
+from repro.engine import run_program
+from repro.injection import (
+    CampaignConfig,
+    InjectionInterceptor,
+    ReplayInjection,
+    run_campaign,
+)
+from repro.program import AddressSpace, Program
+from repro.timingsim import TimingParams, estimate_overhead
+from repro.trace import Trace, compute_stats
+from repro.workloads import (
+    WorkloadParams,
+    all_workloads,
+    get_workload,
+    workload_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressSpace",
+    "CampaignConfig",
+    "ConfigError",
+    "CordConfig",
+    "CordDetector",
+    "CordError",
+    "CordOutcome",
+    "DeadlockError",
+    "DetectionOutcome",
+    "IdealDetector",
+    "InjectionInterceptor",
+    "LimitedVectorDetector",
+    "LogFormatError",
+    "OrderLog",
+    "Program",
+    "ReplayDivergenceError",
+    "ReplayInjection",
+    "SimulationError",
+    "TimingParams",
+    "Trace",
+    "WorkloadParams",
+    "all_workloads",
+    "compute_stats",
+    "estimate_overhead",
+    "get_workload",
+    "replay_trace",
+    "run_campaign",
+    "run_program",
+    "standard_suite",
+    "verify_replay",
+    "workload_names",
+]

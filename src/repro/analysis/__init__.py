@@ -1,0 +1,28 @@
+"""Analysis utilities for detection results.
+
+Turns raw :class:`~repro.detectors.base.DetectionOutcome` objects into the
+reports a developer debugging a real program would want: races grouped by
+the *variable* (allocation name) they occurred on, per-thread breakdowns,
+and a rendered summary -- the "replayed, analyzed, and the problem
+repaired" step the paper's problem-detection metric is about.
+"""
+
+from repro.analysis.area import (
+    AreaModel,
+    cord_area,
+    per_line_vector_area,
+    per_word_vector_area,
+    scaling_table,
+)
+from repro.analysis.report import RaceGroup, RaceReport, build_report
+
+__all__ = [
+    "AreaModel",
+    "RaceGroup",
+    "RaceReport",
+    "build_report",
+    "cord_area",
+    "per_line_vector_area",
+    "per_word_vector_area",
+    "scaling_table",
+]

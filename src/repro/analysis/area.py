@@ -1,0 +1,148 @@
+"""Hardware area-overhead arithmetic (Sections 2.3-2.4 of the paper).
+
+The paper justifies its design with cache-area numbers:
+
+* per-word vector timestamps (4 x 16-bit components) are a **200 %**
+  overhead over the cache's data area;
+* per-line vector timestamps -- two 4x16-bit entries per 64-byte line,
+  each with per-word read/write access bits -- cost **38 %**;
+* CORD's scalar scheme -- two 16-bit timestamps per line with the same
+  access bits -- costs **19 %**, independent of the thread count.
+
+This module reproduces that arithmetic as a parametric model so the
+claims are checkable (and so the scaling argument -- vector state grows
+linearly with supported threads, scalar state does not -- is executable).
+All figures are metadata bits relative to data bits; tags/valid/coherence
+state are excluded on both sides, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+#: Paper baseline: 64-byte lines, 4-byte words, 16-bit timestamp scalars.
+PAPER_LINE_BYTES = 64
+PAPER_WORD_BYTES = 4
+PAPER_TIMESTAMP_BITS = 16
+PAPER_ENTRIES_PER_LINE = 2
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Metadata-area calculator for one timestamping scheme.
+
+    Attributes:
+        line_bytes: cache line size.
+        word_bytes: word granularity of access bits.
+        timestamp_bits: width of one scalar timestamp component.
+        n_threads: vector width (1 for scalar schemes).
+        entries: timestamp entries kept (per word or per line).
+        per_word: True for per-word timestamps, False for per-line
+            timestamps with per-word access bits.
+        access_bits_per_word: read/write bits per word per entry (2 in
+            the paper; 0 for the per-word scheme, whose timestamps are
+            already word-granular).
+        check_filter_bits: per-line filter bits (CORD has 2; the paper's
+            area figures exclude them, so the default here is 0 and
+            :func:`cord_area` reports both variants).
+    """
+
+    line_bytes: int = PAPER_LINE_BYTES
+    word_bytes: int = PAPER_WORD_BYTES
+    timestamp_bits: int = PAPER_TIMESTAMP_BITS
+    n_threads: int = 1
+    entries: int = PAPER_ENTRIES_PER_LINE
+    per_word: bool = False
+    access_bits_per_word: int = 2
+    check_filter_bits: int = 0
+
+    def __post_init__(self):
+        if self.line_bytes <= 0 or self.line_bytes % self.word_bytes:
+            raise ConfigError("line size must be a multiple of word size")
+        if self.n_threads < 1 or self.entries < 1:
+            raise ConfigError("threads and entries must be >= 1")
+
+    @property
+    def words_per_line(self) -> int:
+        return self.line_bytes // self.word_bytes
+
+    @property
+    def data_bits_per_line(self) -> int:
+        return self.line_bytes * 8
+
+    @property
+    def timestamp_bits_per_stamp(self) -> int:
+        """One full timestamp: scalar, or one component per thread."""
+        return self.timestamp_bits * self.n_threads
+
+    @property
+    def metadata_bits_per_line(self) -> int:
+        if self.per_word:
+            stamps = (
+                self.words_per_line
+                * self.entries
+                * self.timestamp_bits_per_stamp
+            )
+            bits = self.words_per_line * self.access_bits_per_word * \
+                self.entries if self.access_bits_per_word else 0
+            return stamps + bits + self.check_filter_bits
+        stamps = self.entries * self.timestamp_bits_per_stamp
+        access = (
+            self.entries
+            * self.words_per_line
+            * self.access_bits_per_word
+        )
+        return stamps + access + self.check_filter_bits
+
+    @property
+    def overhead(self) -> float:
+        """Metadata bits as a fraction of the line's data bits."""
+        return self.metadata_bits_per_line / self.data_bits_per_line
+
+
+def per_word_vector_area(n_threads: int = 4) -> AreaModel:
+    """The rejected baseline: one vector timestamp per word.
+
+    With four 16-bit components this is the paper's "200 % cache area
+    overhead" (Section 2.3): one 64-bit stamp per 32-bit word.
+    """
+    return AreaModel(
+        n_threads=n_threads,
+        per_word=True,
+        entries=1,
+        access_bits_per_word=0,
+    )
+
+
+def per_line_vector_area(n_threads: int = 4) -> AreaModel:
+    """Two per-line vector timestamps + per-word access bits: 38 %."""
+    return AreaModel(n_threads=n_threads)
+
+
+def cord_area(include_filters: bool = False) -> AreaModel:
+    """CORD's scalar scheme: 19 %, independent of thread count."""
+    return AreaModel(
+        n_threads=1,
+        check_filter_bits=2 if include_filters else 0,
+    )
+
+
+def scaling_table(max_threads: int = 32):
+    """Vector-vs-scalar area as supported thread count grows.
+
+    The paper's point: vector state must grow linearly with the number of
+    supported threads, while CORD's scalar state is constant -- "the same
+    amount of state to support only two threads".
+    """
+    rows = []
+    for n_threads in (2, 4, 8, 16, max_threads):
+        rows.append(
+            (
+                n_threads,
+                per_line_vector_area(n_threads).overhead,
+                cord_area().overhead,
+            )
+        )
+    return rows

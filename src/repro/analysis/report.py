@@ -1,0 +1,111 @@
+"""Race reports: group detections by variable and thread.
+
+A dynamic problem usually causes several races on a handful of variables;
+grouping by the containing allocation (resolved through the program's
+:class:`~repro.program.address_space.AddressSpace`) is how a developer
+reads the output.  Allocation resolution is name-prefix based: the report
+walks addresses downward to the nearest allocation base recorded by the
+address space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.texttable import format_table
+from repro.common.types import WORD_SIZE
+from repro.detectors.base import DetectionOutcome
+from repro.program.address_space import AddressSpace
+
+#: How far below an address to search for its allocation base.
+_MAX_ALLOCATION_WORDS = 1 << 16
+
+
+def resolve_allocation(space: AddressSpace, address: int) -> str:
+    """Name of the allocation containing ``address`` (best effort)."""
+    probe = address
+    for _ in range(_MAX_ALLOCATION_WORDS):
+        name = space.name_of(probe)
+        if not name.startswith("0x"):
+            if probe == address:
+                return name
+            return "%s[+%d]" % (name, (address - probe) // WORD_SIZE)
+        probe -= WORD_SIZE
+        if probe < 0:
+            break
+    return hex(address)
+
+
+@dataclass
+class RaceGroup:
+    """All reported races on one allocation."""
+
+    allocation: str
+    addresses: List[int] = field(default_factory=list)
+    accesses: List[tuple] = field(default_factory=list)
+    threads: set = field(default_factory=set)
+
+    @property
+    def count(self) -> int:
+        return len(self.accesses)
+
+
+@dataclass
+class RaceReport:
+    """A grouped, human-readable view of one detection outcome."""
+
+    detector_name: str
+    groups: List[RaceGroup]
+    total_flagged: int
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.groups)
+
+    def render(self) -> str:
+        if not self.groups:
+            return "%s: no data races detected" % self.detector_name
+        rows = [
+            [
+                group.allocation,
+                group.count,
+                len(group.threads),
+                ", ".join(
+                    "t%d@%d" % access for access in group.accesses[:3]
+                ),
+            ]
+            for group in self.groups
+        ]
+        return format_table(
+            ["variable", "races", "threads", "first accesses"],
+            rows,
+            title="%s: %d racy accesses on %d variable(s)"
+            % (self.detector_name, self.total_flagged, len(self.groups)),
+        )
+
+
+def build_report(
+    outcome: DetectionOutcome,
+    space: Optional[AddressSpace] = None,
+) -> RaceReport:
+    """Group an outcome's races by allocation (largest group first)."""
+    by_name: Dict[str, RaceGroup] = {}
+    for race in outcome.races:
+        name = (
+            resolve_allocation(space, race.address)
+            if space is not None
+            else hex(race.address)
+        )
+        group = by_name.setdefault(name, RaceGroup(allocation=name))
+        group.addresses.append(race.address)
+        group.accesses.append(race.access)
+        group.threads.add(race.access[0])
+    groups = sorted(
+        by_name.values(), key=lambda g: g.count, reverse=True
+    )
+    return RaceReport(
+        detector_name=outcome.detector_name,
+        groups=groups,
+        total_flagged=len(outcome.flagged),
+    )

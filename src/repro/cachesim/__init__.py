@@ -1,0 +1,19 @@
+"""Set-associative metadata caches and the snooping view.
+
+CORD keeps access histories *only for lines present in the local processor's
+caches* (Section 2.3); which lines those are -- and therefore which races
+are detectable -- is decided by an ordinary set-associative LRU cache.  This
+package models exactly that: per-processor caches keyed by line address
+holding opaque per-line metadata payloads, plus a :class:`SnoopDomain` that
+groups the caches of all processors for bus-snooping lookups.
+
+The *data values* of lines are irrelevant here (the functional engine owns
+values); what matters is presence, eviction order, and data validity
+(a remote write invalidates local copies, so the next local access is a
+miss that triggers a race-check broadcast).
+"""
+
+from repro.cachesim.cache import CacheGeometry, MetadataCache
+from repro.cachesim.snoop import SnoopDomain
+
+__all__ = ["CacheGeometry", "MetadataCache", "SnoopDomain"]

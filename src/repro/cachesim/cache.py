@@ -1,0 +1,195 @@
+"""Set-associative LRU metadata cache.
+
+One :class:`MetadataCache` models one processor's on-chip cache capacity
+*as seen by the CORD metadata*: the paper's default keeps timestamps in the
+private L1+L2 (32 KB L2 dominates), the ``L1Cache`` configuration restricts
+them to 8 KB, and the ``InfCache`` configuration removes the limit.  An
+infinite cache is expressed as ``CacheGeometry.infinite()``.
+
+Payloads are opaque to the cache (the detectors store
+:class:`~repro.meta.linemeta.LineMeta` objects); evicted payloads are
+returned to the caller so CORD can fold their timestamps into the main
+memory timestamp pair (Section 2.5).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+
+class CacheGeometry:
+    """Size/line-size/associativity triple with derived set mapping.
+
+    Args:
+        size: total capacity in bytes, or ``None`` for an infinite cache.
+        line_size: line size in bytes (power of two).
+        associativity: ways per set (ignored for infinite caches).
+    """
+
+    def __init__(
+        self,
+        size: Optional[int],
+        line_size: int = 64,
+        associativity: int = 8,
+    ):
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ConfigError(
+                "line size must be a positive power of two, got %d"
+                % line_size
+            )
+        self.line_size = line_size
+        self.size = size
+        self.associativity = associativity
+        if size is None:
+            self.n_sets = 0
+            return
+        if size <= 0 or size % line_size:
+            raise ConfigError(
+                "cache size must be a positive multiple of the line size"
+            )
+        if associativity <= 0:
+            raise ConfigError("associativity must be >= 1")
+        n_lines = size // line_size
+        if n_lines % associativity:
+            raise ConfigError(
+                "cache of %d lines not divisible into %d-way sets"
+                % (n_lines, associativity)
+            )
+        self.n_sets = n_lines // associativity
+        if self.n_sets & (self.n_sets - 1):
+            raise ConfigError(
+                "number of sets must be a power of two, got %d" % self.n_sets
+            )
+
+    @classmethod
+    def infinite(cls, line_size: int = 64) -> "CacheGeometry":
+        """Geometry for an unbounded cache (the paper's InfCache/Ideal)."""
+        return cls(None, line_size)
+
+    @property
+    def is_infinite(self) -> bool:
+        return self.size is None
+
+    def set_index(self, line_address: int) -> int:
+        """Which set a line maps to."""
+        return (line_address // self.line_size) % self.n_sets
+
+    def line_address(self, address: int) -> int:
+        """Base address of the line containing ``address``."""
+        return address & ~(self.line_size - 1)
+
+    def __repr__(self):
+        if self.is_infinite:
+            return "CacheGeometry(infinite, line=%d)" % self.line_size
+        return "CacheGeometry(%dB, line=%d, %d-way)" % (
+            self.size,
+            self.line_size,
+            self.associativity,
+        )
+
+
+class MetadataCache:
+    """One processor's metadata cache: line address -> payload, LRU per set.
+
+    Args:
+        geometry: capacity description.
+        payload_factory: builds a fresh payload for a newly inserted line.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        payload_factory: Callable[[], object],
+    ):
+        self.geometry = geometry
+        self._payload_factory = payload_factory
+        # One ordered dict per set (or a single one for infinite caches);
+        # most-recently-used entries at the end.
+        if geometry.is_infinite:
+            self._sets: List[OrderedDict] = [OrderedDict()]
+        else:
+            self._sets = [OrderedDict() for _ in range(geometry.n_sets)]
+        self.evictions = 0
+        self.insertions = 0
+
+    def _set_for(self, line_address: int) -> OrderedDict:
+        if self.geometry.is_infinite:
+            return self._sets[0]
+        return self._sets[self.geometry.set_index(line_address)]
+
+    # -- lookups ----------------------------------------------------------
+
+    def peek(self, line_address: int):
+        """Payload for a line if present, *without* touching LRU state.
+
+        Used for snooping lookups from other processors, which must not
+        perturb the local replacement order.
+        """
+        return self._set_for(line_address).get(line_address)
+
+    def contains(self, line_address: int) -> bool:
+        return line_address in self._set_for(line_address)
+
+    # -- access path --------------------------------------------------------
+
+    def access(
+        self, line_address: int
+    ) -> Tuple[object, List[Tuple[int, object]]]:
+        """Touch ``line_address`` for a local access.
+
+        Returns ``(payload, evicted)`` where ``evicted`` is a list of
+        ``(line_address, payload)`` pairs for lines displaced by this
+        access.  The line is inserted if absent (possibly evicting the
+        set's LRU line) and moved to MRU.
+        """
+        cache_set = self._set_for(line_address)
+        payload = cache_set.get(line_address)
+        evicted: List[Tuple[int, object]] = []
+        if payload is None:
+            payload = self._payload_factory()
+            cache_set[line_address] = payload
+            self.insertions += 1
+            if (
+                not self.geometry.is_infinite
+                and len(cache_set) > self.geometry.associativity
+            ):
+                victim_address, victim = cache_set.popitem(last=False)
+                evicted.append((victim_address, victim))
+                self.evictions += 1
+        else:
+            cache_set.move_to_end(line_address)
+        return payload, evicted
+
+    def invalidate_data(self, line_address: int) -> None:
+        """Mark a present line's *data* invalid (metadata is retained).
+
+        The paper's race checks can still consult timestamps of lines whose
+        data another processor has since overwritten; the metadata leaves
+        the cache only on replacement.
+        """
+        payload = self.peek(line_address)
+        if payload is not None:
+            payload.data_valid = False
+
+    # -- iteration / maintenance ------------------------------------------------
+
+    def lines(self) -> Dict[int, object]:
+        """Snapshot of all resident lines (for the cache walker and tests)."""
+        snapshot: Dict[int, object] = {}
+        for cache_set in self._sets:
+            snapshot.update(cache_set)
+        return snapshot
+
+    def drop(self, line_address: int):
+        """Remove a line outright, returning its payload (walker evictions)."""
+        cache_set = self._set_for(line_address)
+        payload = cache_set.pop(line_address, None)
+        if payload is not None:
+            self.evictions += 1
+        return payload
+
+    def __len__(self):
+        return sum(len(s) for s in self._sets)

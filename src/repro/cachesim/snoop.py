@@ -1,0 +1,69 @@
+"""The snooping view: all processors' metadata caches on one bus.
+
+CORD's race checks are bus broadcasts: every other processor's cache
+examines its copy of the line and answers with conflicting timestamps
+(Section 2.7.2).  :class:`SnoopDomain` bundles the per-processor caches and
+implements that broadcast as an iteration over remote caches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Tuple
+
+from repro.cachesim.cache import CacheGeometry, MetadataCache
+
+
+class SnoopDomain:
+    """The set of per-processor metadata caches sharing a snooping bus.
+
+    Args:
+        n_processors: number of processors (the paper simulates 4).
+        geometry: per-processor cache geometry.
+        payload_factory: per-line payload constructor.
+    """
+
+    def __init__(
+        self,
+        n_processors: int,
+        geometry: CacheGeometry,
+        payload_factory: Callable[[], object],
+    ):
+        if n_processors < 1:
+            raise ValueError("need at least one processor")
+        self.geometry = geometry
+        self.caches: List[MetadataCache] = [
+            MetadataCache(geometry, payload_factory)
+            for _ in range(n_processors)
+        ]
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.caches)
+
+    def cache_of(self, processor: int) -> MetadataCache:
+        return self.caches[processor]
+
+    def snoop(
+        self, requester: int, line_address: int
+    ) -> Iterator[Tuple[int, object]]:
+        """Yield ``(processor, payload)`` for every *remote* copy of a line.
+
+        Remote means every processor other than ``requester``; lookups use
+        :meth:`MetadataCache.peek` so snoops do not disturb LRU state,
+        matching hardware (snoop hits do not refresh replacement info).
+        """
+        for processor, cache in enumerate(self.caches):
+            if processor == requester:
+                continue
+            payload = cache.peek(line_address)
+            if payload is not None:
+                yield processor, payload
+
+    def invalidate_remote(self, requester: int, line_address: int) -> None:
+        """Invalidate the *data* of every remote copy (a write upgrade)."""
+        for processor, cache in enumerate(self.caches):
+            if processor != requester:
+                cache.invalidate_data(line_address)
+
+    def total_evictions(self) -> int:
+        return sum(cache.evictions for cache in self.caches)

@@ -1,0 +1,239 @@
+"""Command-line interface for the CORD reproduction.
+
+Usage (also available as ``python -m repro.cli``):
+
+.. code-block:: console
+
+    cord-repro list                      # Table 1: the workloads
+    cord-repro run raytrace --seed 42    # one execution + CORD report
+    cord-repro inject volrend -n 12      # Section 3.4 campaign, one app
+    cord-repro figures --quick           # regenerate the paper's figures
+    cord-repro replay cholesky           # record + replay verification
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cord.config import CordConfig
+from repro.cord.detector import CordDetector
+from repro.cord.replay import replay_trace, verify_replay
+from repro.engine.executor import run_program
+from repro.experiments.runner import Suite, SuiteConfig
+from repro.experiments.tables import table1
+from repro.injection.campaign import CampaignConfig, run_campaign
+from repro.trace.stats import compute_stats
+from repro.workloads.base import WorkloadParams
+from repro.workloads.registry import get_workload, workload_names
+
+
+def _cmd_list(_args) -> int:
+    print(table1().render())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    spec = get_workload(args.workload)
+    program = spec.build(WorkloadParams(scale=args.scale))
+    trace = run_program(program, seed=args.seed)
+    stats = compute_stats(trace)
+    outcome = CordDetector(
+        CordConfig(d=args.window), program.n_threads
+    ).run(trace)
+    print("workload : %s (%s)" % (spec.name, spec.input_label))
+    print("events   : %d (%.1f%% sync), %d shared words" % (
+        stats.n_events, 100 * stats.sync_fraction, stats.shared_words))
+    print("races    : %d" % outcome.raw_count)
+    print("order log: %d entries / %d bytes" % (
+        len(outcome.log), outcome.log_bytes))
+    for key in ("race_checks", "fast_hits", "memts_update_broadcasts"):
+        print("%-24s %d" % (key, outcome.counters[key]))
+    return 0
+
+
+def _cmd_inject(args) -> int:
+    spec = get_workload(args.workload)
+    campaign = run_campaign(
+        spec.program_factory(WorkloadParams(scale=args.scale)),
+        spec.name,
+        CampaignConfig(n_runs=args.runs, base_seed=args.seed),
+    )
+    print("workload      : %s" % spec.name)
+    print("sync instances: %d" % campaign.sync_instances)
+    print("manifested    : %d / %d runs" % (
+        campaign.n_manifested, len(campaign.runs)))
+    for name in campaign.detector_names:
+        print("  %-10s problems=%-3d races=%-4d" % (
+            name,
+            campaign.problems_detected(name),
+            campaign.races_detected(name),
+        ))
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.experiments import figures
+    from repro.experiments.export import write_figure_csv
+
+    if args.quick:
+        config = SuiteConfig(
+            runs_per_app=4,
+            workloads=("fft", "raytrace", "ocean"),
+            params=WorkloadParams(scale=0.5),
+        )
+    else:
+        config = SuiteConfig(runs_per_app=args.runs)
+    suite = Suite(config)
+    results = [
+        driver(suite)
+        for driver in (
+            figures.figure10,
+            figures.figure12,
+            figures.figure13,
+            figures.figure14,
+            figures.figure15,
+            figures.figure16,
+            figures.figure17,
+        )
+    ]
+    results.append(
+        figures.figure11(
+            params=config.params,
+            workloads=config.workloads if args.quick else None,
+        )
+    )
+    for figure in results:
+        print(figure.render())
+        print()
+    if args.csv:
+        import os
+
+        os.makedirs(args.csv, exist_ok=True)
+        for figure in results:
+            name = figure.figure_id.lower().replace(" ", "")
+            path = write_figure_csv(
+                figure, os.path.join(args.csv, name + ".csv")
+            )
+            print("wrote %s" % path)
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.workloads.validation import validate_workloads
+
+    names = [args.workload] if args.workload else None
+    report = validate_workloads(
+        names, WorkloadParams(scale=args.scale)
+    )
+    print(report.render())
+    if not report.all_race_free:
+        for name, detail in report.failures.items():
+            print("FAIL %s: %s" % (name, detail))
+        return 1
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.reportgen import write_report
+
+    if args.quick:
+        config = SuiteConfig(
+            runs_per_app=4,
+            workloads=("fft", "raytrace", "ocean"),
+            params=WorkloadParams(scale=0.5),
+        )
+    else:
+        config = SuiteConfig(runs_per_app=args.runs)
+    path = write_report(args.out, config=config)
+    print("wrote %s" % path)
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    spec = get_workload(args.workload)
+    program = spec.build(WorkloadParams(scale=args.scale))
+    trace = run_program(program, seed=args.seed)
+    outcome = CordDetector(CordConfig(), program.n_threads).run(trace)
+    replayed = replay_trace(program, outcome.log)
+    verdict = verify_replay(trace, replayed)
+    print("recorded %d events, log %d bytes" % (
+        len(trace.events), outcome.log_bytes))
+    print("replay verdict: %s" % verdict.detail)
+    return 0 if verdict.equivalent else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cord-repro",
+        description="CORD (HPCA 2006) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show Table 1").set_defaults(
+        func=_cmd_list
+    )
+
+    def add_workload_options(p):
+        p.add_argument("workload", choices=workload_names())
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--scale", type=float, default=1.0)
+
+    run_p = sub.add_parser("run", help="execute one workload under CORD")
+    add_workload_options(run_p)
+    run_p.add_argument("--window", type=int, default=16,
+                       help="the sync-read window D (default 16)")
+    run_p.set_defaults(func=_cmd_run)
+
+    inj_p = sub.add_parser(
+        "inject", help="run a Section 3.4 injection campaign"
+    )
+    add_workload_options(inj_p)
+    inj_p.add_argument("-n", "--runs", type=int, default=10)
+    inj_p.set_defaults(func=_cmd_inject)
+
+    fig_p = sub.add_parser(
+        "figures", help="regenerate the paper's evaluation figures"
+    )
+    fig_p.add_argument("--quick", action="store_true")
+    fig_p.add_argument("--runs", type=int, default=12)
+    fig_p.add_argument(
+        "--csv", metavar="DIR",
+        help="also write each figure as CSV into DIR",
+    )
+    fig_p.set_defaults(func=_cmd_figures)
+
+    rep_p = sub.add_parser(
+        "replay", help="record one run, replay it, verify equivalence"
+    )
+    add_workload_options(rep_p)
+    rep_p.set_defaults(func=_cmd_replay)
+
+    char_p = sub.add_parser(
+        "characterize",
+        help="validate race-freedom and profile the workloads",
+    )
+    char_p.add_argument(
+        "workload", nargs="?", choices=workload_names(), default=None
+    )
+    char_p.add_argument("--scale", type=float, default=1.0)
+    char_p.set_defaults(func=_cmd_characterize)
+
+    report_p = sub.add_parser(
+        "report", help="write the full Markdown reproduction report"
+    )
+    report_p.add_argument("--out", default="cord_report.md")
+    report_p.add_argument("--quick", action="store_true")
+    report_p.add_argument("--runs", type=int, default=12)
+    report_p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Classical Lamport clocks (sequence number + tie-breaking thread id).
+
+The paper starts from Lamport clocks (Section 2.4) and then *removes* the
+tie-breaking thread id, because a total order is counterproductive for race
+detection -- equal scalar clocks are how CORD expresses concurrency.  We keep
+a faithful Lamport implementation both as documentation of that starting
+point and for tests that demonstrate why the tie-break loses races.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.common.errors import ConfigError
+
+
+@total_ordering
+@dataclass(frozen=True)
+class LamportStamp:
+    """An immutable Lamport timestamp: ``(sequence, thread_id)``.
+
+    Comparison is lexicographic: sequence numbers first, thread ids break
+    ties.  Two stamps from the same thread with the same sequence number are
+    equal (program order then defines their relation, per the paper's
+    footnote 1).
+    """
+
+    sequence: int
+    thread_id: int
+
+    def __lt__(self, other: "LamportStamp") -> bool:
+        if not isinstance(other, LamportStamp):
+            return NotImplemented
+        return (self.sequence, self.thread_id) < (
+            other.sequence,
+            other.thread_id,
+        )
+
+    def happens_before(self, other: "LamportStamp") -> bool:
+        """Total-order "happens before" induced by the Lamport comparison."""
+        return self < other
+
+
+class LamportClock:
+    """Mutable Lamport clock for one thread.
+
+    The classical scheme increments on every event and merges on message
+    receipt (here: on observing a conflicting timestamp).
+    """
+
+    __slots__ = ("thread_id", "sequence")
+
+    def __init__(self, thread_id: int, initial: int = 1):
+        if thread_id < 0:
+            raise ConfigError("thread_id must be >= 0, got %d" % thread_id)
+        self.thread_id = thread_id
+        self.sequence = initial
+
+    def now(self) -> LamportStamp:
+        """Current timestamp."""
+        return LamportStamp(self.sequence, self.thread_id)
+
+    def tick(self) -> LamportStamp:
+        """Advance for a local event and return the new stamp."""
+        self.sequence += 1
+        return self.now()
+
+    def observe(self, stamp: LamportStamp) -> LamportStamp:
+        """Merge an observed timestamp (message receipt rule).
+
+        Sets ``sequence = max(local, observed) + 1``.
+        """
+        self.sequence = max(self.sequence, stamp.sequence) + 1
+        return self.now()
+
+    def __repr__(self):
+        return "LamportClock(thread=%d, seq=%d)" % (
+            self.thread_id,
+            self.sequence,
+        )

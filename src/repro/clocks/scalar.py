@@ -1,0 +1,115 @@
+"""CORD's scalar logical clock (Section 2.4 and 2.6 of the paper).
+
+A scalar clock is a single integer with *no* tie-breaking thread id, so two
+threads can legitimately hold equal clocks -- equality is how the scheme
+expresses (potential) concurrency.  The update rules are:
+
+* **Race update** -- when a thread's access finds a conflicting timestamp
+  ``ts`` with ``clk <= ts``, a race is found and the clock becomes
+  ``ts + 1`` so the new ordering is reflected and redundant ordering is not
+  re-recorded.
+* **Sync-write increment** -- the clock is incremented by one *after* every
+  synchronization write, so pre- and post-synchronization accesses get
+  different timestamps (Figure 4).  Reads and data writes do not increment
+  the clock (Figure 5 shows why increments there lose races).
+* **Sync-read window update** -- reading a synchronization variable whose
+  last write timestamp is ``ts`` sets ``clk = max(clk, ts + D)``.  The gap
+  of ``D`` is the "window of opportunity" of Section 2.6: data accesses
+  whose clock is less than ``ts + D`` ahead of a conflicting timestamp are
+  *not* considered synchronized by the race detector, even though the
+  order-recorder may treat them as transitively ordered.
+* **Migration update** -- a thread's clock grows by ``D`` whenever it starts
+  running on a (different) processor, so stale self-timestamps on the old
+  processor cannot be mistaken for another thread's conflicting accesses
+  (Section 2.7.4).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+
+class ScalarClock:
+    """Mutable scalar clock for one thread.
+
+    Args:
+        d: the sync-read window parameter ``D`` (>= 1).  ``D = 1`` gives the
+           naive scalar scheme evaluated as ``D1`` in Figures 16/17.
+        initial: starting clock value (the paper starts threads at 1).
+    """
+
+    __slots__ = ("d", "value")
+
+    def __init__(self, d: int = 1, initial: int = 1):
+        if d < 1:
+            raise ConfigError("window D must be >= 1, got %d" % d)
+        if initial < 0:
+            raise ConfigError("initial clock must be >= 0, got %d" % initial)
+        self.d = d
+        self.value = initial
+
+    # -- ordering queries ---------------------------------------------------
+
+    def ordered_after(self, timestamp: int) -> bool:
+        """True if this clock is already ordered after ``timestamp``.
+
+        Used by the order-recorder: the conflict outcome is redundant (no
+        log-relevant race) when ``clk > ts``.
+        """
+        return self.value > timestamp
+
+    def synchronized_after(self, timestamp: int) -> bool:
+        """True if this clock is *synchronized* after ``timestamp``.
+
+        Used by the data race detector with the window rule of Section 2.6:
+        the two accesses count as synchronized only when
+        ``clk >= ts + D``.  With ``D = 1`` this degenerates to
+        :meth:`ordered_after`.
+        """
+        return self.value >= timestamp + self.d
+
+    # -- update rules ---------------------------------------------------------
+
+    def update_for_race(self, timestamp: int) -> bool:
+        """Apply the race outcome ``ts -> this access``; return True if the
+        clock changed (i.e. the ordering was not already implied).
+
+        The clock becomes ``ts + 1`` when ``clk <= ts``; otherwise the
+        ordering was transitive and nothing happens.
+        """
+        if self.value <= timestamp:
+            self.value = timestamp + 1
+            return True
+        return False
+
+    def update_for_sync_read(self, write_timestamp: int) -> bool:
+        """Apply the sync-read window update ``clk = max(clk, ts + D)``.
+
+        Returns True if the clock changed.
+        """
+        target = write_timestamp + self.d
+        if self.value < target:
+            self.value = target
+            return True
+        return False
+
+    def increment_after_sync_write(self) -> None:
+        """Advance the clock by one following a synchronization write."""
+        self.value += 1
+
+    def increment_for_migration(self) -> None:
+        """Advance the clock by ``D`` when the thread migrates processors.
+
+        This "synchronizes" new execution with the thread's own stale
+        timestamps left in the previous processor's cache, eliminating
+        false self-races (Section 2.7.4).
+        """
+        self.value += self.d
+
+    def increment_for_count_overflow(self) -> None:
+        """Advance the clock by one when the log instruction count would
+        overflow (Section 2.7.1)."""
+        self.value += 1
+
+    def __repr__(self):
+        return "ScalarClock(value=%d, d=%d)" % (self.value, self.d)

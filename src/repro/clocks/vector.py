@@ -1,0 +1,117 @@
+"""Vector clocks (Fidge/Mattern) for the Ideal and ReEnact-like detectors.
+
+A vector clock has one scalar component per thread and captures the
+happens-before relation exactly; the paper cites Valot's result that no
+scheme with fewer than N components can do so for N threads.  CORD's whole
+point is to *avoid* vectors in hardware, but the evaluation compares against
+vector-clock configurations throughout Section 4, so we need a faithful
+implementation.
+
+Vectors here are immutable tuples wrapped in a tiny class; detector state
+tables store millions of them, so they must hash and compare cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.common.errors import ConfigError
+
+
+class VectorClock:
+    """An immutable vector timestamp over a fixed thread count.
+
+    Components are conventionally the number of (relevant) events each
+    thread has performed.  The partial order is component-wise:
+
+    * ``a <= b``  iff every component of ``a`` is <= the matching one of ``b``;
+    * ``a.happens_before(b)`` iff ``a <= b`` and ``a != b``;
+    * ``a.concurrent_with(b)`` iff neither dominates.
+    """
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: Iterable[int]):
+        comps: Tuple[int, ...] = tuple(int(c) for c in components)
+        if not comps:
+            raise ConfigError("vector clock needs at least one component")
+        if any(c < 0 for c in comps):
+            raise ConfigError("vector clock components must be >= 0")
+        object.__setattr__(self, "components", comps)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("VectorClock is immutable")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zero(cls, width: int) -> "VectorClock":
+        """All-zero vector of the given width."""
+        return cls((0,) * width)
+
+    @classmethod
+    def unit(cls, width: int, thread: int) -> "VectorClock":
+        """Vector with a single 1 in ``thread``'s component."""
+        comps = [0] * width
+        comps[thread] = 1
+        return cls(comps)
+
+    # -- derived vectors ---------------------------------------------------
+
+    def ticked(self, thread: int) -> "VectorClock":
+        """Copy with ``thread``'s own component incremented."""
+        comps = list(self.components)
+        comps[thread] += 1
+        return VectorClock(comps)
+
+    def joined(self, other: "VectorClock") -> "VectorClock":
+        """Component-wise maximum (the vector-clock merge operation)."""
+        self._check_width(other)
+        return VectorClock(
+            max(a, b) for a, b in zip(self.components, other.components)
+        )
+
+    # -- ordering ----------------------------------------------------------
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True if every component of ``self`` is >= ``other``'s."""
+        self._check_width(other)
+        return all(
+            a >= b for a, b in zip(self.components, other.components)
+        )
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """Strict happens-before: dominated by ``other`` and not equal."""
+        return other.dominates(self) and self.components != other.components
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """True if neither vector dominates the other."""
+        return not self.dominates(other) and not other.dominates(self)
+
+    def component(self, thread: int) -> int:
+        return self.components[thread]
+
+    @property
+    def width(self) -> int:
+        return len(self.components)
+
+    def _check_width(self, other: "VectorClock") -> None:
+        if len(self.components) != len(other.components):
+            raise ConfigError(
+                "vector width mismatch: %d vs %d"
+                % (len(self.components), len(other.components))
+            )
+
+    # -- value semantics ---------------------------------------------------
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, VectorClock)
+            and self.components == other.components
+        )
+
+    def __hash__(self):
+        return hash(self.components)
+
+    def __repr__(self):
+        return "VectorClock(%s)" % (list(self.components),)

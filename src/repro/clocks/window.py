@@ -1,0 +1,84 @@
+"""16-bit clocks with sliding-window comparison (Section 2.7.5).
+
+CORD stores 16-bit clocks and timestamps in cache metadata to keep the area
+overhead at 19 % of cache capacity.  Sixteen-bit counters overflow, so the
+hardware compares them *modulo 2^16* under the assumption that any two live
+values are within a window of ``2^15 - 1`` of each other.  A cache walker
+(:mod:`repro.meta.walker`) evicts very stale timestamps so the assumption
+holds, and the minimum in-cache timestamp is used to stall any clock update
+that would exceed the window (the paper reports such stalls never fire).
+
+The functional detectors in this library track clocks as unbounded Python
+integers for clarity; this module provides the hardware-faithful comparator
+plus the truncation helpers, and the unit/property tests prove that the
+windowed comparison agrees with the unbounded one whenever the window
+invariant holds.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+#: Width of hardware clocks and timestamps in bits.
+WINDOW_CLOCK_BITS = 16
+
+#: Largest allowed distance between two live clock values.
+DEFAULT_WINDOW = (1 << (WINDOW_CLOCK_BITS - 1)) - 1
+
+
+class SlidingWindowComparator:
+    """Compare clock values truncated to ``bits`` bits, window-correctly.
+
+    Two truncated values ``a`` and ``b`` are compared by interpreting their
+    difference modulo ``2^bits`` as a signed number: if the (signed)
+    difference is positive, ``a`` is ahead of ``b``.  This is the standard
+    serial-number-arithmetic trick and is exactly what a "slight
+    modification in our comparator circuitry" buys the paper.
+
+    Args:
+        bits: clock width in bits (default 16, as in the paper).
+    """
+
+    def __init__(self, bits: int = WINDOW_CLOCK_BITS):
+        if bits < 2:
+            raise ConfigError("clock width must be >= 2 bits, got %d" % bits)
+        self.bits = bits
+        self.modulus = 1 << bits
+        self.half = 1 << (bits - 1)
+        #: Maximum distance between live values for comparisons to be exact.
+        self.window = self.half - 1
+
+    def truncate(self, value: int) -> int:
+        """Truncate an unbounded clock value to the hardware width."""
+        return value % self.modulus
+
+    def signed_delta(self, a: int, b: int) -> int:
+        """Signed distance ``a - b`` under the sliding window.
+
+        The result lies in ``[-half, half)``.
+        """
+        delta = (self.truncate(a) - self.truncate(b)) % self.modulus
+        if delta >= self.half:
+            delta -= self.modulus
+        return delta
+
+    def greater(self, a: int, b: int) -> bool:
+        """Windowed ``a > b``."""
+        return self.signed_delta(a, b) > 0
+
+    def greater_equal(self, a: int, b: int) -> bool:
+        """Windowed ``a >= b``."""
+        return self.signed_delta(a, b) >= 0
+
+    def synchronized_after(self, clock: int, timestamp: int, d: int) -> bool:
+        """Windowed form of CORD's DRD test ``clock >= timestamp + D``."""
+        return self.signed_delta(clock, timestamp) >= d
+
+    def within_window(self, a: int, b: int) -> bool:
+        """True when the *unbounded* values are close enough for windowed
+        comparison to be exact.
+
+        Callers must pass unbounded values here; this is the invariant the
+        cache walker maintains.
+        """
+        return abs(a - b) <= self.window

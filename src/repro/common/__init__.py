@@ -1,0 +1,45 @@
+"""Shared low-level utilities for the CORD reproduction.
+
+This subpackage holds the pieces that every other layer builds on:
+
+* :mod:`repro.common.types` -- small value types (thread ids, addresses,
+  access descriptors) used throughout the simulator and the detectors.
+* :mod:`repro.common.errors` -- the exception hierarchy.
+* :mod:`repro.common.rng` -- deterministic, seedable random streams so that
+  every experiment in the paper reproduction is exactly repeatable.
+* :mod:`repro.common.bitops` -- bit-mask helpers for per-word access bits.
+* :mod:`repro.common.texttable` -- plain-text table rendering used by the
+  experiment drivers to print the paper's tables and figure series.
+"""
+
+from repro.common.errors import (
+    CordError,
+    ConfigError,
+    DeadlockError,
+    LogFormatError,
+    ReplayDivergenceError,
+    SimulationError,
+)
+from repro.common.types import (
+    AccessMode,
+    AccessClass,
+    Access,
+    WORD_SIZE,
+    ThreadId,
+    Address,
+)
+
+__all__ = [
+    "Access",
+    "AccessClass",
+    "AccessMode",
+    "Address",
+    "ConfigError",
+    "CordError",
+    "DeadlockError",
+    "LogFormatError",
+    "ReplayDivergenceError",
+    "SimulationError",
+    "ThreadId",
+    "WORD_SIZE",
+]

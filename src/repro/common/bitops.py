@@ -1,0 +1,50 @@
+"""Bit-mask helpers for per-word access bits.
+
+CORD's cache metadata keeps one read bit and one write bit per word per
+timestamp entry (Section 2.3).  We store each bit set as a plain Python int
+used as a bit mask; these helpers keep the call sites readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def bit(index: int) -> int:
+    """Mask with only bit ``index`` set."""
+    return 1 << index
+
+
+def set_bit(mask: int, index: int) -> int:
+    """Return ``mask`` with bit ``index`` set."""
+    return mask | (1 << index)
+
+
+def clear_bit(mask: int, index: int) -> int:
+    """Return ``mask`` with bit ``index`` cleared."""
+    return mask & ~(1 << index)
+
+
+def test_bit(mask: int, index: int) -> bool:
+    """True if bit ``index`` is set in ``mask``."""
+    return bool(mask & (1 << index))
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of all set bits, ascending."""
+    index = 0
+    while mask:
+        if mask & 1:
+            yield index
+        mask >>= 1
+        index += 1
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits."""
+    return bin(mask).count("1")
+
+
+def low_mask(width: int) -> int:
+    """Mask with the low ``width`` bits set."""
+    return (1 << width) - 1

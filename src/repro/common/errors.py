@@ -1,0 +1,58 @@
+"""Exception hierarchy for the CORD reproduction.
+
+All library-raised exceptions derive from :class:`CordError`, so callers can
+catch one base class.  Each subclass marks a distinct failure domain:
+configuration, simulation, log encoding, and replay verification.
+"""
+
+
+class CordError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigError(CordError, ValueError):
+    """A configuration value is invalid or inconsistent.
+
+    Raised eagerly at construction time (for example, a cache size that is
+    not a multiple of the line size, or a window parameter ``D`` below 1),
+    so misconfiguration never surfaces as a confusing mid-simulation error.
+    """
+
+
+class SimulationError(CordError, RuntimeError):
+    """The functional or timing simulator reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """Every runnable thread is blocked and no progress is possible.
+
+    Fault injection can legitimately deadlock a run (for example a lost
+    barrier-count update after an injected missing lock).  The engine raises
+    this error -- or, when configured with a watchdog, records the hang and
+    force-releases the blocked threads instead.
+    """
+
+    def __init__(self, blocked_threads, message=None):
+        self.blocked_threads = tuple(blocked_threads)
+        if message is None:
+            message = "all threads blocked: %s" % (self.blocked_threads,)
+        super().__init__(message)
+
+
+class LogFormatError(CordError, ValueError):
+    """An order-recording log is malformed or truncated."""
+
+
+class ReplayDivergenceError(CordError, RuntimeError):
+    """Deterministic replay observed an execution that differs from the log.
+
+    This indicates either a corrupted log or a genuine order-recording bug;
+    the paper's correctness claim is exactly that this never happens.
+    """
+
+    def __init__(self, thread_id, detail):
+        self.thread_id = thread_id
+        self.detail = detail
+        super().__init__(
+            "replay diverged in thread %d: %s" % (thread_id, detail)
+        )

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment output.
+
+The experiment drivers print the paper's tables and figure series as aligned
+ASCII tables; nothing fancier than that is needed for terminal inspection
+and for EXPERIMENTS.md snippets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are formatted with three decimals; everything else uses ``str``.
+    The first column is left-aligned, remaining columns right-aligned (the
+    usual layout for a label column followed by numeric columns).
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append([_format_cell(cell) for cell in row])
+
+    widths = [0] * len(rendered[0])
+    for row in rendered:
+        if len(row) != len(widths):
+            raise ValueError(
+                "row has %d cells, expected %d" % (len(row), len(widths))
+            )
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = _format_row(rendered[0], widths)
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered[1:]:
+        lines.append(_format_row(row, widths))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return "%.3f" % cell
+    return str(cell)
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    parts = [cells[0].ljust(widths[0])]
+    for cell, width in zip(cells[1:], widths[1:]):
+        parts.append(cell.rjust(width))
+    return "  ".join(parts).rstrip()
+
+
+def format_percent(value: float) -> str:
+    """Format a ratio as a percentage string, e.g. ``0.773 -> '77.3%'``."""
+    return "%.1f%%" % (100.0 * value)

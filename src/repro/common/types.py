@@ -1,0 +1,108 @@
+"""Small value types shared by the simulator, detectors, and experiments.
+
+The paper reasons about *accesses*: a thread touches a word of shared memory
+in read or write mode, and the access is either a *synchronization* access
+(issued by a synchronization primitive through special labeled instructions,
+Section 2.7.3) or an ordinary *data* access.  :class:`Access` captures exactly
+that triple plus the location.
+
+Addresses in this reproduction are word-granular integers.  ``WORD_SIZE`` is
+the byte width of one word (4 bytes, matching the paper's per-word access
+bits on 64-byte lines, i.e. 16 words per line).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Width of one machine word in bytes.  The paper tracks read/write access
+#: bits per word; with 64-byte lines and 4-byte words each line carries 16
+#: word slots per timestamp entry.
+WORD_SIZE = 4
+
+#: Type alias: threads are small non-negative integers.
+ThreadId = int
+
+#: Type alias: byte addresses are non-negative integers.
+Address = int
+
+
+class AccessMode(enum.IntEnum):
+    """Read or write mode of a memory access."""
+
+    READ = 0
+    WRITE = 1
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessMode.WRITE
+
+
+class AccessClass(enum.IntEnum):
+    """Data vs. synchronization classification of an access.
+
+    The paper relies on modified synchronization libraries that mark
+    synchronization loads/stores with special instructions (Section 2.7.3);
+    this enum is the software-visible equivalent of that label.
+    """
+
+    DATA = 0
+    SYNC = 1
+
+    @property
+    def is_sync(self) -> bool:
+        return self is AccessClass.SYNC
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory access: who, where, read/write, data/sync.
+
+    Attributes:
+        thread: id of the issuing thread.
+        address: byte address of the accessed word (word aligned).
+        mode: read or write.
+        klass: data or synchronization access.
+    """
+
+    thread: ThreadId
+    address: Address
+    mode: AccessMode
+    klass: AccessClass = AccessClass.DATA
+
+    def __post_init__(self):
+        if self.address % WORD_SIZE:
+            raise ValueError(
+                "access address %#x is not word aligned" % self.address
+            )
+
+    @property
+    def is_write(self) -> bool:
+        return self.mode is AccessMode.WRITE
+
+    @property
+    def is_sync(self) -> bool:
+        return self.klass is AccessClass.SYNC
+
+    def conflicts_with(self, other: "Access") -> bool:
+        """True if the two accesses conflict in the Shasha/Snir sense.
+
+        Two accesses from *different* threads conflict when they touch the
+        same location and at least one is a write (Section 2.1).
+        """
+        return (
+            self.thread != other.thread
+            and self.address == other.address
+            and (self.is_write or other.is_write)
+        )
+
+
+def word_index(address: Address, line_size: int) -> int:
+    """Index of the word ``address`` falls in within its cache line."""
+    return (address % line_size) // WORD_SIZE
+
+
+def line_address(address: Address, line_size: int) -> Address:
+    """Base address of the cache line containing ``address``."""
+    return address - (address % line_size)

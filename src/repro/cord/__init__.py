@@ -1,0 +1,37 @@
+"""CORD: the paper's combined order-recording and data-race detector.
+
+* :mod:`repro.cord.config` -- :class:`CordConfig`, all hardware parameters.
+* :mod:`repro.cord.detector` -- :class:`CordDetector`, the mechanism itself
+  (Section 2): scalar clocks with window ``D``, two-timestamp per-line
+  histories with per-word access bits, check filters, main-memory
+  timestamps, race-check accounting, and order recording.
+* :mod:`repro.cord.log` -- the 8-byte-entry execution-order log format
+  (Section 2.7.1) with its binary codec.
+* :mod:`repro.cord.recorder` -- clock-change fragment bookkeeping that
+  produces the log.
+* :mod:`repro.cord.replay` -- deterministic replay from the log, plus the
+  equivalence verifier.
+"""
+
+from repro.cord.config import CordConfig
+from repro.cord.detector import CordDetector, CordOutcome
+from repro.cord.directory import DirectoryCordDetector
+from repro.cord.inspect import explain_access, render_line, render_state
+from repro.cord.log import LogEntry, OrderLog
+from repro.cord.recorder import OrderRecorder
+from repro.cord.replay import replay_trace, verify_replay
+
+__all__ = [
+    "CordConfig",
+    "CordDetector",
+    "CordOutcome",
+    "DirectoryCordDetector",
+    "explain_access",
+    "render_line",
+    "render_state",
+    "LogEntry",
+    "OrderLog",
+    "OrderRecorder",
+    "replay_trace",
+    "verify_replay",
+]

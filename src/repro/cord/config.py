@@ -1,0 +1,113 @@
+"""CORD hardware configuration.
+
+Defaults follow the paper's evaluated machine (Section 3.1): a 4-processor
+CMP with private caches reduced to 32 KB (L2) / 8 KB (L1) to preserve
+realistic hit rates on reduced inputs, 64-byte lines, two timestamp entries
+per line, and the headline window parameter ``D = 16`` (Figures 16/17 show
+the sweep over 1/4/16/256).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.cachesim.cache import CacheGeometry
+from repro.common.errors import ConfigError
+
+#: Paper cache sizes (Section 3.1).
+L2_CACHE_BYTES = 32 * 1024
+L1_CACHE_BYTES = 8 * 1024
+
+
+@dataclass(frozen=True)
+class CordConfig:
+    """All parameters of one CORD instance.
+
+    Attributes:
+        d: sync-read clock-update window (Section 2.6); >= 1.
+        n_processors: processors on the snooping bus.
+        cache_size: per-processor metadata capacity in bytes; ``None``
+            means unlimited (the InfCache-style configuration).  The
+            default models histories kept in the private L2.
+        line_size: cache line size in bytes.
+        associativity: cache ways per set.
+        entries_per_line: timestamp entries per cached line (paper: 2; a
+            single entry still order-records correctly but degrades
+            detection, Figure 2's erased-history problem).
+        use_window: enable the 16-bit sliding-window machinery -- the
+            cache walker runs and window invariants are checked.
+        clock_bits: hardware clock width for window mode.
+        walker_period: events between cache-walker passes (window mode).
+        walker_stale_lag: staleness threshold for walker evictions.
+        initial_clock: starting logical time for every thread.
+        use_memory_timestamps: ablation switch for the Section 2.5
+            mechanism.  Disabling it reproduces the Figure 6 failure
+            mode: displaced synchronization is lost, order recording goes
+            wrong, and false data races appear.  Only ever disable it to
+            demonstrate why it exists (``benchmarks/bench_ablations.py``).
+        migration_fix: ablation switch for the Section 2.7.4 rule
+            (``clk += D`` on migration).  Disabling it reproduces the
+            self-race false positives the rule eliminates.
+    """
+
+    d: int = 16
+    n_processors: int = 4
+    cache_size: Optional[int] = L2_CACHE_BYTES
+    line_size: int = 64
+    associativity: int = 8
+    entries_per_line: int = 2
+    use_window: bool = False
+    clock_bits: int = 16
+    walker_period: int = 4096
+    walker_stale_lag: int = 1 << 13
+    initial_clock: int = 1
+    use_memory_timestamps: bool = True
+    migration_fix: bool = True
+
+    def __post_init__(self):
+        if self.d < 1:
+            raise ConfigError("D must be >= 1, got %d" % self.d)
+        if self.n_processors < 1:
+            raise ConfigError(
+                "need >= 1 processor, got %d" % self.n_processors
+            )
+        if self.entries_per_line < 1:
+            raise ConfigError(
+                "need >= 1 timestamp entry per line, got %d"
+                % self.entries_per_line
+            )
+        if self.initial_clock < 0:
+            raise ConfigError("initial clock must be >= 0")
+        if self.use_window and self.walker_stale_lag >= (
+            1 << (self.clock_bits - 1)
+        ):
+            raise ConfigError(
+                "walker_stale_lag must be below the sliding window"
+            )
+        # Validate geometry eagerly (raises ConfigError on bad shapes).
+        self.geometry()
+
+    def geometry(self) -> CacheGeometry:
+        """Per-processor metadata cache geometry."""
+        if self.cache_size is None:
+            return CacheGeometry.infinite(self.line_size)
+        return CacheGeometry(
+            self.cache_size, self.line_size, self.associativity
+        )
+
+    def with_d(self, d: int) -> "CordConfig":
+        """Copy with a different window parameter (the Figure 16/17 sweep)."""
+        return replace(self, d=d)
+
+    def with_cache_size(self, cache_size: Optional[int]) -> "CordConfig":
+        """Copy with a different metadata capacity (Figure 14/15 sweep)."""
+        return replace(self, cache_size=cache_size)
+
+    @property
+    def label(self) -> str:
+        return "CORD(D=%d)" % self.d
+
+    @property
+    def words_per_line(self) -> int:
+        return self.line_size // 4

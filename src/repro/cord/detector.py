@@ -1,0 +1,377 @@
+"""The CORD mechanism (Section 2 of the paper).
+
+One :class:`CordDetector` instance observes one execution trace and
+performs, per memory access, what the paper's hardware does:
+
+1. **Fast path** (Section 2.7.2): if the line is locally cached with valid
+   data and either the mode's check-filter bit is set or the word's access
+   bit is already set at the thread's current clock value, no race check is
+   broadcast.
+2. **Race check** otherwise: snoop every remote cache's metadata for the
+   line.  Entries whose per-word bits conflict with the access yield
+   candidate timestamps; the local copy of the main-memory timestamp pair
+   is consulted as well (the word's displaced history, if any, was folded
+   there -- Figure 6's correctness argument).
+3. **Clock updates** (Sections 2.4-2.6): a synchronization read becomes at
+   least ``D`` larger than the conflicting write timestamp; every other
+   race outcome with ``clk <= ts`` updates to ``ts + 1``.  Updates through
+   main-memory timestamps use ``+1``, except that sync *reads* take the
+   full ``+D`` window -- required to preserve the no-false-positive
+   guarantee when a release write was displaced to memory (see DESIGN.md).
+4. **Data race reporting**: a data access is flagged when a cached
+   conflicting timestamp satisfies ``clk < ts + D`` -- even if already
+   ordered (``clk > ts``), the ordering was not through synchronization
+   (Figure 9).  Comparisons against main-memory timestamps are never
+   reported (Figure 7), so CORD reports no false positives.
+5. **Metadata recording**: the access sets its per-word bit under the
+   thread's (possibly updated) clock; allocating a new timestamp entry
+   retires the line's oldest, folding it into the main-memory timestamps,
+   as does line eviction.
+6. **Order recording**: every clock change appends a log entry
+   (Section 2.7.1); a sync write additionally increments the clock after
+   retiring.
+
+Counters for race-check and memory-timestamp-update broadcasts feed the
+timing model (Figure 11's overhead comes almost entirely from this extra
+address/timestamp-bus traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cachesim.snoop import SnoopDomain
+from repro.clocks.window import SlidingWindowComparator
+from repro.common.errors import ConfigError
+from repro.cord.config import CordConfig
+from repro.cord.log import OrderLog
+from repro.cord.recorder import OrderRecorder
+from repro.detectors.base import (
+    DataRace,
+    DetectionOutcome,
+    Detector,
+    default_thread_to_processor,
+)
+from repro.meta.linemeta import LineMeta
+from repro.meta.memts import MainMemoryTimestamps
+from repro.meta.walker import CacheWalker
+from repro.trace.events import MemoryEvent
+from repro.trace.stream import Trace
+
+
+@dataclass
+class CordOutcome(DetectionOutcome):
+    """CORD's per-run result: detection outcome plus the order log."""
+
+    log: Optional[OrderLog] = None
+    final_clocks: List[int] = field(default_factory=list)
+
+    @property
+    def log_bytes(self) -> int:
+        return self.log.size_bytes if self.log is not None else 0
+
+
+class CordDetector(Detector):
+    """The combined order-recorder and data race detector."""
+
+    def __init__(self, config: CordConfig, n_threads: int):
+        if n_threads > config.n_processors:
+            # With several threads per processor their mutual conflicts
+            # are invisible to snooping (local metadata is "mine"), which
+            # would silently break order-recording soundness.  The paper's
+            # hardware time-multiplexes threads and applies the migration
+            # rule on every reschedule; model that explicitly with
+            # migrate_thread() instead of overcommitting processors.
+            raise ConfigError(
+                "%d threads exceed %d processors; CORD metadata is "
+                "per-processor -- use migrate_thread() to model "
+                "time-multiplexing" % (n_threads, config.n_processors)
+            )
+        self.config = config
+        self.name = config.label
+        super().__init__()
+        self.outcome = CordOutcome(detector_name=self.name)
+        self.n_threads = n_threads
+        self.clocks: List[int] = [config.initial_clock] * n_threads
+        self.recorder = OrderRecorder(n_threads, config.initial_clock)
+        self.memory_ts = MainMemoryTimestamps(0)
+        self.geometry = config.geometry()
+        self.snoop = SnoopDomain(
+            config.n_processors,
+            self.geometry,
+            lambda: LineMeta(config.entries_per_line),
+        )
+        self.thread_proc = default_thread_to_processor(
+            n_threads, config.n_processors
+        )
+        # Counters feeding the timing model and the figures.
+        self.race_checks = 0
+        self.fast_hits = 0
+        self.memts_orderings = 0
+        self.clock_changes = 0
+        self._walkers: Optional[List[CacheWalker]] = None
+        self._window: Optional[SlidingWindowComparator] = None
+        if config.use_window:
+            self._window = SlidingWindowComparator(config.clock_bits)
+            self._walkers = [
+                CacheWalker(
+                    cache,
+                    self.memory_ts,
+                    stale_lag=config.walker_stale_lag,
+                    period=config.walker_period,
+                )
+                for cache in self.snoop.caches
+            ]
+        self.window_violations = 0
+
+    # -- public control -----------------------------------------------------
+
+    def migrate_thread(self, thread: int, processor: int,
+                       icount: int) -> None:
+        """Move a thread to another processor (Section 2.7.4).
+
+        The thread's clock advances by ``D`` so its own stale timestamps on
+        the old processor cannot be mistaken for a conflicting thread's.
+        """
+        if not 0 <= processor < self.config.n_processors:
+            raise ValueError("no processor %d" % processor)
+        self.thread_proc[thread] = processor
+        if not self.config.migration_fix:
+            return  # ablation: reproduce the self-race problem
+        new_clock = self.clocks[thread] + self.config.d
+        self.recorder.clock_changed_before(thread, new_clock, icount)
+        self.clocks[thread] = new_clock
+        self.clock_changes += 1
+
+    # -- the access pipeline ---------------------------------------------------
+
+    def process(self, event: MemoryEvent) -> None:
+        thread = event.thread
+        processor = self.thread_proc[thread]
+        is_write = event.is_write
+        is_sync = event.is_sync
+        d = self.config.d
+        clk0 = self.clocks[thread]
+        line = self.geometry.line_address(event.address)
+        word = (event.address - line) // 4
+        cache = self.snoop.cache_of(processor)
+
+        # Instruction-count overflow guard (Section 2.7.1).
+        if self.recorder.count_would_overflow(thread, event.icount):
+            self._change_clock_before(thread, clk0 + 1, event.icount)
+            clk0 = self.clocks[thread]
+
+        local = cache.peek(line)
+        fast = (
+            local is not None
+            and local.data_valid
+            # Synchronization reads always check: Section 2.6's rule --
+            # the thread's clock must become at least D larger than the
+            # sync variable's latest write timestamp -- is unconditional,
+            # and that timestamp may live only in the memory-timestamp
+            # pair.  (Sync instructions are already special-cased in the
+            # paper's hardware via labeling.)
+            and not (is_sync and not is_write)
+            # A write additionally needs coherence write permission: a
+            # remote read since our last write means the next write is a
+            # bus upgrade, which is a race-check opportunity hardware
+            # cannot skip.
+            and (not is_write or local.write_permission)
+            and (
+                local.filter_allows(is_write)
+                or self._bit_already_set(local, clk0, word, is_write)
+            )
+        )
+
+        new_clock = clk0
+        if fast:
+            self.fast_hits += 1
+            clean_line = False
+        else:
+            self.race_checks += 1
+            clean_line = True
+            reported = False
+            for remote, meta in self.snoop.snoop(processor, line):
+                if meta.any_conflict_in_line(is_write):
+                    clean_line = False
+                meta.revoke_filters(is_write)
+                remote_candidates = list(
+                    meta.conflicting_timestamps(word, is_write)
+                )
+                if is_write:
+                    # Write upgrade: the remote copy is invalidated and
+                    # its history retired.  The ordering it carried is
+                    # absorbed right here (the candidates below); keeping
+                    # the stale access bits would let a later refetch
+                    # fast-path past a conflict (found by the
+                    # replay-equivalence property test).
+                    retired = meta.retire_all()
+                    if self.config.use_memory_timestamps:
+                        self.memory_ts.fold_entries(retired)
+                    meta.data_valid = False
+                for ts in remote_candidates:
+                    if is_sync:
+                        if is_write:
+                            if clk0 <= ts:
+                                new_clock = max(new_clock, ts + 1)
+                        else:
+                            # Sync read: at least D past the write ts.
+                            new_clock = max(new_clock, ts + d)
+                    else:
+                        if clk0 <= ts:
+                            new_clock = max(new_clock, ts + 1)
+                        if clk0 < ts + d and not reported:
+                            reported = True
+                            self.outcome.record_race(
+                                DataRace(
+                                    access=(thread, event.icount),
+                                    address=event.address,
+                                    other_thread=None,
+                                    detail="clk=%d ts=%d P%d"
+                                    % (clk0, ts, remote),
+                                )
+                            )
+            # Main-memory timestamp comparison (never reported as a race).
+            # Sync reads take the full +D window so that synchronization
+            # whose release write was displaced to memory still suppresses
+            # later false data races (the Figure 7 update, strengthened by
+            # Section 2.6's rule); everything else takes the +1 ordering
+            # update.
+            if self.config.use_memory_timestamps:
+                mem_ts = self.memory_ts.conflicting_timestamp(is_write)
+                if is_sync and not is_write:
+                    if mem_ts + d > new_clock:
+                        new_clock = mem_ts + d
+                        self.memts_orderings += 1
+                elif clk0 <= mem_ts:
+                    if mem_ts + 1 > new_clock:
+                        new_clock = mem_ts + 1
+                        self.memts_orderings += 1
+
+        if new_clock != clk0:
+            self._change_clock_before(thread, new_clock, event.icount)
+
+        # Record the access in local metadata.
+        meta, evicted = cache.access(line)
+        if local is None:
+            self._on_line_filled(processor, line)
+        for victim_line, victim in evicted:
+            retired_entries = victim.retire_all()
+            if self.config.use_memory_timestamps:
+                self.memory_ts.fold_entries(retired_entries)
+            self._on_line_evicted(processor, victim_line)
+        meta.data_valid = True
+        if is_write and not fast:
+            # Remote copies were invalidated (and their metadata retired)
+            # during the snoop above; the local copy is now exclusive.
+            meta.write_permission = True
+        retired = meta.record_access(
+            self.clocks[thread], word, is_write
+        )
+        if retired is not None and self.config.use_memory_timestamps:
+            self.memory_ts.fold_entry(retired)
+        if not fast and clean_line:
+            meta.grant_filter(is_write)
+
+        # Post-retirement increment after synchronization writes.
+        if is_sync and is_write:
+            self._change_clock_after(
+                thread, self.clocks[thread] + 1, event.icount
+            )
+
+        if self._walkers is not None:
+            self._run_walker(processor)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _on_line_evicted(self, processor: int, line: int) -> None:
+        """Hook for subclasses tracking residency (directory protocols)."""
+
+    def _on_line_filled(self, processor: int, line: int) -> None:
+        """Hook for subclasses tracking residency (directory protocols)."""
+
+    @staticmethod
+    def _bit_already_set(
+        meta: LineMeta, clock: int, word: int, is_write: bool
+    ) -> bool:
+        """Was this word already accessed in this mode at this clock value?
+
+        If so, the race check for it already happened ("an access that
+        finds the corresponding access bit to be zero results in
+        broadcasting a special race check request" -- a set bit means no
+        new request).
+        """
+        for entry in meta.entries:
+            if entry.ts == clock:
+                mask = entry.write_mask if is_write else entry.read_mask
+                return bool((mask >> word) & 1)
+        return False
+
+    def _change_clock_before(self, thread: int, new_clock: int,
+                             icount: int) -> None:
+        self.recorder.clock_changed_before(thread, new_clock, icount)
+        self.clocks[thread] = new_clock
+        self.clock_changes += 1
+
+    def _change_clock_after(self, thread: int, new_clock: int,
+                            icount: int) -> None:
+        self.recorder.clock_changed_after(thread, new_clock, icount)
+        self.clocks[thread] = new_clock
+        self.clock_changes += 1
+
+    def _run_walker(self, processor: int) -> None:
+        walker = self._walkers[processor]
+        max_clock = max(self.clocks)
+        if walker.tick(max_clock):
+            headroom = walker.window_headroom(
+                max_clock, self._window.window
+            )
+            if headroom is not None and headroom <= 0:
+                # The paper's stall condition; never observed in practice.
+                self.window_violations += 1
+
+    # -- completion ---------------------------------------------------------------
+
+    def run_with_migrations(
+        self, trace: Trace, schedule
+    ) -> "CordOutcome":
+        """Process a trace while applying scheduled thread migrations.
+
+        Args:
+            trace: the execution to analyze.
+            schedule: iterable of ``(event_index, thread, processor)``
+                triples, sorted by event index; each migration is applied
+                *before* the event at that index is processed, modeling
+                the OS rescheduling the thread between instructions.
+        """
+        pending = sorted(schedule)
+        cursor = 0
+        per_thread_icount = [0] * self.n_threads
+        for event in trace.events:
+            while cursor < len(pending) and \
+                    pending[cursor][0] <= event.index:
+                _, thread, processor = pending[cursor]
+                self.migrate_thread(
+                    thread, processor, per_thread_icount[thread]
+                )
+                cursor += 1
+            self.process(event)
+            per_thread_icount[event.thread] = event.icount + 1
+        return self.finish(trace)
+
+    def finish(self, trace: Trace) -> CordOutcome:
+        self.outcome.log = self.recorder.finalize(trace.final_icounts)
+        self.outcome.final_clocks = list(self.clocks)
+        self.outcome.counters.update(
+            race_checks=self.race_checks,
+            fast_hits=self.fast_hits,
+            memts_orderings=self.memts_orderings,
+            memts_update_broadcasts=self.memory_ts.update_broadcasts,
+            clock_changes=self.clock_changes,
+            log_entries=len(self.outcome.log),
+            log_bytes=self.outcome.log.size_bytes,
+            evictions=self.snoop.total_evictions(),
+            window_violations=self.window_violations,
+        )
+        return self.outcome

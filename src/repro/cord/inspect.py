@@ -1,0 +1,170 @@
+"""Detector-state introspection (the debugging views hardware can't give).
+
+During development of this reproduction, every detector bug was found by
+dumping exactly these views: per-thread clocks, the memory-timestamp
+pair, and one line's metadata across all caches at a chosen moment.
+They are packaged here so users diagnosing a missed or unexpected
+detection can do the same without poking at private state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.texttable import format_table
+from repro.cord.detector import CordDetector
+from repro.program.address_space import AddressSpace
+
+
+@dataclass
+class LineView:
+    """One processor's metadata for one line, flattened for display."""
+
+    processor: int
+    present: bool
+    data_valid: bool = False
+    write_permission: bool = False
+    read_filter: bool = False
+    write_filter: bool = False
+    entries: List[tuple] = field(default_factory=list)  # (ts, r, w)
+
+
+def snapshot_line(detector: CordDetector, address: int) -> List[LineView]:
+    """Every cache's view of the line containing ``address``."""
+    line = detector.geometry.line_address(address)
+    views = []
+    for processor, cache in enumerate(detector.snoop.caches):
+        meta = cache.peek(line)
+        if meta is None:
+            views.append(LineView(processor, present=False))
+            continue
+        views.append(
+            LineView(
+                processor,
+                present=True,
+                data_valid=meta.data_valid,
+                write_permission=meta.write_permission,
+                read_filter=meta.read_filter,
+                write_filter=meta.write_filter,
+                entries=[
+                    (entry.ts, entry.read_mask, entry.write_mask)
+                    for entry in meta.entries
+                ],
+            )
+        )
+    return views
+
+
+def render_line(
+    detector: CordDetector,
+    address: int,
+    space: Optional[AddressSpace] = None,
+) -> str:
+    """Human-readable table of a line's metadata across all caches."""
+    label = hex(address)
+    if space is not None:
+        name = space.name_of(address)
+        if not name.startswith("0x"):
+            label = "%s (%s)" % (name, hex(address))
+    rows = []
+    for view in snapshot_line(detector, address):
+        if not view.present:
+            rows.append(["P%d" % view.processor, "-", "-", "-", "-"])
+            continue
+        flags = "".join(
+            [
+                "V" if view.data_valid else ".",
+                "W" if view.write_permission else ".",
+                "r" if view.read_filter else ".",
+                "w" if view.write_filter else ".",
+            ]
+        )
+        entries = "; ".join(
+            "ts=%s r=%#x w=%#x" % entry for entry in view.entries
+        ) or "(empty)"
+        rows.append(
+            ["P%d" % view.processor, "yes", flags,
+             str(len(view.entries)), entries]
+        )
+    return format_table(
+        ["cache", "present", "VWrw", "entries", "history"],
+        rows,
+        title="Line metadata for %s" % label,
+    )
+
+
+def render_state(detector: CordDetector) -> str:
+    """Summary of the detector's global state."""
+    lines = [
+        "clocks          : %s" % detector.clocks,
+        "memory ts (r/w) : %d / %d" % (
+            detector.memory_ts.read_ts, detector.memory_ts.write_ts),
+        "race checks     : %d (fast hits: %d)" % (
+            detector.race_checks, detector.fast_hits),
+        "clock changes   : %d (log entries so far: %d)" % (
+            detector.clock_changes, len(detector.recorder.log)),
+        "races reported  : %d" % detector.outcome.raw_count,
+        "thread->proc    : %s" % detector.thread_proc,
+    ]
+    return "\n".join(lines)
+
+
+def explain_access(
+    detector: CordDetector,
+    thread: int,
+    address: int,
+    is_write: bool,
+) -> str:
+    """What *would* happen if ``thread`` accessed ``address`` right now.
+
+    A dry-run of the check path against current state (no state change):
+    reports the candidate timestamps, the memory-timestamp comparison,
+    and the resulting verdict under the configured window ``D``.
+    """
+    clk = detector.clocks[thread]
+    d = detector.config.d
+    processor = detector.thread_proc[thread]
+    line = detector.geometry.line_address(address)
+    word = (address - line) // 4
+    out = [
+        "thread %d (P%d) %s %#x at clk=%d, D=%d"
+        % (thread, processor, "WRITE" if is_write else "READ",
+           address, clk, d)
+    ]
+    local = detector.snoop.cache_of(processor).peek(line)
+    fast = (
+        local is not None
+        and local.data_valid
+        and (not is_write or local.write_permission)
+        and (
+            local.filter_allows(is_write)
+            or detector._bit_already_set(local, clk, word, is_write)
+        )
+    )
+    out.append("fast path: %s" % ("yes (no check)" if fast else "no"))
+    if not fast:
+        found = False
+        for remote, meta in detector.snoop.snoop(processor, line):
+            for ts in meta.conflicting_timestamps(word, is_write):
+                found = True
+                if clk >= ts + d:
+                    verdict = "synchronized"
+                elif clk > ts:
+                    verdict = "ordered but inside window -> REPORT"
+                else:
+                    verdict = "unordered -> REPORT + clock update"
+                out.append(
+                    "  candidate ts=%d from P%d: %s"
+                    % (ts, remote, verdict)
+                )
+        if not found:
+            out.append("  no cached conflicting history")
+        mem = detector.memory_ts.conflicting_timestamp(is_write)
+        relation = (
+            "clk <= mem -> ordering update (never reported)"
+            if clk <= mem
+            else "clk > mem -> no effect"
+        )
+        out.append("  memory ts=%d: %s" % (mem, relation))
+    return "\n".join(out)

@@ -1,0 +1,93 @@
+"""Order recording: fragments between clock changes.
+
+The recorder tracks, per thread, the clock value of the *current fragment*
+and the instruction count at which that fragment started.  When the
+detector changes a thread's clock it tells the recorder, which appends a
+log entry covering the completed fragment (Section 2.7.1).
+
+Two boundary flavors exist, both derived from where the paper timestamps
+accesses:
+
+* A **pre-instruction** change (race update or sync-read window update):
+  the triggering access executes at the *new* clock -- it is the first
+  instruction of the new fragment -- so the completed fragment excludes it.
+* A **post-instruction** change (the increment following a synchronization
+  write): the write executed at the old clock, so the completed fragment
+  includes it.
+
+The 32-bit instruction-count field can overflow; the paper simply ticks
+the clock when the count is about to wrap.  The recorder implements the
+same guard.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import SimulationError
+from repro.cord.log import OrderLog
+
+_COUNT_GUARD = (1 << 32) - 1
+
+
+class OrderRecorder:
+    """Per-thread fragment bookkeeping feeding an :class:`OrderLog`."""
+
+    def __init__(self, n_threads: int, initial_clock: int = 1):
+        self.log = OrderLog(initial_clock)
+        self._fragment_clock: List[int] = [initial_clock] * n_threads
+        self._fragment_start: List[int] = [0] * n_threads
+        self._finalized = False
+
+    def fragment_clock(self, thread: int) -> int:
+        """Clock value the thread's current fragment runs at."""
+        return self._fragment_clock[thread]
+
+    # -- boundaries -----------------------------------------------------------
+
+    def clock_changed_before(
+        self, thread: int, new_clock: int, icount: int
+    ) -> None:
+        """Clock changed just before the instruction at ``icount`` executes."""
+        self._boundary(thread, new_clock, icount)
+
+    def clock_changed_after(
+        self, thread: int, new_clock: int, icount: int
+    ) -> None:
+        """Clock changed just after the instruction at ``icount`` retired."""
+        self._boundary(thread, new_clock, icount + 1)
+
+    def _boundary(self, thread: int, new_clock: int, boundary: int) -> None:
+        if self._finalized:
+            raise SimulationError("recorder already finalized")
+        count = boundary - self._fragment_start[thread]
+        if count < 0:
+            raise SimulationError(
+                "fragment boundary moved backwards in thread %d" % thread
+            )
+        self.log.append(self._fragment_clock[thread], thread, count)
+        self._fragment_clock[thread] = new_clock
+        self._fragment_start[thread] = boundary
+
+    def count_would_overflow(self, thread: int, icount: int) -> bool:
+        """Is the current fragment's instruction count at the 32-bit limit?
+
+        When true, the detector ticks the thread's clock (a benign change
+        that is "compatible with correct order-recording", Section 2.7.1).
+        """
+        return icount - self._fragment_start[thread] >= _COUNT_GUARD
+
+    # -- termination ------------------------------------------------------------
+
+    def finalize(self, final_icounts: List[int]) -> OrderLog:
+        """Flush every thread's last fragment and return the log."""
+        if self._finalized:
+            return self.log
+        for thread, final in enumerate(final_icounts):
+            count = final - self._fragment_start[thread]
+            if count > 0:
+                self.log.append(
+                    self._fragment_clock[thread], thread, count
+                )
+        self._finalized = True
+        return self.log

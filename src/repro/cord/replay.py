@@ -1,0 +1,161 @@
+"""Deterministic replay from an order log (Section 2.7.1 of the paper).
+
+Replay "orders the log by logical time and then proceeds through log
+entries one by one": each entry names a thread, the clock value of a
+fragment, and how many instructions that fragment retired.  Fragments with
+equal clocks are guaranteed non-conflicting by the recorder (conflicting
+accesses always produce a clock update), so any tie order is legal; we
+break ties by thread id for determinism.
+
+The replayer drives the same :class:`~repro.engine.executor.ExecutionEngine`
+the recorder used -- replay is re-execution under log-directed scheduling.
+If a fragment blocks on a sync primitive before exhausting its budget, the
+replayer simply runs other ready fragments first (this resolves benign
+interleavings within equal-clock regions); if no fragment can make
+progress, or a thread retires more or fewer instructions than recorded,
+a :class:`~repro.common.errors.ReplayDivergenceError` is raised.
+
+:func:`verify_replay` checks the paper's correctness property: the replayed
+execution must order every pair of conflicting accesses exactly as the
+recorded one did (write order per word, and the write each read observes),
+and each thread must perform the identical access sequence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.errors import ReplayDivergenceError
+from repro.cord.log import OrderLog
+from repro.engine.executor import ExecutionEngine
+from repro.engine.interceptor import SyncInterceptor
+from repro.program.builder import Program
+from repro.trace.conflicts import summarize_conflicts
+from repro.trace.stream import Trace
+
+#: Safety valve on total replay steps.
+DEFAULT_MAX_STEPS = 10_000_000
+
+
+def replay_trace(
+    program: Program,
+    log: OrderLog,
+    interceptor: Optional[SyncInterceptor] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Trace:
+    """Re-execute ``program`` following ``log``; return the replayed trace.
+
+    Args:
+        program: the recorded program (same build, same parameters).
+        log: the order log produced by :class:`CordDetector` for the run.
+        interceptor: the same fault-injection decisions the recorded run
+            used, in replay-deterministic (per-thread indexed) form --
+            see :class:`repro.injection.injector.ReplayInjection`.
+        max_steps: safety valve.
+    """
+    fragments: Dict[int, deque] = {
+        t: deque() for t in range(program.n_threads)
+    }
+    for entry in log.entries:
+        if entry.thread >= program.n_threads:
+            raise ReplayDivergenceError(
+                entry.thread, "log names a thread the program lacks"
+            )
+        fragments[entry.thread].append([entry.clock, entry.count])
+
+    engine = ExecutionEngine(program, interceptor)
+    steps = 0
+    while any(fragments[t] for t in fragments):
+        candidates = sorted(
+            (queue[0][0], t)
+            for t, queue in fragments.items()
+            if queue
+        )
+        progressed = False
+        for _clock, thread in candidates:
+            if engine.finished(thread):
+                raise ReplayDivergenceError(
+                    thread, "log has fragments after the thread finished"
+                )
+            fragment = fragments[thread][0]
+            start = engine.icount(thread)
+            target = start + fragment[1]
+            blocked = False
+            while engine.icount(thread) < target:
+                steps += 1
+                if steps > max_steps:
+                    raise ReplayDivergenceError(
+                        thread, "replay exceeded %d steps" % max_steps
+                    )
+                if engine.finished(thread):
+                    raise ReplayDivergenceError(
+                        thread,
+                        "finished %d instructions early"
+                        % (target - engine.icount(thread)),
+                    )
+                if not engine.step(thread):
+                    blocked = True
+                    break
+            if engine.icount(thread) > start:
+                progressed = True
+            if blocked:
+                fragment[1] = target - engine.icount(thread)
+                continue
+            fragments[thread].popleft()
+            progressed = True
+            break
+        if not progressed:
+            raise ReplayDivergenceError(
+                -1, "no fragment can make progress (inconsistent log?)"
+            )
+
+    _drain_trailing_steps(engine)
+    return engine.build_trace()
+
+
+def _drain_trailing_steps(engine: ExecutionEngine) -> None:
+    """Let generators run to StopIteration after their last logged op.
+
+    Only zero-instruction work may remain (generator epilogue, injected
+    skips); retiring a real instruction here means the log was short.
+    """
+    for thread in range(engine.n_threads):
+        while not engine.finished(thread):
+            before = engine.icount(thread)
+            if not engine.step(thread):
+                raise ReplayDivergenceError(
+                    thread, "blocked after its last logged fragment"
+                )
+            if engine.icount(thread) != before:
+                raise ReplayDivergenceError(
+                    thread, "retired instructions beyond the order log"
+                )
+
+
+@dataclass
+class ReplayVerification:
+    """Result of comparing a replayed trace against the recorded one."""
+
+    equivalent: bool
+    detail: str = ""
+
+
+def verify_replay(recorded: Trace, replayed: Trace) -> ReplayVerification:
+    """Check replay correctness: same per-thread behavior, same conflicts.
+
+    Non-conflicting accesses may reorder globally (concurrent fragments
+    with equal clocks), so global event order is *not* compared.
+    """
+    if recorded.per_thread_sequences() != replayed.per_thread_sequences():
+        return ReplayVerification(
+            False, "per-thread access sequences differ"
+        )
+    mine = summarize_conflicts(recorded)
+    theirs = summarize_conflicts(replayed)
+    if not mine.equivalent_to(theirs):
+        return ReplayVerification(
+            False, mine.first_difference(theirs) or "conflict orders differ"
+        )
+    return ReplayVerification(True, "replay equivalent")

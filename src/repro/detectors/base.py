@@ -1,0 +1,107 @@
+"""Detector interface and result types.
+
+The paper's two evaluation criteria (Section 4.2) are encoded here:
+
+* **raw data race detection** -- how many racy dynamic accesses a detector
+  flags (:attr:`DetectionOutcome.raw_count`);
+* **problem detection** -- whether *at least one* data race was reported in
+  a run (:attr:`DetectionOutcome.problem_detected`), which is what matters
+  for finding the underlying synchronization defect.
+
+Detectors flag *accesses*: an access is flagged when it races with at least
+one prior access the detector still has history for.  Counting flagged
+accesses (rather than pairs) keeps raw counts comparable across detectors
+with different history depths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.trace.events import MemoryEvent
+from repro.trace.stream import Trace
+
+#: Identity of a dynamic access: (thread id, per-thread instruction count).
+AccessId = Tuple[int, int]
+
+#: Cap on stored race records; counting continues past it.
+MAX_RACE_RECORDS = 50_000
+
+
+@dataclass(frozen=True)
+class DataRace:
+    """One reported data race (a racy access and one conflicting predecessor).
+
+    Attributes:
+        access: the flagged (second) access.
+        address: the contested word.
+        other_thread: thread that performed the conflicting earlier access,
+            when the detector knows it (CORD only knows the processor).
+        detail: free-form diagnostic (timestamps involved, etc.).
+    """
+
+    access: AccessId
+    address: int
+    other_thread: Optional[int] = None
+    detail: str = ""
+
+
+@dataclass
+class DetectionOutcome:
+    """What one detector concluded about one trace."""
+
+    detector_name: str
+    flagged: Set[AccessId] = field(default_factory=set)
+    races: List[DataRace] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def raw_count(self) -> int:
+        """Raw data race detection count (flagged dynamic accesses)."""
+        return len(self.flagged)
+
+    @property
+    def problem_detected(self) -> bool:
+        """Did the detector catch the run's synchronization problem?"""
+        return bool(self.flagged)
+
+    def record_race(self, race: DataRace) -> None:
+        self.flagged.add(race.access)
+        if len(self.races) < MAX_RACE_RECORDS:
+            self.races.append(race)
+
+
+class Detector:
+    """Base class: stream events in, produce a :class:`DetectionOutcome`.
+
+    Subclasses implement :meth:`process` and may override :meth:`finish`.
+    A detector instance observes exactly one trace.
+    """
+
+    name = "detector"
+
+    def __init__(self):
+        self.outcome = DetectionOutcome(detector_name=self.name)
+
+    def process(self, event: MemoryEvent) -> None:
+        raise NotImplementedError
+
+    def finish(self, trace: Trace) -> DetectionOutcome:
+        """Hook for end-of-trace work; returns the outcome."""
+        return self.outcome
+
+    def run(self, trace: Trace) -> DetectionOutcome:
+        """Process a whole trace."""
+        for event in trace.events:
+            self.process(event)
+        return self.finish(trace)
+
+
+def default_thread_to_processor(n_threads: int, n_processors: int):
+    """The default pinning: thread *i* runs on processor ``i % P``.
+
+    The paper's runs use four threads on a 4-processor CMP, i.e. the
+    identity mapping; the modulo form also covers oversubscribed tests.
+    """
+    return [t % n_processors for t in range(n_threads)]

@@ -1,0 +1,110 @@
+"""The Ideal detector: the paper's oracle configuration.
+
+Vector clocks, unlimited "caches", unlimited history: detects **all**
+dynamically occurring data races exposed by the causality of the execution
+(Section 4's ``Ideal``).  Its history is per ⟨word, thread⟩ last-read and
+last-write vector timestamps, which is complete: if the latest conflicting
+access by thread *u* is ordered before the current access, every earlier
+one is too (program order plus transitivity), so nothing is lost relative
+to unbounded per-access history for *flagged-access* counting.
+
+The happens-before relation it tracks is the standard one for an observed
+execution: program order, plus the observed outcomes of conflicting
+*synchronization* accesses.  Synchronization writes therefore join the
+variable's accumulated read+write history and publish; synchronization
+reads join the variable's write history; a thread's own component ticks on
+each synchronization write (release).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.clocks.vector import VectorClock
+from repro.detectors.base import DataRace, Detector
+from repro.trace.events import MemoryEvent
+
+
+class IdealDetector(Detector):
+    """Oracle happens-before data race detector."""
+
+    name = "Ideal"
+
+    def __init__(self, n_threads: int):
+        super().__init__()
+        self.n_threads = n_threads
+        self.vcs = [
+            VectorClock.unit(n_threads, t) for t in range(n_threads)
+        ]
+        # Per sync word: accumulated writer / reader vector history.
+        self._sync_write_vc: Dict[int, VectorClock] = {}
+        self._sync_read_vc: Dict[int, VectorClock] = {}
+        # Per data word, per thread: last read / last write vector stamps.
+        self._last_read: Dict[int, Dict[int, VectorClock]] = {}
+        self._last_write: Dict[int, Dict[int, VectorClock]] = {}
+
+    # -- event processing -----------------------------------------------------
+
+    def process(self, event: MemoryEvent) -> None:
+        if event.is_sync:
+            self._process_sync(event)
+        else:
+            self._process_data(event)
+
+    def _process_sync(self, event: MemoryEvent) -> None:
+        t = event.thread
+        address = event.address
+        vc = self.vcs[t]
+        write_hist = self._sync_write_vc.get(address)
+        if event.is_write:
+            # Ordered after every prior conflicting sync access (both
+            # modes), then publish and tick (release).
+            if write_hist is not None:
+                vc = vc.joined(write_hist)
+            read_hist = self._sync_read_vc.get(address)
+            if read_hist is not None:
+                vc = vc.joined(read_hist)
+            merged = write_hist.joined(vc) if write_hist else vc
+            self._sync_write_vc[address] = merged
+            self.vcs[t] = vc.ticked(t)
+        else:
+            # Ordered after every prior write of the sync variable.
+            if write_hist is not None:
+                vc = vc.joined(write_hist)
+            read_hist = self._sync_read_vc.get(address)
+            self._sync_read_vc[address] = (
+                read_hist.joined(vc) if read_hist else vc
+            )
+            self.vcs[t] = vc
+
+    def _process_data(self, event: MemoryEvent) -> None:
+        t = event.thread
+        address = event.address
+        vc = self.vcs[t]
+
+        write_hist = self._last_write.get(address)
+        raced_with = None
+        if write_hist:
+            for u, stamp in write_hist.items():
+                if u != t and not vc.dominates(stamp):
+                    raced_with = u
+                    break
+        if raced_with is None and event.is_write:
+            read_hist = self._last_read.get(address)
+            if read_hist:
+                for u, stamp in read_hist.items():
+                    if u != t and not vc.dominates(stamp):
+                        raced_with = u
+                        break
+        if raced_with is not None:
+            self.outcome.record_race(
+                DataRace(
+                    access=(t, event.icount),
+                    address=address,
+                    other_thread=raced_with,
+                    detail="hb-unordered",
+                )
+            )
+
+        table = self._last_write if event.is_write else self._last_read
+        table.setdefault(address, {})[t] = vc

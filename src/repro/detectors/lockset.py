@@ -1,0 +1,135 @@
+"""Eraser-style lockset detection (the paper's related-work contrast).
+
+The paper cites Eraser [21] among software detectors and positions CORD's
+happens-before approach against it implicitly: lockset algorithms report
+*potential* races independent of the observed interleaving, which catches
+problems that did not dynamically manifest -- but produces false alarms on
+programs synchronized by anything other than locks (barriers, flags,
+producer/consumer hand-offs), which is precisely the alarm behavior the
+paper's production-run setting cannot tolerate.
+
+This implementation follows the classic Eraser state machine per shared
+word:
+
+    Virgin -> Exclusive (first thread) -> Shared (second thread reads)
+           -> Shared-Modified (second thread writes)
+
+with candidate-lockset refinement: ``C(v) <- C(v) ∩ locks_held(t)`` on
+each access in the Shared/Shared-Modified states; an empty candidate set
+in Shared-Modified reports a potential race on the word.
+
+The tests demonstrate both sides of the trade: lockset flags injected
+missing-lock bugs even in runs where no race dynamically manifested
+(something no happens-before detector can do), and it false-alarms on the
+barrier- and flag-synchronized workloads that CORD stays silent on.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Set
+
+from repro.detectors.base import DataRace, Detector
+from repro.trace.events import MemoryEvent
+
+
+class _State(enum.IntEnum):
+    VIRGIN = 0
+    EXCLUSIVE = 1
+    SHARED = 2
+    SHARED_MODIFIED = 3
+
+
+class _WordState:
+    __slots__ = ("state", "owner", "lockset", "reported")
+
+    def __init__(self):
+        self.state = _State.VIRGIN
+        self.owner = -1
+        self.lockset: FrozenSet[int] = frozenset()
+        self.reported = False
+
+
+class LocksetDetector(Detector):
+    """Eraser's algorithm over the trace's labeled synchronization.
+
+    Lock ownership is reconstructed from the sync-access stream: a sync
+    *read* of a mutex word marks the start of a (successful) acquire --
+    the engine lowers acquires to sync read + sync write and releases to
+    a sync write, so a sync write to a word this thread is mid-acquiring
+    completes the acquire, while any other sync write by the holder is
+    the release.  Flag traffic (monotone counters) never acquires, so
+    flag-synchronized ordering is invisible to the lockset -- Eraser's
+    classic blind spot.
+    """
+
+    name = "Lockset"
+
+    def __init__(self, n_threads: int):
+        super().__init__()
+        self.n_threads = n_threads
+        self._held: list = [set() for _ in range(n_threads)]
+        self._acquiring: list = [None] * n_threads
+        self._words: Dict[int, _WordState] = {}
+
+    # -- sync: reconstruct lock ownership ----------------------------------
+
+    def _process_sync(self, event: MemoryEvent) -> None:
+        thread = event.thread
+        address = event.address
+        if not event.is_write:
+            # The read half of a test-and-set acquire.
+            self._acquiring[thread] = address
+            return
+        if self._acquiring[thread] == address:
+            self._held[thread].add(address)
+            self._acquiring[thread] = None
+        elif address in self._held[thread]:
+            self._held[thread].discard(address)
+        # Other sync writes (flag sets) carry no lockset meaning.
+
+    # -- data: the Eraser state machine -------------------------------------
+
+    def _process_data(self, event: MemoryEvent) -> None:
+        thread = event.thread
+        word = self._words.setdefault(event.address, _WordState())
+        held = self._held[thread]
+
+        if word.state == _State.VIRGIN:
+            word.state = _State.EXCLUSIVE
+            word.owner = thread
+            return
+        if word.state == _State.EXCLUSIVE:
+            if thread == word.owner:
+                return
+            word.lockset = frozenset(held)
+            word.state = (
+                _State.SHARED_MODIFIED
+                if event.is_write
+                else _State.SHARED
+            )
+        else:
+            word.lockset = word.lockset & frozenset(held)
+            if event.is_write:
+                word.state = _State.SHARED_MODIFIED
+
+        if (
+            word.state == _State.SHARED_MODIFIED
+            and not word.lockset
+            and not word.reported
+        ):
+            word.reported = True
+            self.outcome.record_race(
+                DataRace(
+                    access=(thread, event.icount),
+                    address=event.address,
+                    other_thread=None,
+                    detail="empty candidate lockset",
+                )
+            )
+
+    def process(self, event: MemoryEvent) -> None:
+        if event.is_sync:
+            self._process_sync(event)
+        else:
+            self._process_data(event)

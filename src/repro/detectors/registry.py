@@ -1,0 +1,105 @@
+"""The named detector suite used throughout Section 4's figures.
+
+=============  ============================================================
+Name           Meaning
+=============  ============================================================
+``Ideal``      vector clocks, unlimited history (the oracle)
+``InfCache``   vector clocks, 2 entries/line, unlimited cache
+``L2Cache``    vector clocks, 2 entries/line, 32 KB/processor ("the
+               vector-clock scheme" Figures 12/13/16/17 normalize against)
+``L1Cache``    vector clocks, 2 entries/line, 8 KB/processor
+``CORD-D1``    scalar clocks, naive updates (no sync-read window)
+``CORD-D4``    scalar clocks, window D=4
+``CORD-D16``   scalar clocks, window D=16 (the paper's headline CORD)
+``CORD-D256``  scalar clocks, window D=256
+=============  ============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.cachesim.cache import CacheGeometry
+from repro.detectors.base import Detector
+from repro.detectors.ideal import IdealDetector
+from repro.detectors.vector_cord import LimitedVectorDetector
+
+#: Paper cache sizes (duplicated from repro.cord.config to keep this module
+#: importable before the CORD package; the values are asserted equal there).
+L2_CACHE_BYTES = 32 * 1024
+L1_CACHE_BYTES = 8 * 1024
+
+#: The D values swept in Figures 16/17.
+D_SWEEP = (1, 4, 16, 256)
+
+#: The paper's headline configuration.
+HEADLINE_CORD = "CORD-D16"
+
+#: The vector-clock baseline Figures 12/13 normalize against.
+VECTOR_BASELINE = "L2Cache"
+
+
+@dataclass(frozen=True)
+class DetectorSpec:
+    """A named detector factory (one instance per analyzed trace)."""
+
+    name: str
+    factory: Callable[[int], Detector]  # n_threads -> detector
+
+    def build(self, n_threads: int) -> Detector:
+        detector = self.factory(n_threads)
+        detector.name = self.name
+        detector.outcome.detector_name = self.name
+        return detector
+
+
+def _vector_spec(name: str, cache_size) -> DetectorSpec:
+    def factory(n_threads: int) -> Detector:
+        geometry = (
+            CacheGeometry.infinite()
+            if cache_size is None
+            else CacheGeometry(cache_size)
+        )
+        return LimitedVectorDetector(n_threads, geometry, label=name)
+
+    return DetectorSpec(name, factory)
+
+
+def _cord_spec(name: str, d: int, cache_size=L2_CACHE_BYTES) -> DetectorSpec:
+    def factory(n_threads: int) -> Detector:
+        # Imported lazily: repro.cord.detector itself imports this package's
+        # base module, and a top-level import here would close the cycle.
+        from repro.cord.config import CordConfig
+        from repro.cord.detector import CordDetector
+
+        return CordDetector(
+            CordConfig(d=d, cache_size=cache_size), n_threads
+        )
+
+    return DetectorSpec(name, factory)
+
+
+def standard_suite(
+    include_d_sweep: bool = True,
+    include_cache_sweep: bool = True,
+) -> List[DetectorSpec]:
+    """The detector set needed for Figures 10 and 12-17."""
+    specs: List[DetectorSpec] = [
+        DetectorSpec("Ideal", lambda n: IdealDetector(n)),
+    ]
+    if include_cache_sweep:
+        specs.append(_vector_spec("InfCache", None))
+    specs.append(_vector_spec("L2Cache", L2_CACHE_BYTES))
+    if include_cache_sweep:
+        specs.append(_vector_spec("L1Cache", L1_CACHE_BYTES))
+    if include_d_sweep:
+        for d in D_SWEEP:
+            specs.append(_cord_spec("CORD-D%d" % d, d))
+    else:
+        specs.append(_cord_spec(HEADLINE_CORD, 16))
+    return specs
+
+
+def suite_by_name(specs: Sequence[DetectorSpec]) -> Dict[str, DetectorSpec]:
+    return {spec.name: spec for spec in specs}

@@ -1,0 +1,149 @@
+"""Vector-clock detectors with CORD's buffering limits.
+
+These are the paper's comparison configurations (Section 4.3): vector
+clocks -- so the happens-before test itself is exact -- but data-access
+histories live in CORD-shaped cache metadata: at most two timestamp entries
+per line with per-word access bits, held only for lines resident in a
+finite per-processor cache.  Displaced history is simply lost (the vector
+schemes have no main-memory timestamp; like ReEnact they miss all races
+through non-cached variables, as the paper notes in Section 2.5).
+
+=============  =========================================
+Configuration  Geometry
+=============  =========================================
+``InfCache``   unlimited capacity, 2 entries per line
+``L2Cache``    32 KB per processor, 2 entries per line
+``L1Cache``    8 KB per processor, 2 entries per line
+=============  =========================================
+
+Synchronization-induced ordering is tracked exactly (an unbounded side
+table per sync variable), isolating the variable under study -- the *data
+history* limitation -- from incidental sync-metadata displacement.  This
+modeling choice is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cachesim.cache import CacheGeometry
+from repro.cachesim.snoop import SnoopDomain
+from repro.clocks.vector import VectorClock
+from repro.detectors.base import (
+    DataRace,
+    Detector,
+    default_thread_to_processor,
+)
+from repro.meta.linemeta import LineMeta
+from repro.trace.events import MemoryEvent
+
+
+class LimitedVectorDetector(Detector):
+    """Vector clocks over CORD-limited access histories.
+
+    Args:
+        n_threads: thread count of the traces to be analyzed.
+        geometry: per-processor metadata cache geometry
+            (:meth:`CacheGeometry.infinite` for ``InfCache``).
+        n_processors: processors in the snoop domain (paper: 4).
+        entries_per_line: timestamp entries per line (paper: 2).
+        label: configuration name for reports.
+    """
+
+    def __init__(
+        self,
+        n_threads: int,
+        geometry: CacheGeometry,
+        n_processors: int = 4,
+        entries_per_line: int = 2,
+        label: Optional[str] = None,
+    ):
+        self.name = label or "Vector(%s)" % (
+            "Inf" if geometry.is_infinite else "%dB" % geometry.size
+        )
+        super().__init__()
+        self.n_threads = n_threads
+        self.geometry = geometry
+        self.vcs = [
+            VectorClock.unit(n_threads, t) for t in range(n_threads)
+        ]
+        self._sync_write_vc: Dict[int, VectorClock] = {}
+        self._sync_read_vc: Dict[int, VectorClock] = {}
+        self._snoop = SnoopDomain(
+            n_processors, geometry, lambda: LineMeta(entries_per_line)
+        )
+        self._thread_proc = default_thread_to_processor(
+            n_threads, n_processors
+        )
+
+    # -- event processing ---------------------------------------------------
+
+    def process(self, event: MemoryEvent) -> None:
+        if event.is_sync:
+            self._process_sync(event)
+        else:
+            self._process_data(event)
+
+    def _process_sync(self, event: MemoryEvent) -> None:
+        t = event.thread
+        address = event.address
+        vc = self.vcs[t]
+        write_hist = self._sync_write_vc.get(address)
+        if event.is_write:
+            if write_hist is not None:
+                vc = vc.joined(write_hist)
+            read_hist = self._sync_read_vc.get(address)
+            if read_hist is not None:
+                vc = vc.joined(read_hist)
+            self._sync_write_vc[address] = (
+                write_hist.joined(vc) if write_hist else vc
+            )
+            self.vcs[t] = vc.ticked(t)
+        else:
+            if write_hist is not None:
+                vc = vc.joined(write_hist)
+            read_hist = self._sync_read_vc.get(address)
+            self._sync_read_vc[address] = (
+                read_hist.joined(vc) if read_hist else vc
+            )
+            self.vcs[t] = vc
+
+    def _process_data(self, event: MemoryEvent) -> None:
+        t = event.thread
+        processor = self._thread_proc[t]
+        vc = self.vcs[t]
+        line = self.geometry.line_address(event.address)
+        word = (event.address - line) // 4
+        is_write = event.is_write
+
+        # Snoop remote caches for conflicting cached history.
+        raced_processor = None
+        for remote, meta in self._snoop.snoop(processor, line):
+            for stamp in meta.conflicting_timestamps(word, is_write):
+                if not vc.dominates(stamp):
+                    raced_processor = remote
+                    break
+            if raced_processor is not None:
+                break
+        if raced_processor is not None:
+            self.outcome.record_race(
+                DataRace(
+                    access=(t, event.icount),
+                    address=event.address,
+                    other_thread=None,
+                    detail="vector-unordered vs P%d" % raced_processor,
+                )
+            )
+
+        # Record the access in the local metadata cache; displaced history
+        # is lost (no main-memory timestamps in the vector schemes).
+        cache = self._snoop.cache_of(processor)
+        meta, _evicted = cache.access(line)
+        meta.data_valid = True
+        if is_write:
+            self._snoop.invalidate_remote(processor, line)
+        meta.record_access(vc, word, is_write)
+
+    def finish(self, trace):
+        self.outcome.counters["evictions"] = self._snoop.total_evictions()
+        return self.outcome

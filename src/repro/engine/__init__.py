@@ -1,0 +1,33 @@
+"""Functional execution engine.
+
+Executes a :class:`~repro.program.builder.Program` under a seeded
+interleaving scheduler, lowering sync primitives to labeled synchronization
+accesses, and produces a :class:`~repro.trace.stream.Trace`.  This plays the
+role of the paper's execution-driven simulator front end: it decides *which
+interleaving happened*; the detectors and the timing model then observe it.
+
+* :mod:`repro.engine.executor` -- the engine proper (shared memory, mutex
+  and flag blocking semantics, instruction counting, deadlock watchdog).
+* :mod:`repro.engine.scheduler` -- interleaving policies (seeded random
+  with geometric time slices, round-robin for deterministic tests).
+* :mod:`repro.engine.interceptor` -- the hook the fault injector uses to
+  skip dynamic synchronization instances (Section 3.4 of the paper).
+"""
+
+from repro.engine.executor import ExecutionEngine, run_program
+from repro.engine.interceptor import NullInterceptor, SyncInterceptor
+from repro.engine.scheduler import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+
+__all__ = [
+    "ExecutionEngine",
+    "NullInterceptor",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SyncInterceptor",
+    "run_program",
+]

@@ -1,0 +1,351 @@
+"""The functional execution engine.
+
+:class:`ExecutionEngine` owns all runtime state of one execution: shared
+memory values, mutex ownership, flag values, per-thread generators and
+instruction counts.  It exposes single-step control (:meth:`step`) so both
+the recording driver (:func:`run_program`) and the deterministic replayer
+(:mod:`repro.cord.replay`) can drive it; only the *choice of which thread
+steps next* differs between them.
+
+Lowering of sync primitives to labeled accesses (what the detectors see):
+
+=================  ====================================================
+Primitive          Trace events emitted
+=================  ====================================================
+``lock``           sync READ of the mutex word, then sync WRITE
+``unlock``         sync WRITE of the mutex word
+``flag wait``      one sync READ of the flag word (the satisfying read)
+``flag set``       sync WRITE of the flag word
+=================  ====================================================
+
+A blocked primitive emits nothing until it succeeds, matching the usual
+modeling convention (and the paper's Figure 1, where ``lock(L)`` appears as
+``RD L`` observing the releasing ``WR L``).
+
+Fault injection can deadlock a run -- e.g. an injected missing barrier lock
+loses an arrival-count update, so the barrier never opens.  The engine's
+watchdog detects global quiescence, marks the trace ``hung``, and stops;
+the races that caused the hang are already in the trace by then.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from repro.common.errors import DeadlockError, SimulationError
+from repro.common.rng import DeterministicRng
+from repro.common.types import AccessClass, AccessMode
+from repro.engine.interceptor import NullInterceptor, SyncInterceptor
+from repro.engine.scheduler import RandomScheduler, Scheduler
+from repro.program.builder import Program
+from repro.program.ops import (
+    ComputeOp,
+    FlagSetOp,
+    FlagWaitOp,
+    LockOp,
+    ReadOp,
+    UnlockOp,
+    WriteOp,
+)
+from repro.trace.events import MemoryEvent
+from repro.trace.stream import Trace
+
+#: Step-count safety valve; generously above any workload in this repo.
+DEFAULT_MAX_STEPS = 5_000_000
+
+
+class _AcquireWrite:
+    """Second half of a lock acquire (the test-and-set write).
+
+    A successful acquire is two labeled accesses -- sync read, then sync
+    write -- and the order recorder may place a fragment boundary between
+    them (the write can trigger its own clock update).  The engine
+    therefore retires them in two separate steps.  Atomicity is preserved
+    by reserving the lock at the *read* step: no other thread can acquire
+    in between, so no conflicting access can interleave.
+    """
+
+    __slots__ = ("address",)
+
+    def __init__(self, address: int):
+        self.address = address
+
+
+class _ThreadRuntime:
+    """Book-keeping for one thread's generator."""
+
+    __slots__ = (
+        "generator",
+        "icount",
+        "pending_send",
+        "pending_op",
+        "finished",
+    )
+
+    def __init__(self, generator):
+        self.generator = generator
+        self.icount = 0
+        self.pending_send: Optional[int] = None
+        self.pending_op = None  # set while blocked on a sync op
+        self.finished = False
+
+
+class ExecutionEngine:
+    """Executes one program instance, one op at a time.
+
+    Args:
+        program: the program to execute.
+        interceptor: sync-instance hook (fault injection); defaults to a
+            no-op interceptor.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        interceptor: Optional[SyncInterceptor] = None,
+    ):
+        self.program = program
+        self.interceptor = interceptor or NullInterceptor()
+        self.memory: Dict[int, int] = {}
+        self.lock_holder: Dict[int, Optional[int]] = {}
+        self.events: List[MemoryEvent] = []
+        self._threads = [
+            _ThreadRuntime(gen) for gen in program.instantiate()
+        ]
+        self._skipped_locks: Counter = Counter()
+
+    # -- state queries -------------------------------------------------------
+
+    @property
+    def n_threads(self) -> int:
+        return len(self._threads)
+
+    def finished(self, thread: int) -> bool:
+        return self._threads[thread].finished
+
+    def all_finished(self) -> bool:
+        return all(t.finished for t in self._threads)
+
+    def icount(self, thread: int) -> int:
+        return self._threads[thread].icount
+
+    def runnable_threads(self) -> List[int]:
+        """Threads that can make progress right now."""
+        return [
+            tid
+            for tid in range(self.n_threads)
+            if not self._threads[tid].finished and self._can_proceed(tid)
+        ]
+
+    def _can_proceed(self, thread: int) -> bool:
+        op = self._threads[thread].pending_op
+        if op is None or isinstance(op, _AcquireWrite):
+            return True
+        if isinstance(op, LockOp):
+            return self.lock_holder.get(op.address) is None
+        if isinstance(op, FlagWaitOp):
+            return self.memory.get(op.address, 0) >= op.at_least
+        raise SimulationError("unexpected pending op %r" % (op,))
+
+    # -- stepping -------------------------------------------------------------
+
+    def step(self, thread: int) -> bool:
+        """Advance ``thread`` by one op attempt.
+
+        Returns True if the thread made progress (retired an op or
+        finished), False if it blocked on a sync primitive.  The caller is
+        expected to pick threads from :meth:`runnable_threads`, in which
+        case blocking can still occur transiently only if state changed
+        since the runnable query (it cannot, under single-step driving).
+        """
+        rt = self._threads[thread]
+        if rt.finished:
+            raise SimulationError("thread %d already finished" % thread)
+
+        if rt.pending_op is not None:
+            op = rt.pending_op
+        else:
+            try:
+                op = rt.generator.send(rt.pending_send)
+            except StopIteration:
+                rt.finished = True
+                return True
+            rt.pending_send = None
+            # Injectable primitives are consulted once per dynamic
+            # invocation, on first yield (not on blocked retries).
+            if isinstance(op, (LockOp, FlagWaitOp)):
+                if self.interceptor.on_sync_instance(thread, op):
+                    if isinstance(op, LockOp):
+                        self._skipped_locks[(thread, op.address)] += 1
+                    return True  # instance removed: no accesses, no block
+
+        return self._dispatch(thread, rt, op)
+
+    def _dispatch(self, thread: int, rt: _ThreadRuntime, op) -> bool:
+        if isinstance(op, ReadOp):
+            value = self.memory.get(op.address, 0)
+            self._emit(rt, thread, op.address, AccessMode.READ,
+                       AccessClass.DATA, value)
+            rt.pending_send = value
+            return True
+
+        if isinstance(op, WriteOp):
+            self.memory[op.address] = op.value
+            self._emit(rt, thread, op.address, AccessMode.WRITE,
+                       AccessClass.DATA, op.value)
+            return True
+
+        if isinstance(op, ComputeOp):
+            rt.icount += op.amount
+            return True
+
+        if isinstance(op, LockOp):
+            holder = self.lock_holder.get(op.address)
+            if holder == thread:
+                raise SimulationError(
+                    "thread %d recursively locks %#x" % (thread, op.address)
+                )
+            if holder is not None:
+                rt.pending_op = op
+                return False
+            # Successful test-and-set, first half: the sync read.  The
+            # lock is reserved now; the write retires on the next step.
+            old = self.memory.get(op.address, 0)
+            self._emit(rt, thread, op.address, AccessMode.READ,
+                       AccessClass.SYNC, old)
+            self.lock_holder[op.address] = thread
+            rt.pending_op = _AcquireWrite(op.address)
+            return True
+
+        if isinstance(op, _AcquireWrite):
+            rt.pending_op = None
+            self.memory[op.address] = 1
+            self._emit(rt, thread, op.address, AccessMode.WRITE,
+                       AccessClass.SYNC, 1)
+            return True
+
+        if isinstance(op, UnlockOp):
+            if self._skipped_locks[(thread, op.address)]:
+                # The matching lock instance was removed by injection, so
+                # its unlock is removed too (Section 3.4).
+                self._skipped_locks[(thread, op.address)] -= 1
+                return True
+            if self.lock_holder.get(op.address) != thread:
+                raise SimulationError(
+                    "thread %d unlocks %#x it does not hold"
+                    % (thread, op.address)
+                )
+            self.memory[op.address] = 0
+            self._emit(rt, thread, op.address, AccessMode.WRITE,
+                       AccessClass.SYNC, 0)
+            self.lock_holder[op.address] = None
+            return True
+
+        if isinstance(op, FlagWaitOp):
+            value = self.memory.get(op.address, 0)
+            if value < op.at_least:
+                rt.pending_op = op
+                return False
+            rt.pending_op = None
+            self._emit(rt, thread, op.address, AccessMode.READ,
+                       AccessClass.SYNC, value)
+            return True
+
+        if isinstance(op, FlagSetOp):
+            current = self.memory.get(op.address, 0)
+            if op.value < current:
+                raise SimulationError(
+                    "flag %#x set non-monotonically: %d -> %d"
+                    % (op.address, current, op.value)
+                )
+            self.memory[op.address] = op.value
+            self._emit(rt, thread, op.address, AccessMode.WRITE,
+                       AccessClass.SYNC, op.value)
+            return True
+
+        raise SimulationError("unknown op %r" % (op,))
+
+    def _emit(self, rt, thread, address, mode, klass, value):
+        self.events.append(
+            MemoryEvent(
+                len(self.events), thread, address, mode, klass,
+                rt.icount, value,
+            )
+        )
+        rt.icount += 1
+
+    # -- trace assembly --------------------------------------------------------
+
+    def build_trace(self, hung: bool = False,
+                    seed: Optional[int] = None) -> Trace:
+        """Package the events observed so far as a :class:`Trace`."""
+        return Trace(
+            self.events,
+            [t.icount for t in self._threads],
+            name=self.program.name,
+            hung=hung,
+            seed=seed,
+        )
+
+
+def run_program(
+    program: Program,
+    seed: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    interceptor: Optional[SyncInterceptor] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    switch_probability: float = 0.1,
+    on_deadlock: str = "hang",
+) -> Trace:
+    """Execute ``program`` to completion and return its trace.
+
+    Args:
+        program: program to run.
+        seed: seed for the default random scheduler (ignored when an
+            explicit ``scheduler`` is passed).
+        scheduler: interleaving policy; defaults to a seeded
+            :class:`RandomScheduler`.
+        interceptor: fault-injection hook.
+        max_steps: safety valve on total op attempts.
+        switch_probability: slice-end probability for the default scheduler.
+        on_deadlock: what the watchdog does when every unfinished thread
+            is blocked -- ``"hang"`` (default) returns the truncated trace
+            with ``hung=True`` (injection campaigns analyze the events up
+            to the hang), ``"raise"`` raises
+            :class:`~repro.common.errors.DeadlockError` (library users
+            running programs that must never deadlock).
+
+    The run ends when every thread finishes or the watchdog fires.
+    """
+    if on_deadlock not in ("hang", "raise"):
+        raise SimulationError(
+            "on_deadlock must be 'hang' or 'raise', got %r"
+            % (on_deadlock,)
+        )
+    if scheduler is None:
+        scheduler = RandomScheduler(
+            DeterministicRng(seed, "scheduler"),
+            switch_probability=switch_probability,
+        )
+    engine = ExecutionEngine(program, interceptor)
+    steps = 0
+    while not engine.all_finished():
+        runnable = engine.runnable_threads()
+        if not runnable:
+            if on_deadlock == "raise":
+                raise DeadlockError(
+                    [
+                        t
+                        for t in range(engine.n_threads)
+                        if not engine.finished(t)
+                    ]
+                )
+            return engine.build_trace(hung=True, seed=seed)
+        engine.step(scheduler.pick(runnable))
+        steps += 1
+        if steps > max_steps:
+            raise SimulationError(
+                "exceeded %d steps; runaway program?" % max_steps
+            )
+    return engine.build_trace(seed=seed)

@@ -1,0 +1,64 @@
+"""Synchronization-op interception hooks.
+
+The fault injector of Section 3.4 removes a single dynamic instance of
+synchronization per run.  The engine routes every *injectable* primitive
+invocation -- each ``lock`` call and each flag ``wait`` call -- through a
+:class:`SyncInterceptor` before executing it.  The interceptor can order the
+engine to skip the instance; for a skipped ``lock`` the engine also skips
+the corresponding ``unlock`` (the paper removes the pair together).
+
+Flag *set* operations are not injectable: the paper's removal menu is
+mutex lock/unlock pairs and flag waits, and removing a set would model a
+different (and non-elusive: guaranteed-hang) defect.
+"""
+
+from __future__ import annotations
+
+from repro.program.ops import FlagWaitOp, LockOp, Op
+
+
+class SyncInterceptor:
+    """Interface consulted once per injectable dynamic sync instance.
+
+    The engine guarantees :meth:`on_sync_instance` is called exactly once
+    per dynamic invocation of a lock or flag-wait primitive, in the order
+    the invocations occur in the interleaving (global dynamic numbering,
+    which is how the paper's injector indexes instances).
+    """
+
+    def on_sync_instance(self, thread: int, op: Op) -> bool:
+        """Return True to *remove* this dynamic instance.
+
+        Args:
+            thread: the invoking thread.
+            op: the :class:`LockOp` or :class:`FlagWaitOp` being invoked.
+        """
+        raise NotImplementedError
+
+
+class NullInterceptor(SyncInterceptor):
+    """Interceptor that removes nothing (normal, uninjected execution)."""
+
+    def on_sync_instance(self, thread: int, op: Op) -> bool:
+        return False
+
+
+class CountingInterceptor(SyncInterceptor):
+    """Removes nothing but counts instances (used to size injection draws).
+
+    After a dry run, :attr:`count` is the number of injectable dynamic
+    synchronization instances in that interleaving.
+    """
+
+    def __init__(self):
+        self.count = 0
+        self.lock_instances = 0
+        self.wait_instances = 0
+
+    def on_sync_instance(self, thread: int, op: Op) -> bool:
+        self.count += 1
+        if isinstance(op, LockOp):
+            self.lock_instances += 1
+        elif isinstance(op, FlagWaitOp):
+            self.wait_instances += 1
+        return False

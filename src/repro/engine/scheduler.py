@@ -1,0 +1,74 @@
+"""Interleaving schedulers.
+
+The paper's runs inherit their interleavings from hardware timing; injected
+bugs manifest (or not) depending on how threads happen to interleave.  Our
+stand-in is a seeded random scheduler with geometric time slices: it keeps
+running one thread for a random number of steps, then switches, which
+produces both fine-grained interleavings (short slices) and the
+long-quantum behavior real systems exhibit.  A deterministic round-robin
+scheduler is provided for unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+
+
+class Scheduler:
+    """Interface: pick the next thread to step from the runnable set."""
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        """Return the thread id to step next; ``runnable`` is non-empty."""
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through threads in id order (deterministic)."""
+
+    def __init__(self):
+        self._last: Optional[int] = None
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        if self._last is None:
+            choice = runnable[0]
+        else:
+            later = [t for t in runnable if t > self._last]
+            choice = later[0] if later else runnable[0]
+        self._last = choice
+        return choice
+
+
+class RandomScheduler(Scheduler):
+    """Seeded random scheduler with geometric time slices.
+
+    Args:
+        rng: deterministic random stream.
+        switch_probability: chance, per step, of abandoning the current
+            thread's time slice.  Mean slice length is its reciprocal.
+    """
+
+    def __init__(
+        self,
+        rng: DeterministicRng,
+        switch_probability: float = 0.1,
+    ):
+        if not 0.0 < switch_probability <= 1.0:
+            raise ConfigError(
+                "switch_probability must be in (0, 1], got %r"
+                % (switch_probability,)
+            )
+        self._rng = rng
+        self._switch_probability = switch_probability
+        self._current: Optional[int] = None
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        current = self._current
+        if current is not None and current in runnable:
+            if self._rng.random() >= self._switch_probability:
+                return current
+        choice = runnable[self._rng.randrange(len(runnable))]
+        self._current = choice
+        return choice

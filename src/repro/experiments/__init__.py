@@ -1,0 +1,60 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+The heavy work -- injection campaigns over all twelve workloads with the
+full detector suite -- is shared: :class:`~repro.experiments.runner.Suite`
+runs the campaigns once and every detection figure (10, 12-17) is derived
+from the same results, while Figure 11 runs the separate timing passes and
+the order-recording summary replays clean and injected runs.
+
+Each driver returns a structured result object with a ``render()`` method
+that prints the paper's rows/series as an ASCII table; EXPERIMENTS.md
+records paper-vs-measured values for each.
+"""
+
+from repro.experiments.export import (
+    figure_to_csv,
+    read_figure_csv,
+    write_figure_csv,
+)
+from repro.experiments.reportgen import generate_report, write_report
+from repro.experiments.runner import Suite, SuiteConfig
+from repro.experiments.sensitivity import (
+    SweepResult,
+    cache_sensitivity,
+    d_sensitivity,
+)
+from repro.experiments.tables import table1
+from repro.experiments.figures import (
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    figure17,
+    order_recording_summary,
+)
+
+__all__ = [
+    "Suite",
+    "SuiteConfig",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "figure17",
+    "SweepResult",
+    "cache_sensitivity",
+    "d_sensitivity",
+    "figure_to_csv",
+    "generate_report",
+    "order_recording_summary",
+    "read_figure_csv",
+    "table1",
+    "write_figure_csv",
+    "write_report",
+]

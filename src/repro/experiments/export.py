@@ -1,0 +1,53 @@
+"""CSV export for figures and tables.
+
+Figure results render as ASCII for terminals; downstream plotting wants
+CSV.  :func:`figure_to_csv` / :func:`write_figure_csv` emit one row per
+application plus the ``Average`` row, matching the rendered table.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.figures import FigureResult
+
+
+def figure_to_csv(figure: FigureResult) -> str:
+    """Serialize one figure's series as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["app"] + list(figure.series))
+    for app, values in figure.rows.items():
+        writer.writerow([app] + ["%.6f" % v for v in values])
+    writer.writerow(["Average"] + ["%.6f" % v for v in figure.average])
+    return buffer.getvalue()
+
+
+def write_figure_csv(
+    figure: FigureResult, path: Union[str, Path]
+) -> Path:
+    """Write a figure to ``path`` as CSV; returns the path."""
+    path = Path(path)
+    path.write_text(figure_to_csv(figure), encoding="utf-8")
+    return path
+
+
+def read_figure_csv(path: Union[str, Path]) -> FigureResult:
+    """Load a figure back from CSV (round-trips :func:`write_figure_csv`)."""
+    path = Path(path)
+    rows = list(csv.reader(io.StringIO(path.read_text("utf-8"))))
+    header, *body = rows
+    series = header[1:]
+    figure = FigureResult(
+        figure_id=path.stem, title=path.stem, series=series
+    )
+    for row in body:
+        values = [float(v) for v in row[1:]]
+        if row[0] == "Average":
+            figure.average = values
+        else:
+            figure.rows[row[0]] = values
+    return figure

@@ -1,0 +1,93 @@
+"""The shared experiment suite: campaigns once, figures many.
+
+A :class:`Suite` lazily runs one injection campaign per workload (with the
+full detector suite) and caches the :class:`CampaignResult`; Figures 10 and
+12-17 are all views over the same campaign data, exactly as the paper's
+per-configuration columns are views over its injection runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.injection.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    run_campaign,
+)
+from repro.workloads.base import WorkloadParams
+from repro.workloads.registry import all_workloads, get_workload
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """Suite-wide knobs.
+
+    Attributes:
+        runs_per_app: injection runs per application.  The paper uses
+            20-100 per app; the default here keeps the full 12-app suite
+            in benchmark-friendly time while preserving the aggregate
+            shapes (averages over all apps rest on 100+ runs).
+        base_seed: master seed.
+        workloads: subset of application names (default: all twelve).
+        params: workload scaling parameters.
+    """
+
+    runs_per_app: int = 12
+    base_seed: int = 2006
+    workloads: Optional[Sequence[str]] = None
+    params: WorkloadParams = field(default_factory=WorkloadParams)
+
+    def workload_names(self) -> List[str]:
+        if self.workloads is not None:
+            return list(self.workloads)
+        return [spec.name for spec in all_workloads()]
+
+
+class Suite:
+    """Runs and caches the per-workload injection campaigns."""
+
+    def __init__(self, config: Optional[SuiteConfig] = None):
+        self.config = config or SuiteConfig()
+        self._campaigns: Dict[str, CampaignResult] = {}
+
+    def campaign(self, workload: str) -> CampaignResult:
+        """The (cached) campaign for one application."""
+        if workload not in self._campaigns:
+            spec = get_workload(workload)
+            self._campaigns[workload] = run_campaign(
+                spec.program_factory(self.config.params),
+                workload,
+                CampaignConfig(
+                    n_runs=self.config.runs_per_app,
+                    base_seed=self.config.base_seed,
+                ),
+            )
+        return self._campaigns[workload]
+
+    def campaigns(self) -> Dict[str, CampaignResult]:
+        """All campaigns (running any that have not run yet)."""
+        for name in self.config.workload_names():
+            self.campaign(name)
+        return dict(self._campaigns)
+
+    # -- cross-app aggregates --------------------------------------------------
+
+    def average_problem_rate(self, detector: str, baseline: str) -> float:
+        """Problem-detection rate pooled over all manifested runs."""
+        detected = 0
+        base = 0
+        for campaign in self.campaigns().values():
+            detected += campaign.problems_detected(detector)
+            base += campaign.problems_detected(baseline)
+        return detected / base if base else 0.0
+
+    def average_raw_rate(self, detector: str, baseline: str) -> float:
+        """Raw race-detection rate pooled over all runs."""
+        detected = 0
+        base = 0
+        for campaign in self.campaigns().values():
+            detected += campaign.races_detected(detector)
+            base += campaign.races_detected(baseline)
+        return detected / base if base else 0.0

@@ -1,0 +1,165 @@
+"""Parameter-sensitivity sweeps (extending Sections 4.3/4.4).
+
+The paper samples its design space at four points per axis (D ∈ {1, 4,
+16, 256}; caches ∈ {L1, L2, Inf}).  These drivers sweep the axes densely
+so the knees are visible:
+
+* :func:`d_sensitivity` -- problem/raw detection rate as a function of
+  the sync-read window ``D``;
+* :func:`cache_sensitivity` -- CORD detection as a function of metadata
+  capacity, from severely constrained to unlimited.
+
+Both reuse the injection-campaign machinery with custom detector suites;
+the Ideal oracle anchors every sweep point to the same denominators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.texttable import format_percent, format_table
+from repro.detectors.base import Detector
+from repro.detectors.ideal import IdealDetector
+from repro.detectors.registry import DetectorSpec
+from repro.injection.campaign import CampaignConfig, run_campaign
+from repro.workloads.base import WorkloadParams
+from repro.workloads.registry import get_workload
+
+#: Default dense sweeps.
+D_VALUES = (1, 2, 4, 8, 16, 32, 64, 256)
+CACHE_SIZES = (2048, 4096, 8192, 16384, 32768, 65536, None)
+
+
+@dataclass
+class SweepResult:
+    """Detection rates along one parameter axis (pooled over apps)."""
+
+    parameter: str
+    points: List[object] = field(default_factory=list)
+    problem_rates: List[float] = field(default_factory=list)
+    raw_rates: List[float] = field(default_factory=list)
+
+    def render(self) -> str:
+        rows = [
+            [
+                str(point),
+                format_percent(problem),
+                format_percent(raw),
+            ]
+            for point, problem, raw in zip(
+                self.points, self.problem_rates, self.raw_rates
+            )
+        ]
+        return format_table(
+            [self.parameter, "problem rate", "raw rate"],
+            rows,
+            title="Sensitivity sweep over %s (vs Ideal)" % self.parameter,
+        )
+
+    def is_monotone_nondecreasing(self, tolerance: float = 1e-9) -> bool:
+        rates = self.problem_rates
+        return all(
+            later >= earlier - tolerance
+            for earlier, later in zip(rates, rates[1:])
+        )
+
+
+def _cord_point_spec(name: str, **config_kwargs) -> DetectorSpec:
+    def factory(n_threads: int) -> Detector:
+        from repro.cord.config import CordConfig
+        from repro.cord.detector import CordDetector
+
+        return CordDetector(CordConfig(**config_kwargs), n_threads)
+
+    return DetectorSpec(name, factory)
+
+
+def _run_sweep(
+    parameter: str,
+    specs: List[DetectorSpec],
+    labels: Sequence[object],
+    workloads: Sequence[str],
+    runs_per_app: int,
+    params: WorkloadParams,
+    base_seed: int,
+) -> SweepResult:
+    all_specs = [DetectorSpec("Ideal", lambda n: IdealDetector(n))]
+    all_specs.extend(specs)
+    result = SweepResult(parameter=parameter, points=list(labels))
+    problems: Dict[str, int] = {spec.name: 0 for spec in specs}
+    races: Dict[str, int] = {spec.name: 0 for spec in specs}
+    ideal_problems = 0
+    ideal_races = 0
+    for app in workloads:
+        campaign = run_campaign(
+            get_workload(app).program_factory(params),
+            app,
+            CampaignConfig(
+                n_runs=runs_per_app,
+                base_seed=base_seed,
+                detectors=all_specs,
+            ),
+        )
+        ideal_problems += campaign.problems_detected("Ideal")
+        ideal_races += campaign.races_detected("Ideal")
+        for spec in specs:
+            problems[spec.name] += campaign.problems_detected(spec.name)
+            races[spec.name] += campaign.races_detected(spec.name)
+    for spec in specs:
+        result.problem_rates.append(
+            problems[spec.name] / ideal_problems if ideal_problems else 0.0
+        )
+        result.raw_rates.append(
+            races[spec.name] / ideal_races if ideal_races else 0.0
+        )
+    return result
+
+
+def d_sensitivity(
+    workloads: Sequence[str] = ("fft", "ocean", "fmm"),
+    d_values: Sequence[int] = D_VALUES,
+    runs_per_app: int = 8,
+    params: Optional[WorkloadParams] = None,
+    base_seed: int = 2006,
+) -> SweepResult:
+    """Detection rate as a function of the sync-read window ``D``."""
+    specs = [
+        _cord_point_spec("D=%d" % d, d=d) for d in d_values
+    ]
+    return _run_sweep(
+        "D",
+        specs,
+        list(d_values),
+        workloads,
+        runs_per_app,
+        params or WorkloadParams(),
+        base_seed,
+    )
+
+
+def cache_sensitivity(
+    workloads: Sequence[str] = ("fft", "lu", "barnes"),
+    cache_sizes: Sequence[Optional[int]] = CACHE_SIZES,
+    runs_per_app: int = 8,
+    params: Optional[WorkloadParams] = None,
+    base_seed: int = 2006,
+) -> SweepResult:
+    """CORD detection as a function of metadata cache capacity."""
+    specs = []
+    labels = []
+    for size in cache_sizes:
+        label = "inf" if size is None else "%dB" % size
+        labels.append(label)
+        specs.append(
+            _cord_point_spec("C=%s" % label, cache_size=size)
+        )
+    return _run_sweep(
+        "cache",
+        specs,
+        labels,
+        workloads,
+        runs_per_app,
+        params or WorkloadParams(),
+        base_seed,
+    )

@@ -1,0 +1,110 @@
+"""Statistical treatment of campaign rates.
+
+The paper notes its per-application counts can be tiny ("we perform 100
+injection runs per configuration in fmm, but get only 3 errors") and
+leans on cross-application averages.  This module makes that caveat
+quantitative: Wilson score intervals for the binomial rates behind
+Figures 10, 12, 14, and 16, so per-app bars can be read with error bars
+and the aggregate claims checked for significance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.errors import ConfigError
+from repro.injection.campaign import CampaignResult
+
+#: z for a 95 % interval.
+Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """A binomial rate with its Wilson score interval."""
+
+    successes: int
+    trials: int
+    low: float
+    high: float
+
+    @property
+    def rate(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def overlaps(self, other: "RateEstimate") -> bool:
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self):
+        return "%.1f%% [%.1f%%, %.1f%%] (n=%d)" % (
+            100 * self.rate,
+            100 * self.low,
+            100 * self.high,
+            self.trials,
+        )
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = Z95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved at the extremes (0/n and n/n), unlike the normal
+    approximation -- important because campaign cells are often 0 or
+    100 %.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ConfigError(
+            "invalid binomial counts %d/%d" % (successes, trials)
+        )
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(
+            p * (1.0 - p) / trials + z * z / (4.0 * trials * trials)
+        )
+        / denom
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def estimate(successes: int, trials: int, z: float = Z95) -> RateEstimate:
+    low, high = wilson_interval(successes, trials, z)
+    return RateEstimate(successes, trials, low, high)
+
+
+# -- campaign views --------------------------------------------------------------
+
+
+def manifestation_estimate(campaign: CampaignResult) -> RateEstimate:
+    """Figure 10's rate with its interval."""
+    return estimate(campaign.n_manifested, len(campaign.runs))
+
+
+def problem_rate_estimate(
+    campaign: CampaignResult, detector: str, baseline: str = "Ideal"
+) -> RateEstimate:
+    """A detector's problem-detection rate (vs baseline) with interval."""
+    return estimate(
+        campaign.problems_detected(detector),
+        campaign.problems_detected(baseline),
+    )
+
+
+def pooled_problem_estimate(
+    campaigns, detector: str, baseline: str = "Ideal"
+) -> RateEstimate:
+    """Cross-application pooled rate (what the Average bars report)."""
+    detected = sum(c.problems_detected(detector) for c in campaigns)
+    base = sum(c.problems_detected(baseline) for c in campaigns)
+    return estimate(detected, base)

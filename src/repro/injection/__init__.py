@@ -1,0 +1,41 @@
+"""Fault injection: removing dynamic synchronization instances.
+
+Reproduces Section 3.4's error model: a single dynamic instance of
+synchronization is removed per run, chosen uniformly at random over all
+dynamic lock and flag-wait invocations.  A removed lock instance takes its
+matching unlock with it; barrier synchronization is composed of mutex and
+flag primitives, each of whose dynamic invocations is a separate removable
+instance (removing a whole barrier call would create thousands of races
+and defeat the elusive-bug model, as the paper notes).
+
+* :mod:`repro.injection.injector` -- the interceptors.
+* :mod:`repro.injection.campaign` -- many-run campaigns over workloads and
+  detector suites, producing the per-app detection statistics behind
+  Figures 10 and 12-17.
+"""
+
+from repro.injection.injector import (
+    InjectionInterceptor,
+    InjectionSpec,
+    ReplayInjection,
+    count_sync_instances,
+)
+from repro.injection.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    RunResult,
+    run_campaign,
+    run_injected_once,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "InjectionInterceptor",
+    "InjectionSpec",
+    "ReplayInjection",
+    "RunResult",
+    "count_sync_instances",
+    "run_campaign",
+    "run_injected_once",
+]

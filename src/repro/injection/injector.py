@@ -1,0 +1,103 @@
+"""Interceptors that remove one dynamic synchronization instance.
+
+The paper's injector "randomly generates a number N and then injects a
+fault into the N-th dynamic instance of synchronization".  Dynamic
+numbering follows the global arrival order of injectable primitive
+invocations (lock calls and flag-wait calls) in the running interleaving.
+
+Because replay re-executes the program under log-directed scheduling, the
+*global* arrival order of concurrent sync instances can legally differ
+between recording and replay.  The interceptor therefore records which
+instance it removed in interleaving-independent form -- ``(thread,
+per-thread instance index)`` -- and :class:`ReplayInjection` re-applies
+exactly that removal during replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigError
+from repro.engine.executor import run_program
+from repro.engine.interceptor import CountingInterceptor, SyncInterceptor
+from repro.program.builder import Program
+from repro.program.ops import LockOp, Op
+
+
+@dataclass(frozen=True)
+class InjectionSpec:
+    """Interleaving-independent identity of a removed sync instance."""
+
+    thread: int
+    per_thread_index: int
+    kind: str  # "lock" or "wait"
+    address: int
+
+
+class InjectionInterceptor(SyncInterceptor):
+    """Remove the ``target_index``-th injectable instance (global order).
+
+    Attributes:
+        removed: the :class:`InjectionSpec` of the removed instance, or
+            None if the run had fewer instances than ``target_index + 1``
+            (possible because injection itself perturbs control flow, e.g.
+            task-queue runs; such runs count as "no injection landed").
+    """
+
+    def __init__(self, target_index: int):
+        if target_index < 0:
+            raise ConfigError("target index must be >= 0")
+        self.target_index = target_index
+        self.seen = 0
+        self._per_thread_seen = {}
+        self.removed: Optional[InjectionSpec] = None
+
+    def on_sync_instance(self, thread: int, op: Op) -> bool:
+        index = self.seen
+        self.seen += 1
+        per_thread = self._per_thread_seen.get(thread, 0)
+        self._per_thread_seen[thread] = per_thread + 1
+        if index != self.target_index:
+            return False
+        self.removed = InjectionSpec(
+            thread=thread,
+            per_thread_index=per_thread,
+            kind="lock" if isinstance(op, LockOp) else "wait",
+            address=op.address,
+        )
+        return True
+
+
+class ReplayInjection(SyncInterceptor):
+    """Re-apply a recorded removal during replay (per-thread indexed)."""
+
+    def __init__(self, spec: InjectionSpec):
+        self.spec = spec
+        self._per_thread_seen = {}
+        self.applied = False
+
+    def on_sync_instance(self, thread: int, op: Op) -> bool:
+        per_thread = self._per_thread_seen.get(thread, 0)
+        self._per_thread_seen[thread] = per_thread + 1
+        if (
+            thread == self.spec.thread
+            and per_thread == self.spec.per_thread_index
+        ):
+            self.applied = True
+            return True
+        return False
+
+
+def count_sync_instances(program: Program, seed: int) -> int:
+    """Dry-run the program and count injectable dynamic sync instances.
+
+    The campaign uses this to size the uniform draw for the injection
+    index, mirroring the paper's uniform-over-dynamic-instances choice.
+    (Run-to-run instance counts are interleaving-dependent for task-queue
+    workloads; drawing against the same seed's dry run keeps the draw
+    aligned with the run it targets.)
+    """
+    counter = CountingInterceptor()
+    run_program(program, seed=seed, interceptor=counter)
+    return counter.count

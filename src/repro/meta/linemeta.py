@@ -1,0 +1,198 @@
+"""Per-cache-line CORD metadata.
+
+Each cached line carries (Figure 2 of the paper, gray state):
+
+* up to ``max_entries`` timestamp entries (the paper uses two), each with a
+  timestamp and per-word read/write access bits -- "this effectively
+  provides per-word timestamps, but only for accesses that correspond to
+  the line's latest timestamp(s)";
+* two *check-filter* bits saying the whole line can be read / written
+  without broadcasting another race-check request (Section 2.7.2);
+* a data-valid bit: a remote write leaves the metadata in place but makes
+  the next local access a miss, which is what re-triggers race checks.
+
+Entries are kept newest-first.  Recording an access with a timestamp that
+differs from every resident entry allocates a new entry and *retires* the
+oldest; the caller folds retired entries into the main-memory timestamp
+pair (scalar CORD) or drops them (vector comparison configs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+
+class TimestampEntry:
+    """One timestamp with its per-word read/write access bits."""
+
+    __slots__ = ("ts", "read_mask", "write_mask")
+
+    def __init__(self, ts, read_mask: int = 0, write_mask: int = 0):
+        self.ts = ts
+        self.read_mask = read_mask
+        self.write_mask = write_mask
+
+    def covers(self, word: int, need_reads: bool) -> bool:
+        """Does this entry hold relevant history for ``word``?
+
+        Write history always conflicts with a new access; read history only
+        conflicts with a new *write* (``need_reads=True``).
+        """
+        mask = self.write_mask | (self.read_mask if need_reads else 0)
+        return bool((mask >> word) & 1)
+
+    def record(self, word: int, is_write: bool) -> None:
+        if is_write:
+            self.write_mask |= 1 << word
+        else:
+            self.read_mask |= 1 << word
+
+    @property
+    def has_reads(self) -> bool:
+        return self.read_mask != 0
+
+    @property
+    def has_writes(self) -> bool:
+        return self.write_mask != 0
+
+    def __repr__(self):
+        return "TimestampEntry(ts=%r, r=%#x, w=%#x)" % (
+            self.ts,
+            self.read_mask,
+            self.write_mask,
+        )
+
+
+class LineMeta:
+    """CORD metadata for one cached line.
+
+    Attributes:
+        entries: resident :class:`TimestampEntry` list, newest first.
+        read_filter / write_filter: check-filter bits.
+        data_valid: False after a remote write invalidated the local data
+            copy (metadata survives until replacement).
+        write_permission: the coherence M/E-vs-S distinction: a remote
+            *read* downgrades the local copy, so the next local write
+            needs a bus transaction (and therefore a race check) even
+            though its access bit may still be set.  Without this, a
+            write-after-read conflict could go unrecorded (found by the
+            replay-equivalence property test).
+    """
+
+    __slots__ = ("entries", "max_entries", "read_filter", "write_filter",
+                 "data_valid", "write_permission")
+
+    def __init__(self, max_entries: int = 2):
+        if max_entries < 1:
+            raise ConfigError(
+                "need at least one timestamp entry per line, got %d"
+                % max_entries
+            )
+        self.entries: List[TimestampEntry] = []
+        self.max_entries = max_entries
+        self.read_filter = False
+        self.write_filter = False
+        self.data_valid = False
+        self.write_permission = False
+
+    # -- race-check support ------------------------------------------------
+
+    def conflicting_timestamps(
+        self, word: int, is_write: bool
+    ) -> Iterator:
+        """Timestamps of resident history that conflicts with an access.
+
+        A write conflicts with prior reads and writes of the word; a read
+        conflicts only with prior writes (one side of a conflict must be a
+        write, Section 2.1).
+        """
+        for entry in self.entries:
+            if entry.covers(word, need_reads=is_write):
+                yield entry.ts
+
+    def any_conflict_in_line(self, is_write: bool) -> bool:
+        """Does *any word* of the line have relevant history here?
+
+        Used for check-filter establishment: a race check that finds no
+        potential conflict anywhere in the line grants filter permission.
+        """
+        for entry in self.entries:
+            if entry.write_mask:
+                return True
+            if is_write and entry.read_mask:
+                return True
+        return False
+
+    def filter_allows(self, is_write: bool) -> bool:
+        return self.write_filter if is_write else self.read_filter
+
+    def grant_filter(self, is_write: bool) -> None:
+        """Set filter bit(s) after a clean race check.
+
+        A clean *write* check proves no read or write history anywhere, so
+        both filters may be set; a clean read check only proves the absence
+        of write history, so it grants only the read filter.
+        """
+        self.read_filter = True
+        if is_write:
+            self.write_filter = True
+
+    def revoke_filters(self, remote_is_write: bool) -> None:
+        """Revoke filters when a remote access race-checks this line.
+
+        A remote write conflicts with everything: both filters drop.  A
+        remote read only invalidates our permission to *write* unchecked.
+        Either way the coherence write permission is lost (M/E -> S or I).
+        """
+        self.write_filter = False
+        self.write_permission = False
+        if remote_is_write:
+            self.read_filter = False
+
+    # -- recording the local access ----------------------------------------
+
+    def record_access(
+        self, ts, word: int, is_write: bool
+    ) -> Optional[TimestampEntry]:
+        """Record a local access at timestamp ``ts``.
+
+        If an entry with this exact timestamp is resident, its access bit
+        is set.  Otherwise a new entry is allocated at the front; when that
+        overflows ``max_entries`` the oldest entry is retired and returned
+        (the caller folds it into the main-memory timestamps).
+        """
+        for entry in self.entries:
+            if entry.ts == ts:
+                entry.record(word, is_write)
+                return None
+        entry = TimestampEntry(ts)
+        entry.record(word, is_write)
+        self.entries.insert(0, entry)
+        if len(self.entries) > self.max_entries:
+            return self.entries.pop()
+        return None
+
+    def retire_all(self) -> List[TimestampEntry]:
+        """Remove and return all entries (line eviction)."""
+        retired, self.entries = self.entries, []
+        self.read_filter = False
+        self.write_filter = False
+        return retired
+
+    def newest_timestamp(self):
+        """Most recently recorded timestamp, or None."""
+        return self.entries[0].ts if self.entries else None
+
+    def oldest_timestamp(self):
+        """Least recently recorded timestamp, or None."""
+        return self.entries[-1].ts if self.entries else None
+
+    def __repr__(self):
+        return "LineMeta(%r, rf=%s, wf=%s, valid=%s)" % (
+            self.entries,
+            self.read_filter,
+            self.write_filter,
+            self.data_valid,
+        )

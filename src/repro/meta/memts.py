@@ -1,0 +1,77 @@
+"""The main-memory timestamp pair (Section 2.5 of the paper).
+
+CORD never timestamps individual memory locations.  Instead the entire main
+memory shares *one* read timestamp and *one* write timestamp.  Whenever a
+per-line timestamp entry is removed from a cache (entry retirement or line
+eviction), its timestamp is folded in: the memory read timestamp becomes
+the max over retired timestamps that had any read bit set, likewise for
+writes.  Accesses that find no covering cached history compare against this
+pair; such comparisons may order threads (and are required for correct
+order-recording, Figure 6) but are never reported as data races (Figure 7's
+imprecision argument).
+
+In a snooping system every cache keeps its own coherent copy of the pair;
+changes are broadcast.  Functionally all copies hold the same values, so we
+model one shared pair and *count* the update broadcasts for the timing
+model (:attr:`update_broadcasts`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.meta.linemeta import TimestampEntry
+
+
+class MainMemoryTimestamps:
+    """The global read/write timestamp pair plus broadcast accounting."""
+
+    __slots__ = ("read_ts", "write_ts", "update_broadcasts", "folds")
+
+    def __init__(self, initial: int = 0):
+        self.read_ts = initial
+        self.write_ts = initial
+        #: Number of memory-timestamp update transactions that would appear
+        #: on the bus (one per fold that actually raised a value).
+        self.update_broadcasts = 0
+        #: Total entries folded (whether or not they raised a timestamp).
+        self.folds = 0
+
+    def fold_entry(self, entry: TimestampEntry) -> bool:
+        """Fold one retired timestamp entry; return True if a value rose.
+
+        The line's timestamp overwrites the memory read (write) timestamp
+        only when the entry has a read (write) access bit set *and* the
+        entry's timestamp is larger (Section 2.5).
+        """
+        self.folds += 1
+        changed = False
+        if entry.has_reads and entry.ts > self.read_ts:
+            self.read_ts = entry.ts
+            changed = True
+        if entry.has_writes and entry.ts > self.write_ts:
+            self.write_ts = entry.ts
+            changed = True
+        if changed:
+            self.update_broadcasts += 1
+        return changed
+
+    def fold_entries(self, entries: Iterable[TimestampEntry]) -> None:
+        for entry in entries:
+            self.fold_entry(entry)
+
+    def conflicting_timestamp(self, is_write: bool) -> int:
+        """The memory timestamp a new access must be ordered against.
+
+        A read conflicts with past writes only; a write conflicts with past
+        reads and writes, so it compares against the larger of the pair.
+        """
+        if is_write:
+            return max(self.read_ts, self.write_ts)
+        return self.write_ts
+
+    def __repr__(self):
+        return "MainMemoryTimestamps(read=%d, write=%d)" % (
+            self.read_ts,
+            self.write_ts,
+        )

@@ -1,0 +1,44 @@
+"""Thread-program intermediate representation.
+
+Workloads in this reproduction are written as Python generator functions
+(one per thread) that *yield* operations -- memory reads and writes, lock
+and flag primitives, and compute delays -- to the execution engine, which
+resumes the generator with the result (for reads).  This mirrors an
+execution-driven simulator: control flow can depend on values read from
+shared memory, which is essential for lock-protected task queues and for
+the barrier implementation whose misbehavior under fault injection the
+paper studies.
+
+* :mod:`repro.program.ops` -- the operation vocabulary.
+* :mod:`repro.program.address_space` -- shared-address-space allocator.
+* :mod:`repro.program.builder` -- the :class:`Program` container binding
+  thread generator functions to an address space.
+"""
+
+from repro.program.address_space import AddressSpace, Segment
+from repro.program.builder import Program, ThreadBody
+from repro.program.ops import (
+    ComputeOp,
+    FlagSetOp,
+    FlagWaitOp,
+    LockOp,
+    Op,
+    ReadOp,
+    UnlockOp,
+    WriteOp,
+)
+
+__all__ = [
+    "AddressSpace",
+    "ComputeOp",
+    "FlagSetOp",
+    "FlagWaitOp",
+    "LockOp",
+    "Op",
+    "Program",
+    "ReadOp",
+    "Segment",
+    "ThreadBody",
+    "UnlockOp",
+    "WriteOp",
+]

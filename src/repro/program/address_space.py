@@ -1,0 +1,124 @@
+"""Shared-address-space layout for workloads.
+
+Workload generators allocate named variables and arrays from an
+:class:`AddressSpace`.  The allocator distinguishes two segments:
+
+* ``sync`` -- synchronization variables (mutex words, flag words).  Keeping
+  them in a dedicated segment mirrors real synchronization libraries (and
+  lets tests assert that no workload ever issues a *data* access to a sync
+  word or vice versa).
+* ``data`` -- ordinary shared data.
+
+Allocations are word-granular.  ``align_to_line`` padding lets workloads
+decide whether distinct variables share a cache line -- false sharing of
+metadata is part of what CORD's per-word access bits are for, so some
+workloads deliberately co-locate variables.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+from repro.common.errors import ConfigError
+from repro.common.types import WORD_SIZE, Address
+
+#: Default cache-line size, matching the paper's 64-byte lines.
+DEFAULT_LINE_SIZE = 64
+
+
+class Segment(enum.Enum):
+    """Which region of the shared address space an allocation lives in."""
+
+    DATA = "data"
+    SYNC = "sync"
+
+
+#: Base addresses give each segment disjoint, easily-recognized ranges.
+_SEGMENT_BASES = {
+    Segment.DATA: 0x0010_0000,
+    Segment.SYNC: 0x0800_0000,
+}
+
+
+class AddressSpace:
+    """Word-granular bump allocator over disjoint data and sync segments.
+
+    Args:
+        line_size: cache line size in bytes (power of two, multiple of the
+            word size).  Used for line-alignment requests.
+    """
+
+    def __init__(self, line_size: int = DEFAULT_LINE_SIZE):
+        if line_size <= 0 or line_size % WORD_SIZE:
+            raise ConfigError(
+                "line size must be a positive multiple of %d, got %d"
+                % (WORD_SIZE, line_size)
+            )
+        if line_size & (line_size - 1):
+            raise ConfigError(
+                "line size must be a power of two, got %d" % line_size
+            )
+        self.line_size = line_size
+        self._next: Dict[Segment, Address] = dict(_SEGMENT_BASES)
+        self._names: Dict[Address, str] = {}
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(
+        self,
+        name: str,
+        words: int = 1,
+        segment: Segment = Segment.DATA,
+        align_to_line: bool = False,
+    ) -> Address:
+        """Allocate ``words`` consecutive words; return the base address.
+
+        Args:
+            name: diagnostic name recorded for the base address.
+            words: number of words (>= 1).
+            segment: data or sync segment.
+            align_to_line: round the base up to a cache-line boundary, so
+                the allocation does not share a line with earlier ones.
+        """
+        if words < 1:
+            raise ConfigError("allocation must be >= 1 word, got %d" % words)
+        base = self._next[segment]
+        if align_to_line and base % self.line_size:
+            base += self.line_size - (base % self.line_size)
+        self._next[segment] = base + words * WORD_SIZE
+        self._names[base] = name
+        return base
+
+    def alloc_array(
+        self,
+        name: str,
+        words: int,
+        segment: Segment = Segment.DATA,
+    ) -> List[Address]:
+        """Allocate a line-aligned array and return per-word addresses."""
+        base = self.alloc(name, words, segment, align_to_line=True)
+        return [base + i * WORD_SIZE for i in range(words)]
+
+    def alloc_sync(self, name: str) -> Address:
+        """Allocate one synchronization word (mutex or flag)."""
+        return self.alloc(name, 1, Segment.SYNC)
+
+    # -- queries ------------------------------------------------------------
+
+    def segment_of(self, address: Address) -> Segment:
+        """Which segment an address belongs to."""
+        if address >= _SEGMENT_BASES[Segment.SYNC]:
+            return Segment.SYNC
+        return Segment.DATA
+
+    def is_sync_address(self, address: Address) -> bool:
+        return self.segment_of(address) is Segment.SYNC
+
+    def name_of(self, address: Address) -> str:
+        """Diagnostic name of the allocation base, or hex."""
+        return self._names.get(address, hex(address))
+
+    def words_allocated(self, segment: Segment) -> int:
+        """Number of words allocated so far in ``segment``."""
+        return (self._next[segment] - _SEGMENT_BASES[segment]) // WORD_SIZE

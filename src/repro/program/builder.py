@@ -1,0 +1,54 @@
+"""The :class:`Program` container: thread bodies plus an address space.
+
+A *thread body* is a Python generator function ``body(tid)`` that yields
+:class:`~repro.program.ops.Op` objects.  A :class:`Program` binds one body
+per thread to the shared :class:`~repro.program.address_space.AddressSpace`
+the bodies allocated from.  Programs are *restartable*: instantiating the
+generators again re-creates identical behavior given identical read values,
+which is what makes recording and replaying the same program meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, Sequence
+
+from repro.common.errors import ConfigError
+from repro.program.address_space import AddressSpace
+from repro.program.ops import Op
+
+#: A thread body: called with the thread id, yields ops, receives read
+#: values back through ``send``.
+ThreadBody = Callable[[int], Generator[Op, Optional[int], None]]
+
+
+class Program:
+    """An executable multi-threaded program.
+
+    Args:
+        bodies: one generator function per thread, index = thread id.
+        address_space: the space the bodies allocated their variables from.
+        name: diagnostic name (workload name, typically).
+    """
+
+    def __init__(
+        self,
+        bodies: Sequence[ThreadBody],
+        address_space: AddressSpace,
+        name: str = "program",
+    ):
+        if not bodies:
+            raise ConfigError("a program needs at least one thread body")
+        self.bodies: List[ThreadBody] = list(bodies)
+        self.address_space = address_space
+        self.name = name
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.bodies)
+
+    def instantiate(self) -> List[Generator[Op, Optional[int], None]]:
+        """Create fresh generators for all threads (one execution's worth)."""
+        return [body(tid) for tid, body in enumerate(self.bodies)]
+
+    def __repr__(self):
+        return "Program(name=%r, n_threads=%d)" % (self.name, self.n_threads)

@@ -1,0 +1,136 @@
+"""Operations that thread programs yield to the execution engine.
+
+The vocabulary is deliberately small -- it is the set of things the paper's
+evaluation needs:
+
+* :class:`ReadOp` / :class:`WriteOp` -- ordinary shared-memory data accesses.
+* :class:`LockOp` / :class:`UnlockOp` -- mutex primitives; the engine lowers
+  an acquire to a labeled synchronization read followed by a synchronization
+  write of the mutex word (test-and-set), and a release to a synchronization
+  write, matching Figure 1 of the paper.
+* :class:`FlagWaitOp` / :class:`FlagSetOp` -- flag (condition-variable style)
+  synchronization; a successful wait is lowered to one synchronization read
+  of the flag word, a set to one synchronization write.
+* :class:`ComputeOp` -- local computation; consumes instruction slots (and
+  cycles in the timing model) but touches no shared memory.
+
+Every op names shared locations by *byte address*, obtained from an
+:class:`~repro.program.address_space.AddressSpace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import WORD_SIZE
+
+
+class Op:
+    """Base class for all program operations."""
+
+    __slots__ = ()
+
+
+def _check_word_address(address: int) -> None:
+    if address < 0 or address % WORD_SIZE:
+        raise ValueError(
+            "operand address %#x is not a non-negative word address"
+            % address
+        )
+
+
+@dataclass(frozen=True)
+class ReadOp(Op):
+    """Read the word at ``address``; the engine sends back its value."""
+
+    address: int
+
+    def __post_init__(self):
+        _check_word_address(self.address)
+
+
+@dataclass(frozen=True)
+class WriteOp(Op):
+    """Write ``value`` to the word at ``address``."""
+
+    address: int
+    value: int = 0
+
+    def __post_init__(self):
+        _check_word_address(self.address)
+
+
+@dataclass(frozen=True)
+class LockOp(Op):
+    """Acquire the mutex whose word lives at ``address``.
+
+    The issuing thread blocks until the mutex is free.  The engine emits the
+    acquire as a synchronization read followed by a synchronization write of
+    the mutex word (only the *successful* test-and-set is traced; failed
+    spin iterations while blocked are not, as is conventional in
+    race-detection modeling).
+    """
+
+    address: int
+
+    def __post_init__(self):
+        _check_word_address(self.address)
+
+
+@dataclass(frozen=True)
+class UnlockOp(Op):
+    """Release the mutex at ``address`` (one synchronization write)."""
+
+    address: int
+
+    def __post_init__(self):
+        _check_word_address(self.address)
+
+
+@dataclass(frozen=True)
+class FlagWaitOp(Op):
+    """Block until the flag word at ``address`` holds a value >= ``at_least``.
+
+    Lowered to a single synchronization read (the read that observes the
+    satisfying value).  Flags are monotonically increasing counters in this
+    library, which supports both one-shot event flags (wait for 1) and
+    sense-free reusable barrier episodes (wait for episode ``k``).
+    """
+
+    address: int
+    at_least: int = 1
+
+    def __post_init__(self):
+        _check_word_address(self.address)
+
+
+@dataclass(frozen=True)
+class FlagSetOp(Op):
+    """Set the flag word at ``address`` to ``value`` (synchronization write).
+
+    ``value`` must not decrease the flag; waiting threads whose threshold is
+    now met become runnable.
+    """
+
+    address: int
+    value: int = 1
+
+    def __post_init__(self):
+        _check_word_address(self.address)
+
+
+@dataclass(frozen=True)
+class ComputeOp(Op):
+    """Perform ``amount`` units of local computation (no shared accesses)."""
+
+    amount: int = 1
+
+    def __post_init__(self):
+        if self.amount < 1:
+            raise ValueError(
+                "compute amount must be >= 1, got %d" % self.amount
+            )
+
+
+#: Ops that the engine lowers to labeled synchronization accesses.
+SYNC_OPS = (LockOp, UnlockOp, FlagWaitOp, FlagSetOp)

@@ -1,0 +1,34 @@
+"""Recovery from detected synchronization problems (Section 2.7.6).
+
+The paper defers recovery but sketches the recipe: combine the order log
+with checkpointing, then either repair the dynamic instance or "use
+conservative thread scheduling to serialize execution in the vicinity of
+the problem" (its reference [27], Xu et al.'s serializability-violation
+recovery).  This package implements that recipe on top of the replayer:
+
+* :func:`replay_until` re-executes a recorded run up to (but excluding)
+  the log fragment containing a chosen access -- the order log *is* the
+  checkpoint, as replay-based checkpointing needs no state snapshots;
+* :func:`continue_serialized` then runs the remainder of the program
+  under run-to-block serialization, which makes unprotected atomic
+  regions effectively atomic again and so masks the manifestation of
+  the detected problem.
+"""
+
+from repro.recovery.serialized import (
+    RecoveryResult,
+    SerializedScheduler,
+    atomic_region_start,
+    continue_serialized,
+    recover_with_serialization,
+    replay_until,
+)
+
+__all__ = [
+    "RecoveryResult",
+    "SerializedScheduler",
+    "atomic_region_start",
+    "continue_serialized",
+    "recover_with_serialization",
+    "replay_until",
+]

@@ -1,0 +1,235 @@
+"""Replay-to-problem plus serialized continuation.
+
+The recovery flow (paper Section 2.7.6 / its reference [27]):
+
+1. a production run detects a data race at access ``(thread, icount)``
+   and has the order log;
+2. re-execute deterministically up to just before that access's log
+   fragment (:func:`replay_until`) -- the log prefix acts as the
+   checkpoint;
+3. continue under *conservative serialization*
+   (:func:`continue_serialized`): each thread runs until it blocks or
+   finishes before another is scheduled, so the unprotected atomic
+   region that raced now executes without interleaving and the problem's
+   manifestation is masked.
+
+Serialization is a mitigation, not a fix -- the code defect remains --
+but it converts a corrupted continuation into a correct one, which is
+what an automated-recovery system buys time with.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.common.errors import ReplayDivergenceError, SimulationError
+from repro.cord.log import OrderLog
+from repro.detectors.base import AccessId
+from repro.engine.executor import ExecutionEngine
+from repro.engine.interceptor import SyncInterceptor
+from repro.engine.scheduler import Scheduler
+from repro.program.builder import Program
+from repro.trace.stream import Trace
+
+_MAX_STEPS = 10_000_000
+
+
+class SerializedScheduler(Scheduler):
+    """Run-to-block scheduling: maximal serial slices per thread."""
+
+    def __init__(self, order: Optional[Sequence[int]] = None):
+        self._current: Optional[int] = None
+        self._order = list(order) if order else None
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        if self._current is not None and self._current in runnable:
+            return self._current
+        if self._order:
+            for thread in self._order:
+                if thread in runnable:
+                    self._current = thread
+                    return thread
+        self._current = runnable[0]
+        return self._current
+
+
+def replay_until(
+    program: Program,
+    log: OrderLog,
+    boundary: AccessId,
+    interceptor: Optional[SyncInterceptor] = None,
+) -> Tuple[ExecutionEngine, int]:
+    """Replay the log prefix that precedes ``boundary``'s fragment.
+
+    Args:
+        program: the recorded program.
+        log: its order log.
+        boundary: ``(thread, icount)`` of the access to stop before --
+            typically a detected race's second access.
+        interceptor: the recorded run's injection decisions.
+
+    Returns ``(engine, steps)``: the live engine, positioned with every
+    fragment whose clock precedes the boundary fragment's clock executed,
+    and the boundary thread stopped before its racy fragment.
+    """
+    target_thread, target_icount = boundary
+    fragments = {t: deque() for t in range(program.n_threads)}
+    boundary_clock = None
+    start = 0
+    for entry in log.entries_of_thread(target_thread):
+        if start <= target_icount < start + entry.count:
+            boundary_clock = entry.clock
+            break
+        start += entry.count
+    if boundary_clock is None:
+        raise ReplayDivergenceError(
+            target_thread,
+            "boundary access %r not covered by the log" % (boundary,),
+        )
+    for entry in log.entries:
+        fragments[entry.thread].append([entry.clock, entry.count])
+
+    engine = ExecutionEngine(program, interceptor)
+    steps = 0
+    while True:
+        candidates = sorted(
+            (queue[0][0], thread)
+            for thread, queue in fragments.items()
+            if queue
+        )
+        # Stop before anything at or past the boundary fragment's clock
+        # (the racy fragment and everything concurrent-or-later with it).
+        candidates = [
+            (clock, thread)
+            for clock, thread in candidates
+            if clock < boundary_clock
+        ]
+        if not candidates:
+            return engine, steps
+        progressed = False
+        for _clock, thread in candidates:
+            fragment = fragments[thread][0]
+            begin = engine.icount(thread)
+            target = begin + fragment[1]
+            blocked = False
+            while engine.icount(thread) < target:
+                steps += 1
+                if steps > _MAX_STEPS:
+                    raise ReplayDivergenceError(
+                        thread, "recovery replay exceeded step budget"
+                    )
+                if engine.finished(thread):
+                    raise ReplayDivergenceError(
+                        thread, "finished before its logged fragment"
+                    )
+                if not engine.step(thread):
+                    blocked = True
+                    break
+            if engine.icount(thread) > begin:
+                progressed = True
+            if blocked:
+                fragment[1] = target - engine.icount(thread)
+                continue
+            fragments[thread].popleft()
+            progressed = True
+            break
+        if not progressed:
+            raise ReplayDivergenceError(
+                -1, "no prefix fragment can make progress"
+            )
+
+
+def continue_serialized(
+    engine: ExecutionEngine,
+    order: Optional[Sequence[int]] = None,
+    max_steps: int = _MAX_STEPS,
+) -> Trace:
+    """Run the remainder of an execution under run-to-block serialization."""
+    scheduler = SerializedScheduler(order)
+    steps = 0
+    while not engine.all_finished():
+        runnable = engine.runnable_threads()
+        if not runnable:
+            return engine.build_trace(hung=True)
+        engine.step(scheduler.pick(runnable))
+        steps += 1
+        if steps > max_steps:
+            raise SimulationError("serialized continuation ran away")
+    return engine.build_trace()
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of one recover-with-serialization attempt."""
+
+    trace: Trace
+    prefix_steps: int
+    hung: bool
+    rollback: AccessId = (0, 0)
+
+    @property
+    def completed(self) -> bool:
+        return not self.hung
+
+
+def atomic_region_start(trace: Trace, race_access: AccessId) -> AccessId:
+    """First access of the racy thread's current atomic region.
+
+    An unprotected atomic region (the thing whose interleaving a missing
+    lock corrupts) begins after the thread's previous *synchronization*
+    access: by the time the race is detected, the region's earlier data
+    accesses (e.g. the stale read of a read-modify-write) have already
+    executed, so recovery must roll the thread back to the region's
+    start, not merely to the racy access.
+    """
+    thread, icount = race_access
+    last_sync = -1
+    for event in trace.events:
+        if (
+            event.thread == thread
+            and event.is_sync
+            and event.icount < icount
+        ):
+            last_sync = max(last_sync, event.icount)
+    return (thread, last_sync + 1)
+
+
+def recover_with_serialization(
+    program: Program,
+    log: OrderLog,
+    race_access: AccessId,
+    interceptor: Optional[SyncInterceptor] = None,
+    trace: Optional[Trace] = None,
+) -> RecoveryResult:
+    """The full Section 2.7.6 flow: replay to the problem, serialize on.
+
+    Rolls back to the start of the racy thread's atomic region (inferred
+    from ``trace`` when given, via :func:`atomic_region_start`), then
+    continues with the *other* threads serialized first and the racy
+    thread last: in-flight critical sections drain before the
+    unprotected region re-executes -- atomically this time.
+
+    Returns the recovered execution's trace; callers can check outcomes
+    (e.g. final values of corrupted variables) against expectations.
+    """
+    rollback = (
+        atomic_region_start(trace, race_access)
+        if trace is not None
+        else race_access
+    )
+    engine, steps = replay_until(program, log, rollback, interceptor)
+    race_thread = race_access[0]
+    order = [
+        thread
+        for thread in range(program.n_threads)
+        if thread != race_thread
+    ] + [race_thread]
+    recovered = continue_serialized(engine, order=order)
+    return RecoveryResult(
+        trace=recovered,
+        prefix_steps=steps,
+        hung=recovered.hung,
+        rollback=rollback,
+    )

@@ -1,0 +1,33 @@
+"""Synchronization primitives built from labeled sync accesses.
+
+The paper's mechanism relies on synchronization libraries that mark their
+loads and stores with special instructions (Section 2.7.3).  This package is
+that library: mutexes and flags are one sync word each, and barriers are
+*composed* from a mutex, a flag, and ordinary data accesses to a counter --
+exactly the structure the paper's fault injector exploits ("Barrier
+synchronization uses a combination of mutex and flag operations in its
+implementation and each dynamic invocation of those mutex and flag
+primitives is treated as a separate instance of synchronization").
+"""
+
+from repro.sync.objects import Barrier, Flag, Mutex
+from repro.sync.library import (
+    acquire,
+    release,
+    barrier_wait,
+    critical_increment,
+    flag_set,
+    flag_wait,
+)
+
+__all__ = [
+    "Barrier",
+    "Flag",
+    "Mutex",
+    "acquire",
+    "barrier_wait",
+    "critical_increment",
+    "flag_set",
+    "flag_wait",
+    "release",
+]

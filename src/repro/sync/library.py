@@ -1,0 +1,103 @@
+"""Generator helpers that lower sync primitives to op sequences.
+
+Thread bodies use these via ``yield from``:
+
+.. code-block:: python
+
+    def body(tid):
+        yield from acquire(mutex)
+        value = yield ReadOp(counter)
+        yield WriteOp(counter, value + 1)
+        yield from release(mutex)
+        yield from barrier_wait(barrier)
+
+Each helper yields the exact op sequence the engine lowers to labeled
+synchronization accesses, so the fault injector (which intercepts
+:class:`LockOp` / :class:`UnlockOp` / :class:`FlagWaitOp` at the engine
+boundary) sees one injectable dynamic instance per primitive invocation --
+including the ones inside :func:`barrier_wait`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.program.ops import (
+    FlagSetOp,
+    FlagWaitOp,
+    LockOp,
+    Op,
+    ReadOp,
+    UnlockOp,
+    WriteOp,
+)
+from repro.sync.objects import Barrier, Flag, Mutex
+
+OpGen = Generator[Op, Optional[int], None]
+
+
+def acquire(mutex: Mutex) -> OpGen:
+    """Acquire ``mutex`` (blocks until free)."""
+    yield LockOp(mutex.address)
+
+
+def release(mutex: Mutex) -> OpGen:
+    """Release ``mutex``."""
+    yield UnlockOp(mutex.address)
+
+
+def flag_wait(flag: Flag, at_least: int = 1) -> OpGen:
+    """Block until ``flag``'s value reaches ``at_least``."""
+    yield FlagWaitOp(flag.address, at_least)
+
+
+def flag_set(flag: Flag, value: int = 1) -> OpGen:
+    """Raise ``flag`` to ``value`` and wake satisfied waiters."""
+    yield FlagSetOp(flag.address, value)
+
+
+def critical_increment(mutex: Mutex, address: int, delta: int = 1) -> OpGen:
+    """Lock-protected read-modify-write of one shared data word.
+
+    The canonical critical section: the access pattern whose protection the
+    fault injector removes to create lost-update races.
+    """
+    yield from acquire(mutex)
+    value = yield ReadOp(address)
+    yield WriteOp(address, (value or 0) + delta)
+    yield from release(mutex)
+
+
+def barrier_wait(barrier: Barrier) -> OpGen:
+    """Wait at a centralized episode barrier.
+
+    Implementation (Section 3.4's "combination of mutex and flag
+    operations"):
+
+    1. lock the barrier mutex;
+    2. increment the arrival counter (data accesses);
+    3. last arriver: reset the counter, bump the episode number, unlock,
+       then set the release flag to the new episode number;
+    4. other arrivers: read the episode number, unlock, then wait for the
+       flag to reach ``episode + 1``.
+
+    Every constituent lock/unlock/wait is a separate injectable sync
+    instance.  Removing the mutex can lose a counter update (the barrier
+    then hangs -- handled by the engine watchdog); removing the flag wait
+    releases a thread early.  Both are realistic manifestations.
+    """
+    yield from acquire(barrier.mutex)
+    count = yield ReadOp(barrier.count_address)
+    count = (count or 0) + 1
+    yield WriteOp(barrier.count_address, count)
+    if count >= barrier.n_threads:
+        yield WriteOp(barrier.count_address, 0)
+        episode = yield ReadOp(barrier.episode_address)
+        episode = (episode or 0) + 1
+        yield WriteOp(barrier.episode_address, episode)
+        yield from release(barrier.mutex)
+        yield from flag_set(barrier.flag, episode)
+    else:
+        episode = yield ReadOp(barrier.episode_address)
+        yield from release(barrier.mutex)
+        yield from flag_wait(barrier.flag, (episode or 0) + 1)

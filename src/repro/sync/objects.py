@@ -1,0 +1,81 @@
+"""Handles for synchronization objects.
+
+These are plain descriptors: a mutex or flag is one word in the sync segment
+of the address space, and a barrier is a small composite (mutex + flag +
+two data words).  All *behavior* lives in the engine (blocking semantics)
+and in :mod:`repro.sync.library` (the access sequences each primitive
+performs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.program.address_space import AddressSpace, Segment
+
+
+@dataclass(frozen=True)
+class Mutex:
+    """A mutual-exclusion lock occupying one sync word."""
+
+    address: int
+    name: str = "mutex"
+
+    @classmethod
+    def allocate(cls, space: AddressSpace, name: str = "mutex") -> "Mutex":
+        return cls(space.alloc_sync(name), name)
+
+
+@dataclass(frozen=True)
+class Flag:
+    """A monotone counter flag (condition-variable style) in one sync word.
+
+    Waiters block until the flag value reaches a threshold; setters only
+    ever raise the value.  A one-shot event is "wait for 1 / set to 1"; a
+    reusable barrier waits for successive episode numbers.
+    """
+
+    address: int
+    name: str = "flag"
+
+    @classmethod
+    def allocate(cls, space: AddressSpace, name: str = "flag") -> "Flag":
+        return cls(space.alloc_sync(name), name)
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """A centralized episode-counting barrier.
+
+    Composition (see :func:`repro.sync.library.barrier_wait`):
+
+    * ``mutex`` protects the arrival counter;
+    * ``count_address`` (data word) counts arrivals in the current episode;
+    * ``episode_address`` (data word) numbers completed episodes;
+    * ``flag`` releases waiters when an episode completes.
+
+    The arrival counter and episode number are *ordinary data words*: when
+    fault injection removes one of the constituent mutex acquisitions, the
+    counter update becomes a genuine data race, which is precisely the kind
+    of elusive bug the paper's Section 3.4 injects.
+    """
+
+    mutex: Mutex
+    flag: Flag
+    count_address: int
+    episode_address: int
+    n_threads: int
+    name: str = "barrier"
+
+    @classmethod
+    def allocate(
+        cls, space: AddressSpace, n_threads: int, name: str = "barrier"
+    ) -> "Barrier":
+        if n_threads < 1:
+            raise ValueError("barrier needs >= 1 thread")
+        mutex = Mutex.allocate(space, name + ".mutex")
+        flag = Flag.allocate(space, name + ".flag")
+        count = space.alloc(name + ".count", 1, Segment.DATA,
+                            align_to_line=True)
+        episode = space.alloc(name + ".episode", 1, Segment.DATA)
+        return cls(mutex, flag, count, episode, n_threads, name)

@@ -1,0 +1,41 @@
+"""Approximate CMP timing model for the overhead experiment (Figure 11).
+
+The paper's 0.4 %-average / 3 %-worst-case overhead figure comes from a
+cycle-accurate simulator; the *mechanism* behind the overhead is simple and
+is what this package models:
+
+* CORD never delays cache hits (the paper explicitly does not add hit
+  latency) and its race-check requests ride the less-utilized
+  **address/timestamp bus**, which runs at half the data-bus frequency.
+* Overhead therefore appears only as *contention*: bursts of race-check
+  and memory-timestamp-update transactions lengthen the queueing delay of
+  ordinary coherence transactions (misses, upgrades) that share that bus.
+  Cholesky is the paper's worst case precisely because frequent
+  synchronization causes bursts of timestamp changes and subsequent
+  race-check requests.
+
+We replay a trace through a private L1/L2 data-presence model to classify
+accesses (L1 hit / L2 hit / cache-to-cache / memory) and charge latencies
+from the paper's Section 3.1 parameters, then apply a windowed
+M/D/1-style queueing estimate on the address/timestamp bus with and
+without CORD's extra transactions.  Absolute cycle counts are approximate;
+the *relative* execution-time ratio (what Figure 11 plots) is the output.
+"""
+
+from repro.timingsim.params import TimingParams
+from repro.timingsim.datacache import AccessKind, DataCacheModel
+from repro.timingsim.detailed import (
+    DetailedResult,
+    estimate_overhead_detailed,
+)
+from repro.timingsim.overhead import OverheadResult, estimate_overhead
+
+__all__ = [
+    "AccessKind",
+    "DataCacheModel",
+    "DetailedResult",
+    "OverheadResult",
+    "TimingParams",
+    "estimate_overhead",
+    "estimate_overhead_detailed",
+]

@@ -1,0 +1,136 @@
+"""Private L1/L2 data-presence model for access classification.
+
+The timing model needs to know, for every trace event, where the data was
+found: local L1, local L2, a remote cache (cache-to-cache transfer), or
+main memory -- and whether the access needed an address-bus transaction
+(miss or write upgrade).  This module replays a trace through per-processor
+two-level LRU caches with write-invalidate coherence and produces exactly
+that classification.
+
+It deliberately reuses :class:`~repro.cachesim.cache.MetadataCache` with a
+trivial "present/valid" payload: hit/miss behavior is a pure function of
+geometry and access order, identical for data and metadata.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.cachesim.cache import CacheGeometry, MetadataCache
+from repro.detectors.base import default_thread_to_processor
+from repro.timingsim.params import TimingParams
+from repro.trace.stream import Trace
+
+
+class AccessKind(enum.IntEnum):
+    """Where an access was satisfied."""
+
+    L1_HIT = 0
+    L2_HIT = 1
+    CACHE_TO_CACHE = 2
+    MEMORY = 3
+    UPGRADE = 4  # write hit to a shared line: invalidation only
+
+
+class _LineState:
+    """Presence payload: data-valid flag (invalidated by remote writes)."""
+
+    __slots__ = ("data_valid",)
+
+    def __init__(self):
+        self.data_valid = True
+
+
+@dataclass
+class ClassifiedEvent:
+    """Classification of one trace event for the timing pass."""
+
+    __slots__ = ("index", "processor", "kind", "addr_bus_tx")
+
+    index: int
+    processor: int
+    kind: AccessKind
+    addr_bus_tx: int  # address-bus transactions this access caused
+
+
+class DataCacheModel:
+    """Per-processor L1+L2 presence model with write-invalidate snooping."""
+
+    def __init__(self, n_processors: int, params: TimingParams):
+        self.params = params
+        self.n_processors = n_processors
+        l1_geom = CacheGeometry(
+            params.l1_size, params.line_size, params.associativity
+        )
+        l2_geom = CacheGeometry(
+            params.l2_size, params.line_size, params.associativity
+        )
+        self._l1 = [
+            MetadataCache(l1_geom, _LineState) for _ in range(n_processors)
+        ]
+        self._l2 = [
+            MetadataCache(l2_geom, _LineState) for _ in range(n_processors)
+        ]
+        self.line_mask = ~(params.line_size - 1)
+        # Sharers bookkeeping: line -> set of processors with a valid copy.
+        self._sharers = {}
+
+    def classify(self, trace: Trace) -> List[ClassifiedEvent]:
+        """Replay ``trace`` and classify every event."""
+        thread_proc = default_thread_to_processor(
+            trace.n_threads, self.n_processors
+        )
+        out: List[ClassifiedEvent] = []
+        for event in trace.events:
+            processor = thread_proc[event.thread]
+            out.append(self._access(event, processor))
+        return out
+
+    def _access(self, event, processor: int) -> ClassifiedEvent:
+        line = event.address & self.line_mask
+        is_write = event.is_write
+        l1 = self._l1[processor]
+        l2 = self._l2[processor]
+        sharers = self._sharers.setdefault(line, set())
+
+        l1_state = l1.peek(line)
+        l2_state = l2.peek(line)
+        l1_valid = l1_state is not None and l1_state.data_valid
+        l2_valid = l2_state is not None and l2_state.data_valid
+
+        addr_tx = 0
+        if l1_valid or l2_valid:
+            kind = AccessKind.L1_HIT if l1_valid else AccessKind.L2_HIT
+            if is_write and len(sharers - {processor}) > 0:
+                # Write to a shared line: invalidate other copies.
+                kind = AccessKind.UPGRADE
+                addr_tx = 1
+                self._invalidate_others(line, processor, sharers)
+        else:
+            addr_tx = 1
+            remote_valid = bool(sharers - {processor})
+            kind = (
+                AccessKind.CACHE_TO_CACHE
+                if remote_valid
+                else AccessKind.MEMORY
+            )
+            if is_write:
+                self._invalidate_others(line, processor, sharers)
+
+        # Fill/refresh local hierarchy (evictions are presence-only).
+        state, _ = l2.access(line)
+        state.data_valid = True
+        state, _ = l1.access(line)
+        state.data_valid = True
+        sharers.add(processor)
+        return ClassifiedEvent(event.index, processor, kind, addr_tx)
+
+    def _invalidate_others(self, line, processor, sharers) -> None:
+        for other in list(sharers):
+            if other == processor:
+                continue
+            self._l1[other].invalidate_data(line)
+            self._l2[other].invalidate_data(line)
+            sharers.discard(other)

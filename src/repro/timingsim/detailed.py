@@ -1,0 +1,211 @@
+"""Event-driven timing model (cross-validation for Figure 11).
+
+The default overhead estimate (:mod:`repro.timingsim.overhead`) is an
+analytic windowed-queueing model.  This module is its event-driven
+counterpart: explicit per-processor timelines and first-come-first-served
+bus reservations, so contention emerges from actual transaction timing
+instead of an M/D/1 term.
+
+Model:
+
+* each processor advances a ``ready_time``; a trace event issues when its
+  processor is ready;
+* misses/upgrades reserve the **address/timestamp bus** (one service slot)
+  and, when data moves, the **data bus** (one line transfer); queueing
+  delay is the gap between issue and grant;
+* the CORD pass additionally reserves address-bus slots for race-check
+  requests and memory-timestamp update broadcasts.  Checks are
+  fire-and-forget -- the paper retires instructions without waiting --
+  but a check granted later than ``retire_slack`` cycles after issue
+  stalls retirement by the excess (the paper's "rare" retirement delay);
+* order-log writes consume data-bus slots amortized per entry.
+
+Both models are compared in ``benchmarks/bench_timing_models.py``: they
+must agree on which applications pay the most (the shape), not on exact
+percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cord.config import CordConfig
+from repro.cord.detector import CordDetector
+from repro.timingsim.datacache import AccessKind, DataCacheModel
+from repro.timingsim.params import TimingParams
+
+#: Cycles of slack before an in-flight race check stalls retirement.
+RETIRE_SLACK = 64.0
+
+
+@dataclass
+class DetailedResult:
+    """Event-driven timing outcome for one trace."""
+
+    baseline_cycles: float
+    cord_cycles: float
+    retirement_stalls: int
+    addr_bus_busy_baseline: float
+    addr_bus_busy_cord: float
+
+    @property
+    def relative_time(self) -> float:
+        if self.baseline_cycles <= 0:
+            return 1.0
+        return self.cord_cycles / self.baseline_cycles
+
+    @property
+    def overhead(self) -> float:
+        return self.relative_time - 1.0
+
+
+def _access_latency(kind: AccessKind, params: TimingParams) -> float:
+    if kind == AccessKind.L1_HIT:
+        return params.l1_hit_cycles
+    if kind in (AccessKind.L2_HIT, AccessKind.UPGRADE):
+        return params.l2_hit_cycles
+    if kind == AccessKind.CACHE_TO_CACHE:
+        return params.cache_to_cache_cycles
+    return params.memory_cycles
+
+
+def _run_pass(
+    trace,
+    classified,
+    params: TimingParams,
+    compute_per_event: List[float],
+    thread_proc: List[int],
+    check_flags: Optional[List[bool]] = None,
+    memts_tx: Optional[List[int]] = None,
+    log_entries: int = 0,
+):
+    """Two-phase bus simulation.
+
+    Phase 1 computes each event's *uncontended* issue time from its
+    processor's timeline.  Phase 2 sorts every address-bus request by
+    issue time, assigns FCFS grants, and charges each event's wait:
+    blocking transactions (misses/upgrades) extend their processor's
+    timeline; race checks only stall when the grant lags past the
+    retirement slack.  Second-order feedback (waits shifting later issue
+    times) is deliberately ignored -- a documented approximation that
+    keeps the pass linear.
+    """
+    n_proc = max(thread_proc) + 1 if thread_proc else 1
+    service = params.addr_bus_service_cycles
+
+    # Phase 1: uncontended timelines and request list.
+    ready = [0.0] * n_proc
+    issues = [0.0] * len(trace.events)
+    requests = []  # (issue_time, event_index, blocking, count)
+    for i, event in enumerate(trace.events):
+        info = classified[i]
+        processor = info.processor
+        issue = ready[processor]
+        issues[i] = issue
+        latency = _access_latency(info.kind, params)
+        if info.addr_bus_tx:
+            requests.append((issue, i, True, 1))
+            if info.kind in (AccessKind.CACHE_TO_CACHE,
+                             AccessKind.MEMORY):
+                latency += params.data_bus_cycles_per_line
+        if check_flags is not None:
+            extra = memts_tx[i] if memts_tx else 0
+            if check_flags[i] and not info.addr_bus_tx:
+                requests.append((issue, i, False, 1 + extra))
+            elif extra:
+                requests.append((issue, i, False, extra))
+        ready[processor] = (
+            issue + latency + compute_per_event[event.thread]
+        )
+
+    # Phase 2: FCFS grants in issue order; charge waits back.
+    requests.sort(key=lambda r: (r[0], r[1]))
+    free_at = 0.0
+    busy = 0.0
+    waits = {}
+    stalls = 0
+    for issue, index, blocking, count in requests:
+        grant = max(issue, free_at)
+        free_at = grant + service * count
+        busy += service * count
+        wait = grant - issue
+        if blocking:
+            waits[index] = wait
+        elif wait > RETIRE_SLACK:
+            waits[index] = wait - RETIRE_SLACK
+            stalls += 1
+
+    # Charge waits to processor finish times.
+    extra_per_proc = [0.0] * n_proc
+    for index, wait in waits.items():
+        extra_per_proc[classified[index].processor] += wait
+    finish = [ready[p] + extra_per_proc[p] for p in range(n_proc)]
+    total = max(finish) if finish else 0.0
+    if log_entries:
+        total += (
+            log_entries * 8 / params.log_bytes_per_data_bus_cycle / n_proc
+        )
+    return total, stalls, busy
+
+
+def estimate_overhead_detailed(
+    trace,
+    params: Optional[TimingParams] = None,
+    cord_config: Optional[CordConfig] = None,
+) -> DetailedResult:
+    """Event-driven relative execution time with CORD for one trace."""
+    params = params or TimingParams()
+    cord_config = cord_config or CordConfig()
+    n_proc = cord_config.n_processors
+
+    model = DataCacheModel(n_proc, params)
+    classified = model.classify(trace)
+    thread_proc = [t % n_proc for t in range(trace.n_threads)]
+
+    events_per_thread = [0] * trace.n_threads
+    for event in trace.events:
+        events_per_thread[event.thread] += 1
+    compute_per_event = [0.0] * trace.n_threads
+    for t in range(trace.n_threads):
+        compute = trace.final_icounts[t] - events_per_thread[t]
+        if events_per_thread[t]:
+            compute_per_event[t] = (
+                compute * params.compute_cpi / events_per_thread[t]
+            )
+
+    detector = CordDetector(cord_config, trace.n_threads)
+    check_flags = [False] * len(trace.events)
+    memts_tx = [0] * len(trace.events)
+    for i, event in enumerate(trace.events):
+        checks_before = detector.race_checks
+        broadcasts_before = detector.memory_ts.update_broadcasts
+        detector.process(event)
+        check_flags[i] = detector.race_checks > checks_before
+        memts_tx[i] = (
+            detector.memory_ts.update_broadcasts - broadcasts_before
+        )
+    log_entries = len(detector.recorder.log.entries)
+
+    baseline, _stalls, busy_base = _run_pass(
+        trace, classified, params, compute_per_event, thread_proc
+    )
+    # Classification is stateful; re-run it fresh for the CORD pass.
+    classified2 = DataCacheModel(n_proc, params).classify(trace)
+    cord, stalls, busy_cord = _run_pass(
+        trace,
+        classified2,
+        params,
+        compute_per_event,
+        thread_proc,
+        check_flags=check_flags,
+        memts_tx=memts_tx,
+        log_entries=log_entries,
+    )
+    return DetailedResult(
+        baseline_cycles=baseline,
+        cord_cycles=cord,
+        retirement_stalls=stalls,
+        addr_bus_busy_baseline=busy_base,
+        addr_bus_busy_cord=busy_cord,
+    )

@@ -1,0 +1,67 @@
+"""Timing parameters, following the paper's Section 3.1 machine.
+
+The simulated machine: 4-issue out-of-order 4 GHz cores (Pentium-4-like),
+private 8 KB L1 and 32 KB L2, a 128-bit on-chip data bus at 1 GHz, an
+address/timestamp bus at half the data-bus frequency (Section 4.1), a
+200 MHz quad-pumped 64-bit memory bus, 600-processor-cycle round-trip
+memory latency, and 20-cycle L2-to-L2 cache-to-cache round trips.
+
+All latencies below are in *processor* (4 GHz) cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Latency/occupancy constants for the timing model.
+
+    Attributes:
+        l1_hit_cycles: effective exposed latency of an L1 hit (pipelined).
+        l2_hit_cycles: L1-miss/L2-hit latency.
+        cache_to_cache_cycles: L2-to-L2 round trip (paper: 20).
+        memory_cycles: round-trip main memory latency (paper: 600).
+        compute_cpi: cycles per compute instruction unit.
+        addr_bus_service_cycles: occupancy of one transaction on the
+            address/timestamp bus, in CPU cycles.  The bus runs at 500 MHz
+            = 1/8 CPU frequency; one bus slot = 8 CPU cycles.
+        data_bus_cycles_per_line: occupancy of a 64-byte line transfer on
+            the 128-bit 1 GHz data bus (4 bus cycles = 16 CPU cycles).
+        log_bytes_per_data_bus_cycle: log write bandwidth accounting.
+        window_events: trace window size for the burst-aware contention
+            estimate.
+        l1_size / l2_size / line_size / associativity: data cache shape.
+    """
+
+    l1_hit_cycles: float = 1.0
+    l2_hit_cycles: float = 10.0
+    cache_to_cache_cycles: float = 20.0
+    memory_cycles: float = 600.0
+    compute_cpi: float = 1.0
+    addr_bus_service_cycles: float = 8.0
+    data_bus_cycles_per_line: float = 16.0
+    log_bytes_per_data_bus_cycle: float = 16.0
+    window_events: int = 500
+    l1_size: int = 8 * 1024
+    l2_size: int = 32 * 1024
+    line_size: int = 64
+    associativity: int = 8
+
+    def __post_init__(self):
+        if self.window_events < 1:
+            raise ConfigError("window_events must be >= 1")
+        for name in (
+            "l1_hit_cycles",
+            "l2_hit_cycles",
+            "cache_to_cache_cycles",
+            "memory_cycles",
+            "compute_cpi",
+            "addr_bus_service_cycles",
+            "data_bus_cycles_per_line",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError("%s must be >= 0" % name)

@@ -1,0 +1,25 @@
+"""Execution traces: the interface between the engine and the detectors.
+
+The functional engine executes a program under a seeded interleaving
+scheduler and produces a :class:`~repro.trace.stream.Trace`: the global
+sequence of shared-memory access events, each labeled data/sync and carrying
+the issuing thread's instruction count.  Detectors, the order recorder, the
+timing model, and the replay verifier all consume traces.
+"""
+
+from repro.trace.events import MemoryEvent
+from repro.trace.stream import Trace
+from repro.trace.stats import TraceStats, compute_stats
+from repro.trace.conflicts import ConflictSummary, summarize_conflicts
+from repro.trace.serialize import decode_trace, encode_trace
+
+__all__ = [
+    "ConflictSummary",
+    "MemoryEvent",
+    "Trace",
+    "TraceStats",
+    "compute_stats",
+    "decode_trace",
+    "encode_trace",
+    "summarize_conflicts",
+]

@@ -1,0 +1,84 @@
+"""Conflict-order summaries for replay verification.
+
+Deterministic replay is correct when, for every memory word, the replayed
+execution orders conflicting accesses the same way the recorded execution
+did: the sequence of writes per word matches, and every read observes the
+same write it observed during recording.  (Non-conflicting accesses may
+legally reorder -- the paper makes exactly this point about concurrent
+fragments with equal logical clocks.)
+
+:func:`summarize_conflicts` reduces a trace to that canonical form so two
+traces can be compared for replay equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.stream import Trace
+
+#: Identity of an access independent of the global interleaving:
+#: (thread id, per-thread instruction count).
+AccessId = Tuple[int, int]
+
+
+@dataclass
+class ConflictSummary:
+    """Canonical conflict ordering of one execution.
+
+    Attributes:
+        write_order: per word, the sequence of write access ids.
+        reads_from: per read access id, the id of the write it observed
+            (None when it read the initial value).
+    """
+
+    write_order: Dict[int, List[AccessId]] = field(default_factory=dict)
+    reads_from: Dict[AccessId, Optional[AccessId]] = field(
+        default_factory=dict
+    )
+
+    def equivalent_to(self, other: "ConflictSummary") -> bool:
+        """True when both executions ordered all conflicts identically."""
+        return (
+            self.write_order == other.write_order
+            and self.reads_from == other.reads_from
+        )
+
+    def first_difference(self, other: "ConflictSummary") -> Optional[str]:
+        """Human-readable description of the first divergence, if any."""
+        for address in sorted(set(self.write_order) | set(other.write_order)):
+            mine = self.write_order.get(address, [])
+            theirs = other.write_order.get(address, [])
+            if mine != theirs:
+                return "write order differs at %#x: %s vs %s" % (
+                    address,
+                    mine[:6],
+                    theirs[:6],
+                )
+        for access in sorted(set(self.reads_from) | set(other.reads_from)):
+            mine_w = self.reads_from.get(access, "absent")
+            theirs_w = other.reads_from.get(access, "absent")
+            if mine_w != theirs_w:
+                return "read %s observes %s vs %s" % (
+                    (access,),
+                    mine_w,
+                    theirs_w,
+                )
+        return None
+
+
+def summarize_conflicts(trace: Trace) -> ConflictSummary:
+    """Reduce ``trace`` to its conflict ordering."""
+    summary = ConflictSummary()
+    last_write: Dict[int, AccessId] = {}
+    for event in trace.events:
+        access_id: AccessId = (event.thread, event.icount)
+        if event.is_write:
+            summary.write_order.setdefault(event.address, []).append(
+                access_id
+            )
+            last_write[event.address] = access_id
+        else:
+            summary.reads_from[access_id] = last_write.get(event.address)
+    return summary

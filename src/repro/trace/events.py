@@ -1,0 +1,79 @@
+"""Memory-access events.
+
+One :class:`MemoryEvent` is recorded for every shared-memory access the
+engine performs on behalf of a program (data reads/writes, and the labeled
+synchronization accesses that lock/unlock/flag primitives lower to).
+Compute ops advance the instruction count but emit no event.
+
+Events are the unit detectors operate on, so they are kept small
+(``__slots__``) -- a campaign processes millions of them.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import AccessClass, AccessMode
+
+
+class MemoryEvent:
+    """One shared-memory access in a recorded execution.
+
+    Attributes:
+        index: position in the global interleaving (0-based).
+        thread: issuing thread id.
+        address: byte address of the accessed word.
+        mode: :class:`AccessMode` (READ or WRITE).
+        klass: :class:`AccessClass` (DATA or SYNC).
+        icount: the issuing thread's instruction count *before* this
+            instruction retires (i.e. the per-thread index of this op).
+        value: the value read or written (diagnostics and replay checks).
+    """
+
+    __slots__ = (
+        "index",
+        "thread",
+        "address",
+        "mode",
+        "klass",
+        "icount",
+        "value",
+    )
+
+    def __init__(self, index, thread, address, mode, klass, icount, value=0):
+        self.index = index
+        self.thread = thread
+        self.address = address
+        self.mode = mode
+        self.klass = klass
+        self.icount = icount
+        self.value = value
+
+    @property
+    def is_write(self) -> bool:
+        return self.mode is AccessMode.WRITE
+
+    @property
+    def is_sync(self) -> bool:
+        return self.klass is AccessClass.SYNC
+
+    def conflicts_with(self, other: "MemoryEvent") -> bool:
+        """Shasha/Snir conflict: different threads, same word, >= 1 write."""
+        return (
+            self.thread != other.thread
+            and self.address == other.address
+            and (self.is_write or other.is_write)
+        )
+
+    def key(self):
+        """Stable identity tuple (used by replay equivalence checks)."""
+        return (self.thread, self.icount, self.address,
+                int(self.mode), int(self.klass))
+
+    def __repr__(self):
+        return "MemoryEvent(#%d t%d %s %s %#x ic=%d)" % (
+            self.index,
+            self.thread,
+            "WR" if self.is_write else "RD",
+            "SYNC" if self.is_sync else "DATA",
+            self.address,
+            self.icount,
+        )

@@ -1,0 +1,77 @@
+"""Trace statistics: access mix, sharing, and synchronization density.
+
+These figures characterize workloads the way Table 1 / Section 3 of the
+paper characterizes Splash-2 inputs, and they feed the timing model's
+sanity checks (e.g. "cholesky is the most synchronization-intensive app").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.trace.stream import Trace
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics for one trace."""
+
+    n_events: int = 0
+    n_reads: int = 0
+    n_writes: int = 0
+    n_sync_reads: int = 0
+    n_sync_writes: int = 0
+    n_instructions: int = 0
+    distinct_words: int = 0
+    shared_words: int = 0
+    events_per_thread: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_data(self) -> int:
+        return self.n_events - self.n_sync
+
+    @property
+    def n_sync(self) -> int:
+        return self.n_sync_reads + self.n_sync_writes
+
+    @property
+    def sync_fraction(self) -> float:
+        """Fraction of accesses that are synchronization accesses."""
+        if not self.n_events:
+            return 0.0
+        return self.n_sync / self.n_events
+
+    @property
+    def write_fraction(self) -> float:
+        if not self.n_events:
+            return 0.0
+        return self.n_writes / self.n_events
+
+
+def compute_stats(trace: Trace) -> TraceStats:
+    """Compute :class:`TraceStats` in one pass over the trace."""
+    stats = TraceStats()
+    stats.n_events = len(trace.events)
+    stats.n_instructions = sum(trace.final_icounts)
+    stats.events_per_thread = {t: 0 for t in range(trace.n_threads)}
+
+    toucher_threads: Dict[int, set] = {}
+    for event in trace.events:
+        stats.events_per_thread[event.thread] += 1
+        if event.is_write:
+            stats.n_writes += 1
+            if event.is_sync:
+                stats.n_sync_writes += 1
+        else:
+            stats.n_reads += 1
+            if event.is_sync:
+                stats.n_sync_reads += 1
+        toucher_threads.setdefault(event.address, set()).add(event.thread)
+
+    stats.distinct_words = len(toucher_threads)
+    stats.shared_words = sum(
+        1 for threads in toucher_threads.values() if len(threads) > 1
+    )
+    return stats

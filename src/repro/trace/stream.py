@@ -1,0 +1,82 @@
+"""The :class:`Trace` container.
+
+A trace is the totally-ordered list of :class:`MemoryEvent` objects observed
+in one execution, plus run-level metadata: final per-thread instruction
+counts, whether the run hung (fault injection can deadlock a barrier), and
+the program name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.trace.events import MemoryEvent
+
+
+class Trace:
+    """A recorded execution: ordered events plus run metadata.
+
+    Attributes:
+        events: global interleaving order of all shared-memory accesses.
+        final_icounts: per-thread instruction count at termination (indexed
+            by thread id); includes compute instructions.
+        hung: True when the watchdog stopped a deadlocked run.
+        name: program/workload name.
+        seed: scheduler seed the run used (diagnostics / reproducibility).
+    """
+
+    def __init__(
+        self,
+        events: Sequence[MemoryEvent],
+        final_icounts: Sequence[int],
+        name: str = "trace",
+        hung: bool = False,
+        seed: Optional[int] = None,
+    ):
+        self.events: List[MemoryEvent] = list(events)
+        self.final_icounts: List[int] = list(final_icounts)
+        self.name = name
+        self.hung = hung
+        self.seed = seed
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.final_icounts)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[MemoryEvent]:
+        return iter(self.events)
+
+    def __getitem__(self, index: int) -> MemoryEvent:
+        return self.events[index]
+
+    def events_of_thread(self, thread: int) -> List[MemoryEvent]:
+        """All events issued by one thread, in program order."""
+        return [e for e in self.events if e.thread == thread]
+
+    def per_thread_sequences(self) -> Dict[int, List[tuple]]:
+        """Per-thread sequences of event identity keys.
+
+        Two executions of the same program are *per-thread equivalent* when
+        these sequences match; replay verification requires it.
+        """
+        sequences: Dict[int, List[tuple]] = {
+            t: [] for t in range(self.n_threads)
+        }
+        for event in self.events:
+            sequences[event.thread].append(event.key())
+        return sequences
+
+    def addresses(self) -> List[int]:
+        """Sorted distinct addresses touched."""
+        return sorted({e.address for e in self.events})
+
+    def __repr__(self):
+        return "Trace(name=%r, events=%d, threads=%d%s)" % (
+            self.name,
+            len(self.events),
+            self.n_threads,
+            ", HUNG" if self.hung else "",
+        )

@@ -1,0 +1,137 @@
+"""Barnes-Hut N-body analogue (Splash-2 ``barnes``, input ``n2048``).
+
+Structure mirrored from the original:
+
+* **Tree-build phase**: threads insert bodies into a shared octree; each
+  insertion locks a small path of tree cells and updates their fields
+  (fine-grained per-cell locks).
+* **Force phase**: read-mostly traversal of many cells per body, then a
+  write to the body's own accumulator (partitioned, little write sharing).
+* Phases are separated by barriers and the whole step repeats.
+"""
+
+from __future__ import annotations
+
+from repro.program.address_space import AddressSpace
+from repro.program.builder import Program
+from repro.sync.library import acquire, barrier_wait, release
+from repro.sync.objects import Barrier, Mutex
+from repro.program.ops import ReadOp, WriteOp
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    compute,
+    locked_update_block,
+    pattern_rng,
+    private_sweep,
+    read_block,
+    write_block,
+)
+
+N_CELLS = 48
+CELL_WORDS = 4
+STEPS = 2
+
+
+def build(params: WorkloadParams) -> Program:
+    space = AddressSpace()
+    step_barrier = Barrier.allocate(space, params.n_threads, "step")
+    cell_locks = [
+        Mutex.allocate(space, "cell%d" % i) for i in range(N_CELLS)
+    ]
+    cells = [
+        space.alloc_array("cell%d.data" % i, CELL_WORDS)
+        for i in range(N_CELLS)
+    ]
+    bodies_per_thread = params.scaled(40)
+    acc = [
+        space.alloc_array("acc.t%d" % t, bodies_per_thread * 2)
+        for t in range(params.n_threads)
+    ]
+    scratch = [
+        space.alloc_array("scratch.t%d" % t, 2048)
+        for t in range(params.n_threads)
+    ]
+    # Root-cell bounds block: long-range lock-protected sharing; thread 0
+    # refreshes it in layers early in the force phase, everyone reads it
+    # at phase end (Figure 14/15's "far apart" races when injected away).
+    bounds_lock = Mutex.allocate(space, "bounds")
+    bounds = space.alloc_array("bounds", 8)
+    # Costzones repartitioning: between steps, threads claim body ranges
+    # from a shared cursor under a lock (work reassignment by cost).
+    zone_lock = Mutex.allocate(space, "zones")
+    zone_cursor = space.alloc("zones.cursor", align_to_line=True)
+
+    def body(tid):
+        rng = pattern_rng(params, "barnes", tid)
+        cursor = 0
+        for _step in range(STEPS):
+            # Claim this step's body zones (two claims per thread).
+            for _claim in range(2):
+                yield from acquire(zone_lock)
+                claimed = yield ReadOp(zone_cursor)
+                yield WriteOp(
+                    zone_cursor, (claimed or 0) + bodies_per_thread // 2
+                )
+                yield from release(zone_lock)
+                yield from compute(params.compute_grain)
+            # Tree build: lock a tree cell per body insertion, then do
+            # private bookkeeping on the body record.
+            for _body in range(bodies_per_thread):
+                cell = rng.randrange(N_CELLS)
+                yield from locked_update_block(
+                    cell_locks[cell], cells[cell][:2]
+                )
+                cursor = yield from private_sweep(
+                    scratch[tid], cursor, 6
+                )
+                yield from compute(params.compute_grain)
+            yield from barrier_wait(step_barrier)
+            # Force computation: read many cells, write own accumulators.
+            for index in range(bodies_per_thread):
+                if tid == 0 and index in (0, 1, 2):
+                    # Early layered updates only: later reads are far
+                    # away, so the updates' cached history is displaced
+                    # by the time an injected-away lock lets a read race.
+                    yield from acquire(bounds_lock)
+                    yield from write_block(
+                        bounds[2 * index:2 * index + 4], tid + 1
+                    )
+                    yield from release(bounds_lock)
+                touched = [rng.randrange(N_CELLS) for _ in range(6)]
+                for cell in touched:
+                    yield from read_block(cells[cell])
+                cursor = yield from private_sweep(
+                    scratch[tid], cursor, 8
+                )
+                yield from compute(params.compute_grain * 3)
+                yield from write_block(
+                    acc[tid][2 * index:2 * index + 2], tid + 1
+                )
+            # Large local working-set phase before consulting the shared
+            # block: displaces older metadata from small caches (the
+            # paper's reduced-cache methodology makes exactly this the
+            # L1Cache configuration's weakness).
+            cursor = yield from private_sweep(
+                scratch[tid], cursor, 96, stride=17
+            )
+            # Phase end: the phase's only consultation of the bounds --
+            # removing this lock instance leaves the early updates and
+            # this read unordered, with a whole phase of traffic between.
+            yield from acquire(bounds_lock)
+            yield from read_block(bounds)
+            yield from release(bounds_lock)
+            yield from barrier_wait(step_barrier)
+
+    return Program(
+        [body] * params.n_threads, space, name="barnes"
+    )
+
+
+SPEC = WorkloadSpec(
+    name="barnes",
+    input_label="2048 bodies",
+    description="octree build with per-cell locks + read-mostly force phase",
+    build=build,
+    sync_style="cell locks + barriers",
+)

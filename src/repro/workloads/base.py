@@ -1,0 +1,190 @@
+"""Workload plumbing: specs, parameters, and reusable program idioms.
+
+A workload module defines a ``build(params) -> Program`` function plus a
+:class:`WorkloadSpec` describing it (name, the paper's Table 1 input label,
+and the synchronization idioms it exercises).  Builders compose the idiom
+helpers below -- lock-protected task queues, read-modify-writes, phased
+compute -- with :mod:`repro.sync` primitives.
+
+Determinism contract: all pattern randomness is drawn from
+:class:`~repro.common.rng.DeterministicRng` streams forked from the
+workload's fixed ``pattern_seed`` and the thread id, never from the
+scheduler, so record and replay see identical programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Generator, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.program.builder import Program
+from repro.program.ops import ComputeOp, Op, ReadOp, WriteOp
+from repro.sync.library import acquire, release
+from repro.sync.objects import Mutex
+
+OpGen = Generator[Op, Optional[int], None]
+
+#: Default thread count, matching the paper's 4-processor runs.
+DEFAULT_THREADS = 4
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Scaling knobs shared by all workload builders.
+
+    Attributes:
+        n_threads: worker thread count.
+        scale: multiplies iteration counts; 1.0 is the reduced-input
+            default used by the benchmarks, tests use smaller values.
+        compute_grain: compute units issued per modeled "flop block".
+            The default (500) calibrates the trace's shared-access density
+            to roughly one shared access per few dozen CPU cycles, as on
+            real hardware; detection results are insensitive to it, only
+            the timing model (Figure 11) consumes compute time.
+        pattern_seed: fixed seed for the workload's shape randomness.
+    """
+
+    n_threads: int = DEFAULT_THREADS
+    scale: float = 1.0
+    compute_grain: int = 500
+    pattern_seed: int = 95014
+
+    def __post_init__(self):
+        if self.n_threads < 2:
+            raise ConfigError("workloads need >= 2 threads")
+        if self.scale <= 0:
+            raise ConfigError("scale must be > 0")
+        if self.compute_grain < 1:
+            raise ConfigError("compute_grain must be >= 1")
+
+    def scaled(self, count: int, minimum: int = 1) -> int:
+        """Scale an iteration count, clamped below by ``minimum``."""
+        return max(minimum, int(round(count * self.scale)))
+
+    def with_scale(self, scale: float) -> "WorkloadParams":
+        return replace(self, scale=scale)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One Table 1 row: a named, buildable application analogue.
+
+    Attributes:
+        name: application name (matches the paper's Table 1).
+        input_label: the paper's input-set label for the app.
+        description: one-line summary of the analogue's structure.
+        build: ``params -> Program`` factory.
+        sync_style: dominant synchronization idiom (diagnostics).
+    """
+
+    name: str
+    input_label: str
+    description: str
+    build: Callable[[WorkloadParams], Program]
+    sync_style: str = "barriers"
+
+    def program_factory(
+        self, params: Optional[WorkloadParams] = None
+    ) -> Callable[[int], Program]:
+        """Adapt to the campaign's ``seed -> Program`` factory interface.
+
+        The seed is ignored: workload shapes are fixed (one binary, one
+        input), and run-to-run variation comes from the scheduler.
+        """
+        resolved = params or WorkloadParams()
+
+        def factory(_seed: int) -> Program:
+            return self.build(resolved)
+
+        return factory
+
+
+# -- reusable idioms -----------------------------------------------------------
+
+
+def pattern_rng(params: WorkloadParams, name: str, tid: int):
+    """Per-thread deterministic pattern stream."""
+    root = DeterministicRng(params.pattern_seed, name)
+    return root.fork("t%d" % tid)
+
+
+def compute(units: int) -> OpGen:
+    """Local computation of ``units`` instruction slots."""
+    if units > 0:
+        yield ComputeOp(units)
+
+
+def locked_rmw(mutex: Mutex, address: int, delta: int = 1) -> OpGen:
+    """Lock-protected increment of one shared word."""
+    yield from acquire(mutex)
+    value = yield ReadOp(address)
+    yield WriteOp(address, (value or 0) + delta)
+    yield from release(mutex)
+
+
+def locked_update_block(
+    mutex: Mutex, addresses, delta: int = 1
+) -> OpGen:
+    """Lock-protected read-modify-write of several words (a record)."""
+    yield from acquire(mutex)
+    for address in addresses:
+        value = yield ReadOp(address)
+        yield WriteOp(address, (value or 0) + delta)
+    yield from release(mutex)
+
+
+def pop_task(mutex: Mutex, head_address: int, limit: int) -> OpGen:
+    """Pop the next index from a lock-protected shared counter queue.
+
+    Returns the claimed index, or None when the queue is exhausted.  This
+    is the Splash-2 "GET_TASK" idiom; with the lock injected away, two
+    threads can claim the same task -- one of the classic races the paper
+    hunts.
+    """
+    yield from acquire(mutex)
+    index = yield ReadOp(head_address)
+    index = index or 0
+    if index < limit:
+        yield WriteOp(head_address, index + 1)
+    yield from release(mutex)
+    return index if index < limit else None
+
+
+def read_block(addresses) -> OpGen:
+    """Read several shared words (discarding values)."""
+    for address in addresses:
+        yield ReadOp(address)
+
+
+def write_block(addresses, value: int = 1) -> OpGen:
+    """Write several shared words."""
+    for address in addresses:
+        yield WriteOp(address, value)
+
+
+#: Word step between consecutive private-sweep touches.  A stride above
+#: the per-line word count spreads each sweep over several cache lines,
+#: modeling record-structured private data and applying realistic capacity
+#: pressure to small metadata caches (the paper's reduced-cache method).
+SWEEP_STRIDE = 5
+
+
+def private_sweep(addresses, cursor: int, count: int,
+                  stride: int = SWEEP_STRIDE) -> OpGen:
+    """Read-modify-write ``count`` strided words of a thread-private array.
+
+    Real applications spend most of their memory traffic on private data
+    (locals, per-thread buffers); that traffic dilutes the shared-access
+    density, earns CORD's per-line check-filter bits (making the fast path
+    dominant, as in hardware), and applies capacity pressure to the
+    metadata caches.  ``cursor`` tracks the walk position across calls;
+    the helper returns the new cursor.
+    """
+    n = len(addresses)
+    for offset in range(count):
+        address = addresses[(cursor + offset * stride) % n]
+        value = yield ReadOp(address)
+        yield WriteOp(address, (value or 0) + 1)
+    return (cursor + count * stride) % n

@@ -1,0 +1,122 @@
+"""Sparse Cholesky factorization analogue (Splash-2 ``cholesky``, ``tk23.0``).
+
+Cholesky is the paper's most synchronization-intensive application -- it is
+the 3 % worst case of Figure 11 because frequent small critical sections
+cause bursts of timestamp changes and race-check traffic.  The analogue
+reproduces that: a lock-protected global task queue hands out supernode
+update tasks, and every task takes a second fine-grained lock on its
+destination column for a short read-modify-write.
+"""
+
+from __future__ import annotations
+
+from repro.program.address_space import AddressSpace
+from repro.program.builder import Program
+from repro.sync.library import barrier_wait, flag_set, flag_wait
+from repro.sync.objects import Barrier, Flag, Mutex
+from repro.program.ops import ReadOp, WriteOp
+from repro.sync.library import acquire, release
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    compute,
+    locked_update_block,
+    pattern_rng,
+    pop_task,
+    private_sweep,
+    read_block,
+)
+
+N_COLUMNS = 24
+COLUMN_WORDS = 8
+
+
+def build(params: WorkloadParams) -> Program:
+    space = AddressSpace()
+    done_barrier = Barrier.allocate(space, params.n_threads, "done")
+    queue_lock = Mutex.allocate(space, "queue")
+    queue_head = space.alloc("queue.head", align_to_line=True)
+    column_locks = [
+        Mutex.allocate(space, "col%d" % i) for i in range(N_COLUMNS)
+    ]
+    columns = [
+        space.alloc_array("col%d.data" % i, COLUMN_WORDS)
+        for i in range(N_COLUMNS)
+    ]
+    n_tasks = params.scaled(120)
+    scratch = [
+        space.alloc_array("scratch.t%d" % t, 2048)
+        for t in range(params.n_threads)
+    ]
+
+    # Fixed task shapes: (source column, destination column) pairs drawn
+    # from the pattern stream so every run factors the same "matrix".
+    shape_rng = pattern_rng(params, "cholesky", 0).fork("tasks")
+    tasks = []
+    for _ in range(n_tasks):
+        src = shape_rng.randrange(N_COLUMNS)
+        dst = shape_rng.randrange(N_COLUMNS)
+        tasks.append((src, dst))
+
+    # Elimination-tree completion: each column carries a done-flag set by
+    # whichever task applies its final update (tracked with a counter
+    # under the column lock).  A follow-up verification pass waits on a
+    # column's flag before reading its factors -- the real solver's
+    # supernode dependency structure.  Removing one of those flag waits
+    # creates a long-range race against lock-protected factor writes.
+    updates_expected = [0] * N_COLUMNS
+    for _src, dst in tasks:
+        updates_expected[dst] += 1
+    done_flags = [
+        Flag.allocate(space, "done%d" % c) for c in range(N_COLUMNS)
+    ]
+    update_counts = [
+        space.alloc("col%d.updates" % c, 1) for c in range(N_COLUMNS)
+    ]
+
+    def body(tid):
+        cursor = 0
+        while True:
+            index = yield from pop_task(queue_lock, queue_head, n_tasks)
+            if index is None:
+                break
+            src, dst = tasks[index]
+            cursor = yield from private_sweep(scratch[tid], cursor, 14)
+            # Words 4..7 of a column are its (immutable) structure and are
+            # read without locks; words 0..2 are the accumulated factors
+            # and are only touched under the column lock, so the clean
+            # program is data-race-free.
+            yield from read_block(columns[src][4:8])
+            yield from compute(max(1, params.compute_grain // 3))
+            yield from acquire(column_locks[dst])
+            for address in columns[dst][:3]:
+                value = yield ReadOp(address)
+                yield WriteOp(address, (value or 0) + 1)
+            applied = yield ReadOp(update_counts[dst])
+            applied = (applied or 0) + 1
+            yield WriteOp(update_counts[dst], applied)
+            yield from release(column_locks[dst])
+            if applied == updates_expected[dst]:
+                yield from flag_set(done_flags[dst], 1)
+        # Verification pass: check a slice of completed columns' factors
+        # (waits on the elimination-tree done flags).
+        for column in range(tid, N_COLUMNS, params.n_threads):
+            if updates_expected[column] == 0:
+                continue
+            yield from flag_wait(done_flags[column], 1)
+            yield from read_block(columns[column][:3])
+            yield from compute(max(1, params.compute_grain // 3))
+        yield from barrier_wait(done_barrier)
+
+    return Program(
+        [body] * params.n_threads, space, name="cholesky"
+    )
+
+
+SPEC = WorkloadSpec(
+    name="cholesky",
+    input_label="tk23.O",
+    description="lock-heavy supernode task queue with per-column locks",
+    build=build,
+    sync_style="task queue + column locks",
+)

@@ -1,0 +1,147 @@
+"""1-D FFT analogue (Splash-2 ``fft``, input ``m16``).
+
+The Splash-2 FFT is barrier-structured: local butterfly computation on a
+thread's own partition, then an all-to-all *transpose* in which each thread
+reads blocks produced by every other thread and writes them into its own
+partition, then more local computation.  Sharing is therefore bulk
+producer->consumer across barriers -- very different from lock-based apps,
+and a good exercise of CORD's per-line timestamp reuse (spatially local
+reads of remotely-written lines).
+"""
+
+from __future__ import annotations
+
+from repro.program.address_space import AddressSpace
+from repro.program.builder import Program
+from repro.sync.library import acquire, barrier_wait, flag_set, flag_wait, release
+from repro.sync.objects import Barrier, Flag, Mutex
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    compute,
+    private_sweep,
+    read_block,
+    write_block,
+)
+
+ITERATIONS = 2
+
+
+def build(params: WorkloadParams) -> Program:
+    space = AddressSpace()
+    phase_barrier = Barrier.allocate(space, params.n_threads, "phase")
+    chunk_words = params.scaled(96, minimum=params.n_threads * 4)
+    source = [
+        space.alloc_array("src.t%d" % t, chunk_words)
+        for t in range(params.n_threads)
+    ]
+    dest = [
+        space.alloc_array("dst.t%d" % t, chunk_words)
+        for t in range(params.n_threads)
+    ]
+    block = chunk_words // params.n_threads
+    scratch = [
+        space.alloc_array("twiddle.t%d" % t, 2048)
+        for t in range(params.n_threads)
+    ]
+    # Final pipelined verification pass: each thread streams its result
+    # segments to the next thread, signalling per segment with a flag
+    # counter (sync writes only on the producer side); the consumer waits
+    # once per segment group -- a Figure 8-style clock pattern.
+    seg_words = 4
+    n_segments = 20
+    seg_group = 10
+    stream = [
+        space.alloc_array("stream.t%d" % t, n_segments * seg_words)
+        for t in range(params.n_threads)
+    ]
+    stream_flags = [
+        Flag.allocate(space, "streamflag.t%d" % t)
+        for t in range(params.n_threads)
+    ]
+    # Plan block: lock-protected long-range sharing within an iteration
+    # (thread 0 writes layers right after the first barrier, all threads
+    # read at the end of the local phase -- no other sync in between).
+    plan_lock = Mutex.allocate(space, "plan")
+    plan = space.alloc_array("plan", 8)
+
+    def body(tid):
+        cursor = 0
+        for _iteration in range(ITERATIONS):
+            if tid == 0:
+                for layer in range(3):
+                    yield from acquire(plan_lock)
+                    yield from write_block(
+                        plan[2 * layer:2 * layer + 4], _iteration + 1
+                    )
+                    yield from release(plan_lock)
+            # Local butterflies: write own source partition, with private
+            # twiddle-table work in between.
+            for start in range(0, chunk_words, 8):
+                yield from write_block(
+                    source[tid][start:start + 8], tid + 1
+                )
+                cursor = yield from private_sweep(
+                    scratch[tid], cursor, 10
+                )
+                yield from compute(params.compute_grain)
+            # Large local working-set phase before consulting the shared
+            # block: displaces older metadata from small caches (the
+            # paper's reduced-cache methodology makes exactly this the
+            # L1Cache configuration's weakness).
+            cursor = yield from private_sweep(
+                scratch[tid], cursor, 96, stride=17
+            )
+            # Phase end: consult the plan before the transpose.
+            yield from acquire(plan_lock)
+            yield from read_block(plan)
+            yield from release(plan_lock)
+            yield from barrier_wait(phase_barrier)
+            # Transpose: read block p of every peer, write own dest.
+            for peer in range(params.n_threads):
+                peer_block = source[peer][tid * block:(tid + 1) * block]
+                yield from read_block(peer_block)
+                yield from write_block(
+                    dest[tid][peer * block:(peer + 1) * block], tid + 1
+                )
+                yield from compute(params.compute_grain)
+            yield from barrier_wait(phase_barrier)
+            # Second local phase on the transposed data.
+            for start in range(0, chunk_words, 8):
+                yield from read_block(dest[tid][start:start + 8])
+                yield from compute(params.compute_grain)
+            yield from barrier_wait(phase_barrier)
+
+        # Streamed result check: publish all segments (sync writes only),
+        # then consume the predecessor's segments in coarse groups.
+        mine = stream[tid]
+        for segment in range(n_segments):
+            yield from write_block(
+                mine[segment * seg_words:(segment + 1) * seg_words],
+                tid + 1,
+            )
+            yield from flag_set(stream_flags[tid], segment + 1)
+            yield from compute(params.compute_grain)
+        prev = (tid - 1) % params.n_threads
+        theirs = stream[prev]
+        for group_end in range(seg_group, n_segments + 1, seg_group):
+            yield from flag_wait(stream_flags[prev], group_end)
+            yield from read_block(
+                theirs[
+                    (group_end - seg_group) * seg_words:
+                    group_end * seg_words
+                ]
+            )
+            yield from compute(params.compute_grain)
+        yield from barrier_wait(phase_barrier)
+
+    return Program([body] * params.n_threads, space, name="fft")
+
+
+SPEC = WorkloadSpec(
+    name="fft",
+    input_label="2^16 points (m16)",
+    description="barrier-phased all-to-all transpose with bulk sharing",
+    build=build,
+    sync_style="barriers",
+)

@@ -1,0 +1,131 @@
+"""Ocean simulation analogue (Splash-2 ``ocean``, input ``130x130``).
+
+A red/black Gauss-Seidel style grid solver: each thread owns a band of
+rows; every sweep reads the thread's own rows plus the *boundary rows* of
+its neighbors (nearest-neighbor sharing) and writes its own rows, with a
+barrier per sweep and a lock-protected global error reduction -- the exact
+mix Splash-2 ocean exhibits.
+"""
+
+from __future__ import annotations
+
+from repro.program.address_space import AddressSpace
+from repro.program.builder import Program
+from repro.sync.library import barrier_wait
+from repro.sync.objects import Barrier, Mutex
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    compute,
+    locked_rmw,
+    private_sweep,
+    read_block,
+    write_block,
+)
+
+ROW_WORDS = 16
+SWEEPS = 3
+COARSE_SWEEPS = 2
+
+
+def build(params: WorkloadParams) -> Program:
+    space = AddressSpace()
+    sweep_barrier = Barrier.allocate(space, params.n_threads, "sweep")
+    error_lock = Mutex.allocate(space, "error")
+    error_word = space.alloc("error", align_to_line=True)
+    rows_per_thread = params.scaled(8, minimum=2)
+    # Double-buffered grid (sweep reads buffer A, writes buffer B, then
+    # swaps): the real solver's discipline, and what keeps the clean
+    # program data-race-free while still sharing boundary rows.
+    grids = [
+        [
+            [
+                space.alloc_array(
+                    "grid%d.t%d.%d" % (g, t, r), ROW_WORDS
+                )
+                for r in range(rows_per_thread)
+            ]
+            for t in range(params.n_threads)
+        ]
+        for g in range(2)
+    ]
+
+    scratch = [
+        space.alloc_array("workrow.t%d" % t, 2048)
+        for t in range(params.n_threads)
+    ]
+    # Multigrid coarse level: half-resolution rows, double-buffered like
+    # the fine grid (the real solver's W-cycle structure).
+    coarse_rows = max(2, rows_per_thread // 2)
+    coarse = [
+        [
+            [
+                space.alloc_array(
+                    "coarse%d.t%d.%d" % (g, t, r), ROW_WORDS // 2
+                )
+                for r in range(coarse_rows)
+            ]
+            for t in range(params.n_threads)
+        ]
+        for g in range(2)
+    ]
+
+    def body(tid):
+        above = (tid - 1) % params.n_threads
+        below = (tid + 1) % params.n_threads
+        cursor = 0
+        for sweep in range(SWEEPS):
+            src = grids[sweep % 2]
+            dst = grids[(sweep + 1) % 2]
+            for r in range(rows_per_thread):
+                # Stencil: own row plus neighbor boundary rows at band
+                # edges, all from the read buffer.
+                yield from read_block(src[tid][r][:8])
+                if r == 0:
+                    yield from read_block(src[above][-1][:8])
+                if r == rows_per_thread - 1:
+                    yield from read_block(src[below][0][:8])
+                cursor = yield from private_sweep(
+                    scratch[tid], cursor, 12
+                )
+                yield from compute(params.compute_grain * 2)
+                yield from write_block(dst[tid][r][:8], tid + 1)
+            # Global convergence test: lock-protected error accumulation.
+            yield from locked_rmw(error_lock, error_word)
+            yield from barrier_wait(sweep_barrier)
+
+        # Restriction: project owned fine rows onto the coarse level
+        # (purely owner-local) and relax the coarse grid with the same
+        # double-buffered neighbor-sharing sweeps.
+        for r in range(coarse_rows):
+            fine_row = min(2 * r, rows_per_thread - 1)
+            yield from read_block(grids[SWEEPS % 2][tid][fine_row][:4])
+            yield from write_block(coarse[0][tid][r][:4], tid + 1)
+        yield from barrier_wait(sweep_barrier)
+        for sweep in range(COARSE_SWEEPS):
+            src = coarse[sweep % 2]
+            dst = coarse[(sweep + 1) % 2]
+            for r in range(coarse_rows):
+                yield from read_block(src[tid][r][:4])
+                if r == 0:
+                    yield from read_block(src[above][-1][:4])
+                if r == coarse_rows - 1:
+                    yield from read_block(src[below][0][:4])
+                cursor = yield from private_sweep(
+                    scratch[tid], cursor, 6
+                )
+                yield from compute(params.compute_grain)
+                yield from write_block(dst[tid][r][:4], tid + 1)
+            yield from locked_rmw(error_lock, error_word)
+            yield from barrier_wait(sweep_barrier)
+
+    return Program([body] * params.n_threads, space, name="ocean")
+
+
+SPEC = WorkloadSpec(
+    name="ocean",
+    input_label="130x130 grid",
+    description="row-banded stencil with neighbor boundary sharing",
+    build=build,
+    sync_style="barriers + reduction lock",
+)

@@ -1,0 +1,158 @@
+"""Radiosity analogue (Splash-2 ``radiosity``, input ``-test``).
+
+Radiosity is the Splash-2 app with the most irregular, lock-dominated
+behavior: per-thread distributed task queues with work stealing, and
+per-patch locks guarding energy accumulation.  (It is also the app whose
+Ideal-configuration simulation exceeded 2 GB in the paper -- task-driven
+irregularity makes its access histories huge.)
+"""
+
+from __future__ import annotations
+
+from repro.program.address_space import AddressSpace
+from repro.program.builder import Program
+from repro.program.ops import ReadOp, WriteOp
+from repro.sync.library import acquire, barrier_wait, release
+from repro.sync.objects import Barrier, Mutex
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    compute,
+    locked_update_block,
+    pattern_rng,
+    pop_task,
+    private_sweep,
+    read_block,
+    write_block,
+)
+
+N_PATCHES = 40
+PATCH_WORDS = 4
+
+
+def build(params: WorkloadParams) -> Program:
+    space = AddressSpace()
+    done_barrier = Barrier.allocate(space, params.n_threads, "done")
+    queue_locks = [
+        Mutex.allocate(space, "queue%d" % t)
+        for t in range(params.n_threads)
+    ]
+    queue_heads = [
+        space.alloc("queue%d.head" % t, align_to_line=True)
+        for t in range(params.n_threads)
+    ]
+    # Dynamic task creation: queue limits are shared words that owners
+    # grow under their queue lock (radiosity's BF-refinement spawns).
+    queue_limits = [
+        space.alloc("queue%d.limit" % t, 1)
+        for t in range(params.n_threads)
+    ]
+    tasks_per_queue = params.scaled(30)
+    spawn_budget = max(2, tasks_per_queue // 5)
+    patch_locks = [
+        Mutex.allocate(space, "patch%d" % i) for i in range(N_PATCHES)
+    ]
+    patches = [
+        space.alloc_array("patch%d" % i, PATCH_WORDS)
+        for i in range(N_PATCHES)
+    ]
+
+    shape_rng = pattern_rng(params, "radiosity", 0).fork("tasks")
+    # task index -> (source patch, destination patch)
+    interactions = [
+        (
+            shape_rng.randrange(N_PATCHES),
+            shape_rng.randrange(N_PATCHES),
+        )
+        for _ in range(tasks_per_queue * params.n_threads)
+    ]
+
+    scratch = [
+        space.alloc_array("formfactor.t%d" % t, 2048)
+        for t in range(params.n_threads)
+    ]
+    # Global energy-estimate block: long-range lock-protected sharing --
+    # layered early updates by thread 0, end-of-iteration reads by all
+    # (the Figure 14/15 "far apart" loss class; see raytrace).
+    energy_lock = Mutex.allocate(space, "energy")
+    energy = space.alloc_array("energy", 8)
+
+    def run_task(tid, owner, index, cursor):
+        src, dst = interactions[
+            (owner * tasks_per_queue + index) % len(interactions)
+        ]
+        yield from read_block(patches[src][:2])
+        # Form-factor computation on private visibility buffers.
+        cursor = yield from private_sweep(scratch[tid], cursor, 12)
+        yield from compute(params.compute_grain * 4)
+        yield from locked_update_block(
+            patch_locks[dst], patches[dst][2:4]
+        )
+        return cursor
+
+    def dynamic_pop(tid, victim):
+        # Pop against the victim's *dynamic* limit (base + spawned).
+        yield from acquire(queue_locks[victim])
+        head = yield ReadOp(queue_heads[victim])
+        head = head or 0
+        extra = yield ReadOp(queue_limits[victim])
+        limit = tasks_per_queue + (extra or 0)
+        if head < limit:
+            yield WriteOp(queue_heads[victim], head + 1)
+        yield from release(queue_locks[victim])
+        return head if head < limit else None
+
+    def body(tid):
+        cursor = 0
+        tasks_done = 0
+        spawned = 0
+        # Drain own queue, then steal round-robin from the others.
+        for victim_offset in range(params.n_threads):
+            victim = (tid + victim_offset) % params.n_threads
+            while True:
+                index = yield from dynamic_pop(tid, victim)
+                if index is None:
+                    break
+                # Refinement occasionally spawns a new task onto the
+                # worker's *own* queue.
+                if (
+                    victim == tid
+                    and spawned < spawn_budget
+                    and index % 7 == 3
+                ):
+                    spawned += 1
+                    yield from acquire(queue_locks[tid])
+                    extra = yield ReadOp(queue_limits[tid])
+                    yield WriteOp(queue_limits[tid], (extra or 0) + 1)
+                    yield from release(queue_locks[tid])
+                tasks_done += 1
+                if tid == 0 and tasks_done % 4 in (1, 2):
+                    layer = tasks_done % 3
+                    yield from acquire(energy_lock)
+                    yield from write_block(
+                        energy[2 * layer:2 * layer + 4], tid + 1
+                    )
+                    yield from release(energy_lock)
+                elif tasks_done % 4 == 0:
+                    yield from acquire(energy_lock)
+                    yield from read_block(energy)
+                    yield from release(energy_lock)
+                cursor = yield from run_task(tid, victim, index, cursor)
+        # Iteration end: read the global energy estimate.
+        yield from acquire(energy_lock)
+        yield from read_block(energy)
+        yield from release(energy_lock)
+        yield from barrier_wait(done_barrier)
+
+    return Program(
+        [body] * params.n_threads, space, name="radiosity"
+    )
+
+
+SPEC = WorkloadSpec(
+    name="radiosity",
+    input_label="-test scene",
+    description="work-stealing task queues with per-patch locks",
+    build=build,
+    sync_style="distributed queues + patch locks",
+)

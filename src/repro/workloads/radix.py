@@ -1,0 +1,124 @@
+"""Radix sort analogue (Splash-2 ``radix``, input ``256K keys``).
+
+The Splash-2 radix sort alternates strictly barrier-separated phases:
+local histogramming (private writes), a shared prefix/offset combination
+(lock-protected global buckets), and a permutation phase that scatters
+keys into a shared output array.  Ranks are disjoint by construction (a
+permutation), but ranks of different threads interleave *within* cache
+lines -- word-disjoint line sharing, exactly what CORD's per-word access
+bits exist to keep from looking like races.
+"""
+
+from __future__ import annotations
+
+from repro.program.address_space import AddressSpace
+from repro.program.builder import Program
+from repro.program.ops import ReadOp, WriteOp
+from repro.sync.library import barrier_wait
+from repro.sync.objects import Barrier, Mutex
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    compute,
+    locked_rmw,
+    private_sweep,
+    read_block,
+    write_block,
+)
+
+N_BUCKETS = 16
+PASSES = 2
+
+
+def build(params: WorkloadParams) -> Program:
+    space = AddressSpace()
+    phase_barrier = Barrier.allocate(space, params.n_threads, "phase")
+    bucket_lock = Mutex.allocate(space, "buckets")
+    global_buckets = space.alloc_array("gbuckets", N_BUCKETS)
+    local_hist = [
+        space.alloc_array("hist.t%d" % t, N_BUCKETS)
+        for t in range(params.n_threads)
+    ]
+    keys_per_thread = params.scaled(120)
+    n_keys = keys_per_thread * params.n_threads
+    # Real keys and a real stable radix rank per digit pass: the values
+    # are fixed at build time (one input set), so the rank permutations
+    # are precomputed exactly as the real sort would produce them --
+    # disjoint ranks, but interleaved within output lines.
+    from repro.workloads.base import pattern_rng as _rng
+
+    key_rng = _rng(params, "radix", 0).fork("keys")
+    keys = [key_rng.randrange(256) for _ in range(n_keys)]
+
+    def stable_ranks(values, digit_shift):
+        order = sorted(
+            range(len(values)),
+            key=lambda i: ((values[i] >> digit_shift) & 0xF, i),
+        )
+        ranks = [0] * len(values)
+        for position, index in enumerate(order):
+            ranks[index] = position
+        return ranks
+
+    ranks_low = stable_ranks(keys, 0)
+    keys_after_low = [0] * n_keys
+    for index, rank in enumerate(ranks_low):
+        keys_after_low[rank] = keys[index]
+    ranks_high = stable_ranks(keys_after_low, 4)
+
+    pass_ranks = [ranks_low, ranks_high]
+    array_a = space.alloc_array("arrayA", n_keys)
+    array_b = space.alloc_array("arrayB", n_keys)
+    pass_arrays = [(array_a,), (array_a, array_b)]
+
+    scratch = [
+        space.alloc_array("keys.t%d" % t, 2048)
+        for t in range(params.n_threads)
+    ]
+
+    def body(tid):
+        cursor = 0
+        for _pass in range(PASSES):
+            # Local histogram: scan private keys, bump private buckets.
+            for _chunk in range(keys_per_thread // 8):
+                cursor = yield from private_sweep(
+                    scratch[tid], cursor, 12
+                )
+                yield from write_block(local_hist[tid][:8], tid + 1)
+                yield from compute(params.compute_grain)
+            yield from barrier_wait(phase_barrier)
+            # Global offsets: every thread folds its histogram into the
+            # shared buckets under the bucket lock.
+            for bucket in range(0, N_BUCKETS, 4):
+                yield from locked_rmw(
+                    bucket_lock, global_buckets[bucket]
+                )
+            yield from barrier_wait(phase_barrier)
+            # Permutation: scatter this thread's keys to their stable
+            # ranks for this digit.  Pass 0 writes arrayA; pass 1 reads
+            # the low-digit-sorted arrayA (everyone's writes, ordered by
+            # the barrier) and scatters into arrayB.
+            yield from read_block(global_buckets[:8])
+            ranks = pass_ranks[_pass]
+            source, dest = (
+                (None, array_a) if _pass == 0 else (array_a, array_b)
+            )
+            for k in range(keys_per_thread):
+                index = tid * keys_per_thread + k
+                if source is not None:
+                    yield ReadOp(source[ranks_low[index]])
+                yield WriteOp(dest[ranks[index]], keys[index])
+                if k % 8 == 7:
+                    yield from compute(params.compute_grain)
+            yield from barrier_wait(phase_barrier)
+
+    return Program([body] * params.n_threads, space, name="radix")
+
+
+SPEC = WorkloadSpec(
+    name="radix",
+    input_label="256K keys",
+    description="barrier-phased histogram sort with line-interleaved writes",
+    build=build,
+    sync_style="barriers + bucket lock",
+)

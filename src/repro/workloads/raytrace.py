@@ -1,0 +1,130 @@
+"""Ray tracer analogue (Splash-2 ``raytrace``, input ``teapot``).
+
+Rendering work is a central tile queue (one lock), the scene is read-only
+shared data, and pixel output is written once per tile by whichever thread
+claimed it.  The clean program is race-free because the queue hands each
+tile to exactly one thread; removing a queue-lock instance lets two
+threads claim -- and write -- the same tile, the canonical "lost task
+mutual exclusion" bug.
+
+A lock-protected camera/global-state block adds *long-range* sharing:
+thread 0 updates it in layers early in the frame, and every thread reads
+it at frame end under the same lock.  When the injector removes one of
+those lock instances the resulting race spans most of the frame, so the
+first access's cached history has often been displaced by then -- the
+paper's "accesses too far apart" loss class (Figures 14/15).
+"""
+
+from __future__ import annotations
+
+from repro.program.address_space import AddressSpace
+from repro.program.builder import Program
+from repro.program.ops import ReadOp, WriteOp
+from repro.sync.library import acquire, barrier_wait, release
+from repro.sync.objects import Barrier, Mutex
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    compute,
+    pattern_rng,
+    pop_task,
+    private_sweep,
+    read_block,
+    write_block,
+)
+
+SCENE_WORDS = 128
+PIXELS_PER_TILE = 4
+
+
+def build(params: WorkloadParams) -> Program:
+    space = AddressSpace()
+    done_barrier = Barrier.allocate(space, params.n_threads, "frame")
+    queue_lock = Mutex.allocate(space, "tiles")
+    queue_head = space.alloc("tiles.head", align_to_line=True)
+    scene = space.alloc_array("scene", SCENE_WORDS)
+    n_tiles = params.scaled(60)
+    image = space.alloc_array("image", n_tiles * PIXELS_PER_TILE)
+
+    scratch = [
+        space.alloc_array("raystack.t%d" % t, 2048)
+        for t in range(params.n_threads)
+    ]
+    camera_lock = Mutex.allocate(space, "camera")
+    camera = space.alloc_array("camera", 8)
+    # Anti-aliasing pass: a second, smaller tile queue re-traces a
+    # subset of tiles and accumulates into the same pixels (ordered by
+    # the inter-pass barrier).
+    aa_lock = Mutex.allocate(space, "aa")
+    aa_head = space.alloc("aa.head", align_to_line=True)
+    aa_tiles = max(4, n_tiles // 3)
+
+    def body(tid):
+        rng = pattern_rng(params, "raytrace", tid)
+        cursor = 0
+        tiles_done = 0
+        while True:
+            tile = yield from pop_task(queue_lock, queue_head, n_tiles)
+            if tile is None:
+                break
+            tiles_done += 1
+            if tid == 0 and tiles_done % 5 in (1, 3):
+                # Layered camera updates: distinct clock epochs on the
+                # same line, so two-entry histories shed the oldest.
+                start = 2 * ((tiles_done // 2) % 3)
+                yield from acquire(camera_lock)
+                yield from write_block(camera[start:start + 4], tid + 1)
+                yield from release(camera_lock)
+            elif tiles_done % 5 == 0:
+                # Periodic camera consultation, far from the updates.
+                yield from acquire(camera_lock)
+                yield from read_block(camera)
+                yield from release(camera_lock)
+            # Trace rays: many read-only scene lookups, private ray-stack
+            # traffic, heavy compute.
+            for _bounce in range(3):
+                base = rng.randrange(SCENE_WORDS - 8)
+                yield from read_block(scene[base:base + 8])
+                cursor = yield from private_sweep(
+                    scratch[tid], cursor, 12
+                )
+                yield from compute(params.compute_grain * 4)
+            yield from write_block(
+                image[
+                    tile * PIXELS_PER_TILE:(tile + 1) * PIXELS_PER_TILE
+                ],
+                tid + 1,
+            )
+        # Frame end: read the camera state for the next frame's setup.
+        yield from acquire(camera_lock)
+        yield from read_block(camera)
+        yield from release(camera_lock)
+        yield from barrier_wait(done_barrier)
+        # Anti-aliasing pass over a subset of tiles.
+        while True:
+            tile = yield from pop_task(aa_lock, aa_head, aa_tiles)
+            if tile is None:
+                break
+            base_addr = rng.randrange(SCENE_WORDS - 8)
+            yield from read_block(scene[base_addr:base_addr + 8])
+            cursor = yield from private_sweep(scratch[tid], cursor, 10)
+            yield from compute(params.compute_grain * 3)
+            for pixel in image[
+                tile * PIXELS_PER_TILE:(tile + 1) * PIXELS_PER_TILE
+            ]:
+                value = yield ReadOp(pixel)
+                yield WriteOp(pixel, (value or 0) + tid + 1)
+        yield from barrier_wait(done_barrier)
+
+    return Program(
+        [body] * params.n_threads, space, name="raytrace"
+    )
+
+
+SPEC = WorkloadSpec(
+    name="raytrace",
+    input_label="teapot",
+    description="central tile queue, read-only scene, per-tile pixels",
+    build=build,
+    sync_style="task queue",
+)

@@ -1,0 +1,60 @@
+"""Registry of all Table 1 application analogues."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import ConfigError
+from repro.workloads import (
+    barnes,
+    cholesky,
+    fft,
+    fmm,
+    lu,
+    ocean,
+    radiosity,
+    radix,
+    raytrace,
+    volrend,
+    water_n2,
+    water_sp,
+)
+from repro.workloads.base import WorkloadSpec
+
+#: Table 1 order (alphabetical pairs, as in the paper).
+_SPECS: List[WorkloadSpec] = [
+    barnes.SPEC,
+    cholesky.SPEC,
+    fft.SPEC,
+    fmm.SPEC,
+    lu.SPEC,
+    ocean.SPEC,
+    radiosity.SPEC,
+    radix.SPEC,
+    raytrace.SPEC,
+    volrend.SPEC,
+    water_n2.SPEC,
+    water_sp.SPEC,
+]
+
+_BY_NAME: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def all_workloads() -> List[WorkloadSpec]:
+    """All twelve application analogues, in Table 1 order."""
+    return list(_SPECS)
+
+
+def workload_names() -> List[str]:
+    return [spec.name for spec in _SPECS]
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up one analogue by its Table 1 application name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown workload %r (have: %s)"
+            % (name, ", ".join(sorted(_BY_NAME)))
+        ) from None

@@ -1,0 +1,129 @@
+"""Volume renderer analogue (Splash-2 ``volrend``, input ``head-sd2``).
+
+Like raytrace, volrend is queue-driven rendering over read-only data, but
+it renders multiple frames with a barrier between them and a lock-protected
+shared opacity/statistics record updated per tile -- giving it more
+synchronization variety than raytrace (which is why their detection rates
+differ in the paper's figures despite similar structure).
+"""
+
+from __future__ import annotations
+
+from repro.program.address_space import AddressSpace
+from repro.program.builder import Program
+from repro.sync.library import acquire, barrier_wait, release
+from repro.sync.objects import Barrier, Mutex
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    compute,
+    locked_update_block,
+    pattern_rng,
+    pop_task,
+    private_sweep,
+    read_block,
+    write_block,
+)
+
+VOLUME_WORDS = 96
+PIXELS_PER_TILE = 2
+FRAMES = 2
+
+
+def build(params: WorkloadParams) -> Program:
+    space = AddressSpace()
+    frame_barrier = Barrier.allocate(space, params.n_threads, "frame")
+    queue_lock = Mutex.allocate(space, "tiles")
+    queue_head = space.alloc("tiles.head", align_to_line=True)
+    stats_lock = Mutex.allocate(space, "stats")
+    stats = space.alloc_array("stats", 4)
+    volume = space.alloc_array("volume", VOLUME_WORDS)
+    tiles_per_frame = params.scaled(40)
+    image = space.alloc_array(
+        "image", tiles_per_frame * PIXELS_PER_TILE
+    )
+
+    scratch = [
+        space.alloc_array("raybuf.t%d" % t, 2048)
+        for t in range(params.n_threads)
+    ]
+    # Transfer-function block: long-range lock-protected sharing (see the
+    # raytrace camera block) -- updated in layers by thread 0 early in
+    # each frame, read by everyone at frame end.
+    tfunc_lock = Mutex.allocate(space, "tfunc")
+    tfunc = space.alloc_array("tfunc", 8)
+    # Octree skip structure: read per tile by everyone; adapted between
+    # frames by thread 0 under its own lock.
+    octree_lock = Mutex.allocate(space, "octree")
+    octree = space.alloc_array("octree", 16)
+
+    def body(tid):
+        rng = pattern_rng(params, "volrend", tid)
+        cursor = 0
+        for frame in range(FRAMES):
+            limit = tiles_per_frame * (frame + 1)
+            tiles_done = 0
+            while True:
+                ticket = yield from pop_task(
+                    queue_lock, queue_head, limit
+                )
+                if ticket is None:
+                    break
+                tile = ticket % tiles_per_frame
+                tiles_done += 1
+                if tid == 0 and tiles_done % 4 in (1, 2):
+                    layer = tiles_done % 3
+                    yield from acquire(tfunc_lock)
+                    yield from write_block(
+                        tfunc[2 * layer:2 * layer + 4], tid + 1
+                    )
+                    yield from release(tfunc_lock)
+                elif tiles_done % 4 == 0:
+                    yield from acquire(tfunc_lock)
+                    yield from read_block(tfunc)
+                    yield from release(tfunc_lock)
+                # Consult the octree skip structure, then ray-cast
+                # through the read-only volume with private buffers.
+                yield from acquire(octree_lock)
+                yield from read_block(octree[:4])
+                yield from release(octree_lock)
+                for _sample in range(2):
+                    base = rng.randrange(VOLUME_WORDS - 8)
+                    yield from read_block(volume[base:base + 8])
+                    cursor = yield from private_sweep(
+                        scratch[tid], cursor, 12
+                    )
+                    yield from compute(params.compute_grain * 3)
+                yield from write_block(
+                    image[
+                        tile * PIXELS_PER_TILE:
+                        (tile + 1) * PIXELS_PER_TILE
+                    ],
+                    tid + 1,
+                )
+                yield from locked_update_block(
+                    stats_lock, stats[:2]
+                )
+            # Frame end: read the transfer function for the next frame;
+            # thread 0 adapts the octree for the next frame.
+            yield from acquire(tfunc_lock)
+            yield from read_block(tfunc)
+            yield from release(tfunc_lock)
+            if tid == 0:
+                yield from acquire(octree_lock)
+                yield from write_block(octree[:8], frame + 2)
+                yield from release(octree_lock)
+            yield from barrier_wait(frame_barrier)
+
+    return Program(
+        [body] * params.n_threads, space, name="volrend"
+    )
+
+
+SPEC = WorkloadSpec(
+    name="volrend",
+    input_label="head-sd2",
+    description="frame-barriered tile queue with shared statistics lock",
+    build=build,
+    sync_style="task queue + stats lock + barriers",
+)

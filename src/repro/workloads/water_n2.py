@@ -1,0 +1,104 @@
+"""Water simulation, O(n^2) version (Splash-2 ``water-n2``, input ``216``).
+
+Per time step: every thread computes forces for a slice of molecule pairs
+(reading both molecules' positions -- all-to-all read sharing) and
+accumulates into each molecule's force record under that molecule's lock;
+after a barrier, each thread integrates its *own* molecules (private
+writes); another barrier closes the step.  Water-n2 is the app where the
+paper's CORD found none of the injected problems while vector clocks found
+some -- heavy symmetric locking defeats scalar clocks -- so reproducing
+its lock density matters.
+"""
+
+from __future__ import annotations
+
+from repro.program.address_space import AddressSpace
+from repro.program.builder import Program
+from repro.sync.library import barrier_wait
+from repro.sync.objects import Barrier, Mutex
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    compute,
+    locked_update_block,
+    private_sweep,
+    read_block,
+    write_block,
+)
+
+POS_WORDS = 3
+FORCE_WORDS = 2
+STEPS = 2
+
+
+def build(params: WorkloadParams) -> Program:
+    space = AddressSpace()
+    step_barrier = Barrier.allocate(space, params.n_threads, "step")
+    n_molecules = params.scaled(16, minimum=params.n_threads * 2)
+    locks = [
+        Mutex.allocate(space, "mol%d" % i) for i in range(n_molecules)
+    ]
+    positions = [
+        space.alloc_array("pos%d" % i, POS_WORDS)
+        for i in range(n_molecules)
+    ]
+    forces = [
+        space.alloc_array("force%d" % i, FORCE_WORDS)
+        for i in range(n_molecules)
+    ]
+
+    pairs = [
+        (i, j)
+        for i in range(n_molecules)
+        for j in range(i + 1, n_molecules)
+    ]
+
+    scratch = [
+        space.alloc_array("pairbuf.t%d" % t, 2048)
+        for t in range(params.n_threads)
+    ]
+    kinetic_lock = Mutex.allocate(space, "kinetic")
+    kinetic = space.alloc("kinetic", align_to_line=True)
+
+    def body(tid):
+        my_pairs = pairs[tid::params.n_threads]
+        my_molecules = range(tid, n_molecules, params.n_threads)
+        cursor = 0
+        for _step in range(STEPS):
+            for i, j in my_pairs:
+                yield from read_block(positions[i])
+                yield from read_block(positions[j])
+                cursor = yield from private_sweep(
+                    scratch[tid], cursor, 10
+                )
+                yield from compute(params.compute_grain * 3)
+                yield from locked_update_block(locks[i], forces[i])
+                yield from locked_update_block(locks[j], forces[j])
+            yield from barrier_wait(step_barrier)
+            # Integrate owned molecules: read accumulated force, write
+            # position.  Force words were locked-written before the
+            # barrier; positions are written only by the owner.
+            for m in my_molecules:
+                yield from read_block(forces[m])
+                yield from compute(params.compute_grain)
+                yield from write_block(positions[m], tid + 1)
+            # Per-step kinetic-energy reduction: read own molecules,
+            # accumulate the partial sum under the global lock.
+            for m in my_molecules:
+                yield from read_block(positions[m][:1])
+            yield from compute(params.compute_grain)
+            yield from locked_update_block(kinetic_lock, [kinetic])
+            yield from barrier_wait(step_barrier)
+
+    return Program(
+        [body] * params.n_threads, space, name="water-n2"
+    )
+
+
+SPEC = WorkloadSpec(
+    name="water-n2",
+    input_label="216 molecules",
+    description="O(n^2) pair forces with per-molecule accumulation locks",
+    build=build,
+    sync_style="dense molecule locks + barriers",
+)

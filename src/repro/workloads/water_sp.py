@@ -1,0 +1,100 @@
+"""Water simulation, spatial version (Splash-2 ``water-sp``, input ``216``).
+
+The spatial variant partitions molecules into a 3-D cell grid; each thread
+owns a block of cells and only interacts with neighboring cells, so lock
+traffic is far sparser than water-n2's: boundary-cell accumulations take
+the neighbor cell's lock, interior work is lock-free, and steps are
+barrier-separated.
+"""
+
+from __future__ import annotations
+
+from repro.program.address_space import AddressSpace
+from repro.program.builder import Program
+from repro.sync.library import barrier_wait
+from repro.sync.objects import Barrier, Mutex
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    compute,
+    locked_update_block,
+    private_sweep,
+    read_block,
+    write_block,
+)
+
+CELL_POS_WORDS = 6
+CELL_ACC_WORDS = 2
+STEPS = 2
+
+
+def build(params: WorkloadParams) -> Program:
+    space = AddressSpace()
+    step_barrier = Barrier.allocate(space, params.n_threads, "step")
+    cells_per_thread = params.scaled(4, minimum=2)
+    n_cells = cells_per_thread * params.n_threads
+    locks = [
+        Mutex.allocate(space, "cell%d" % c) for c in range(n_cells)
+    ]
+    cell_pos = [
+        space.alloc_array("cpos%d" % c, CELL_POS_WORDS)
+        for c in range(n_cells)
+    ]
+    cell_acc = [
+        space.alloc_array("cacc%d" % c, CELL_ACC_WORDS)
+        for c in range(n_cells)
+    ]
+
+    scratch = [
+        space.alloc_array("intrabuf.t%d" % t, 2048)
+        for t in range(params.n_threads)
+    ]
+
+    def body(tid):
+        owned = range(
+            tid * cells_per_thread, (tid + 1) * cells_per_thread
+        )
+        cursor = 0
+        for _step in range(STEPS):
+            for cell in owned:
+                neighbor = (cell + 1) % n_cells
+                shell = (cell + 2) % n_cells
+                # Interior interactions: read own + first- and second-
+                # shell neighbor positions, intra-molecular work on
+                # private buffers.
+                yield from read_block(cell_pos[cell])
+                yield from read_block(cell_pos[neighbor][:3])
+                yield from read_block(cell_pos[shell][:2])
+                cursor = yield from private_sweep(
+                    scratch[tid], cursor, 16
+                )
+                yield from compute(params.compute_grain * 2)
+                # Own-cell accumulation still takes the cell lock (a
+                # boundary molecule of the neighbor may target it too).
+                yield from locked_update_block(
+                    locks[cell], cell_acc[cell]
+                )
+                # Boundary contribution to the neighbor cell.
+                yield from locked_update_block(
+                    locks[neighbor], cell_acc[neighbor]
+                )
+            yield from barrier_wait(step_barrier)
+            # Integrate: owners write their cells' positions.
+            for cell in owned:
+                yield from read_block(cell_acc[cell])
+                yield from compute(params.compute_grain)
+                yield from write_block(cell_pos[cell], tid + 1)
+            yield from barrier_wait(step_barrier)
+
+    return Program(
+        [body] * params.n_threads, space, name="water-sp"
+    )
+
+
+SPEC = WorkloadSpec(
+    name="water-sp",
+    input_label="216 molecules",
+    description="spatial cells with neighbor-boundary accumulation locks",
+    build=build,
+    sync_style="sparse cell locks + barriers",
+)

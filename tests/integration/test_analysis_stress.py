@@ -1,0 +1,143 @@
+"""Race-report analysis tests and the 16-bit clock-overflow stress test."""
+
+import pytest
+
+from repro.analysis import build_report
+from repro.common.errors import DeadlockError
+from repro.cord import (
+    CordConfig,
+    CordDetector,
+    OrderLog,
+    replay_trace,
+    verify_replay,
+)
+from repro.detectors import IdealDetector
+from repro.engine import run_program
+from repro.injection import InjectionInterceptor
+from repro.program import AddressSpace, Program
+from repro.program.ops import FlagWaitOp, ReadOp, WriteOp
+from repro.sync import Mutex, acquire, release
+from repro.workloads import WorkloadParams, get_workload
+
+
+class TestRaceReport:
+    def injected_outcome(self):
+        spec = get_workload("raytrace")
+        program = spec.build(WorkloadParams(scale=0.5))
+        for target in range(0, 40, 3):
+            interceptor = InjectionInterceptor(target)
+            trace = run_program(program, seed=21, interceptor=interceptor)
+            outcome = IdealDetector(program.n_threads).run(trace)
+            if outcome.problem_detected:
+                return program, outcome
+        pytest.skip("no manifesting injection found")
+
+    def test_groups_by_allocation(self):
+        program, outcome = self.injected_outcome()
+        report = build_report(outcome, program.address_space)
+        assert report.total_flagged == outcome.raw_count
+        assert report.n_variables >= 1
+        # Image-tile races resolve to the named image allocation.
+        names = {group.allocation.split("[")[0] for group in report.groups}
+        assert any(not name.startswith("0x") for name in names)
+
+    def test_render(self):
+        program, outcome = self.injected_outcome()
+        report = build_report(outcome, program.address_space)
+        rendered = report.render()
+        assert "racy accesses" in rendered
+        assert "variable" in rendered
+
+    def test_clean_report(self):
+        from repro.detectors.base import DetectionOutcome
+
+        report = build_report(DetectionOutcome("CORD"))
+        assert "no data races" in report.render()
+
+
+class TestDeadlockRaise:
+    def test_raise_mode(self):
+        space = AddressSpace()
+        flag = space.alloc_sync("never")
+
+        def body(tid):
+            yield FlagWaitOp(flag, 1)
+
+        program = Program([body], space)
+        with pytest.raises(DeadlockError) as excinfo:
+            run_program(program, seed=1, on_deadlock="raise")
+        assert excinfo.value.blocked_threads == (0,)
+
+    def test_bad_mode_rejected(self):
+        from repro.common.errors import SimulationError
+
+        space = AddressSpace()
+
+        def body(tid):
+            yield ReadOp(0x100000)
+
+        with pytest.raises(SimulationError):
+            run_program(
+                Program([body], space), seed=1, on_deadlock="explode"
+            )
+
+
+class TestClockOverflowStress:
+    """Drive clocks far past 2^16 and verify everything still holds."""
+
+    def long_chain_program(self, rounds=4200):
+        # A tight lock ping-pong: every acquire jumps the clock by D, so
+        # clocks comfortably exceed 2^16 within a few thousand rounds.
+        space = AddressSpace()
+        mutex = Mutex.allocate(space, "hot")
+        word = space.alloc("w")
+
+        def body(tid):
+            for _ in range(rounds):
+                yield from acquire(mutex)
+                value = yield ReadOp(word)
+                yield WriteOp(word, (value or 0) + 1)
+                yield from release(mutex)
+
+        return Program([body] * 2, space, name="chain")
+
+    @pytest.fixture(scope="class")
+    def recorded(self):
+        program = self.long_chain_program()
+        trace = run_program(program, seed=3)
+        detector = CordDetector(CordConfig(d=16), 2)
+        outcome = detector.run(trace)
+        return program, trace, detector, outcome
+
+    def test_clocks_exceed_16_bits(self, recorded):
+        _program, _trace, detector, _outcome = recorded
+        assert max(detector.clocks) > (1 << 16)
+
+    def test_no_false_positives_at_scale(self, recorded):
+        program, trace, _detector, outcome = recorded
+        ideal = IdealDetector(2).run(trace)
+        assert outcome.flagged <= ideal.flagged
+
+    def test_binary_log_roundtrip_past_overflow(self, recorded):
+        _program, _trace, _detector, outcome = recorded
+        decoded = OrderLog.decode(outcome.log.encode())
+        assert [
+            (e.clock, e.thread, e.count) for e in decoded
+        ] == [(e.clock, e.thread, e.count) for e in outcome.log]
+
+    def test_replay_past_overflow(self, recorded):
+        program, trace, _detector, outcome = recorded
+        decoded = OrderLog.decode(outcome.log.encode())
+        replayed = replay_trace(program, decoded)
+        assert verify_replay(trace, replayed).equivalent
+
+    def test_window_mode_no_stalls(self):
+        # The paper: the walker keeps stale timestamps out and the
+        # sliding-window stall never fires.
+        program = self.long_chain_program(rounds=1500)
+        trace = run_program(program, seed=4)
+        detector = CordDetector(
+            CordConfig(d=16, use_window=True, walker_period=256), 2
+        )
+        outcome = detector.run(trace)
+        assert outcome.counters["window_violations"] == 0

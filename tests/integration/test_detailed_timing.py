@@ -1,0 +1,60 @@
+"""Integration tests for the event-driven timing model."""
+
+import pytest
+
+from repro.engine import run_program
+from repro.timingsim import (
+    TimingParams,
+    estimate_overhead,
+    estimate_overhead_detailed,
+)
+from repro.workloads import WorkloadParams, get_workload
+
+# Default compute grain: the detailed model's contention is sensitive to
+# shared-access density per cycle, which the default calibrates.
+TINY = WorkloadParams(scale=0.4)
+
+
+class TestDetailedModel:
+    def test_overhead_small_and_nonnegative(self):
+        trace = run_program(get_workload("ocean").build(TINY), seed=1)
+        result = estimate_overhead_detailed(trace)
+        assert 1.0 <= result.relative_time < 1.3
+        assert result.baseline_cycles > 0
+
+    def test_cord_adds_bus_traffic(self):
+        trace = run_program(get_workload("fmm").build(TINY), seed=1)
+        result = estimate_overhead_detailed(trace)
+        assert result.addr_bus_busy_cord > result.addr_bus_busy_baseline
+
+    def test_deterministic(self):
+        trace = run_program(get_workload("lu").build(TINY), seed=1)
+        a = estimate_overhead_detailed(trace)
+        b = estimate_overhead_detailed(trace)
+        assert a.cord_cycles == b.cord_cycles
+        assert a.retirement_stalls == b.retirement_stalls
+
+    def test_agrees_with_analytic_on_ordering(self):
+        cheap = run_program(get_workload("raytrace").build(TINY), seed=1)
+        pricey = run_program(get_workload("cholesky").build(TINY), seed=1)
+        for estimator in (
+            lambda t: estimate_overhead(t).relative_time,
+            lambda t: estimate_overhead_detailed(t).relative_time,
+        ):
+            assert estimator(cheap) <= estimator(pricey) + 1e-6
+
+    def test_empty_trace(self):
+        from repro.trace import Trace
+
+        result = estimate_overhead_detailed(Trace([], [0, 0, 0, 0]))
+        assert result.relative_time == 1.0
+
+    def test_custom_params_respected(self):
+        trace = run_program(get_workload("lu").build(TINY), seed=1)
+        slow_bus = estimate_overhead_detailed(
+            trace, TimingParams(addr_bus_service_cycles=64.0)
+        )
+        fast_bus = estimate_overhead_detailed(
+            trace, TimingParams(addr_bus_service_cycles=1.0)
+        )
+        assert slow_bus.overhead >= fast_bus.overhead

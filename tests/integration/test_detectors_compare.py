@@ -1,0 +1,117 @@
+"""Cross-detector comparison properties on injected workload runs.
+
+These encode the *orderings* the paper's Figures 12-17 rest on:
+Ideal >= InfCache >= L2Cache >= L1Cache, vector >= CORD at any D,
+CORD-D16 >= CORD-D1, and everything sound w.r.t. the oracle.
+"""
+
+import pytest
+
+from repro.detectors.registry import standard_suite, suite_by_name
+from repro.engine import run_program
+from repro.injection import InjectionInterceptor
+from repro.workloads import WorkloadParams, get_workload
+
+TINY = WorkloadParams(scale=0.35, compute_grain=8)
+
+APPS = ("fft", "ocean", "raytrace", "fmm")
+
+
+def run_all(trace, n_threads):
+    outcomes = {}
+    for spec in standard_suite():
+        outcomes[spec.name] = spec.build(n_threads).run(trace)
+    return outcomes
+
+
+def injected_traces(app, n=8):
+    spec = get_workload(app)
+    program = spec.build(TINY)
+    traces = []
+    for target in range(0, n * 4, 4):
+        interceptor = InjectionInterceptor(target)
+        trace = run_program(program, seed=13, interceptor=interceptor)
+        traces.append(trace)
+    return program, traces
+
+
+@pytest.mark.parametrize("app", APPS)
+class TestOrderings:
+    def test_soundness_everywhere(self, app):
+        program, traces = injected_traces(app)
+        for trace in traces:
+            outcomes = run_all(trace, program.n_threads)
+            oracle = outcomes["Ideal"]
+            for name, outcome in outcomes.items():
+                # Vector detectors are access-level sound; scalar CORD is
+                # run-level sound (see campaign._check_soundness).
+                if name.startswith("CORD"):
+                    if outcome.problem_detected:
+                        assert oracle.problem_detected, (name, trace.seed)
+                else:
+                    assert outcome.flagged <= oracle.flagged, (
+                        name, trace.seed,
+                    )
+
+    def test_history_limit_ordering(self, app):
+        program, traces = injected_traces(app)
+        totals = {name: 0 for name in
+                  ("Ideal", "InfCache", "L2Cache", "L1Cache")}
+        for trace in traces:
+            outcomes = run_all(trace, program.n_threads)
+            for name in totals:
+                totals[name] += outcomes[name].raw_count
+        assert totals["Ideal"] >= totals["InfCache"]
+        assert totals["InfCache"] >= totals["L2Cache"]
+        assert totals["L2Cache"] >= totals["L1Cache"]
+
+    def test_d_sweep_ordering(self, app):
+        program, traces = injected_traces(app)
+        totals = {d: 0 for d in (1, 4, 16, 256)}
+        for trace in traces:
+            outcomes = run_all(trace, program.n_threads)
+            for d in totals:
+                totals[d] += outcomes["CORD-D%d" % d].raw_count
+        assert totals[1] <= totals[4] <= totals[16] <= totals[256]
+
+    def test_vector_dominates_cord(self, app):
+        # The vector-clock comparison config with the same buffering
+        # must flag at least whatever CORD flags (clock precision only
+        # ever removes detections).
+        program, traces = injected_traces(app)
+        vector_total = 0
+        cord_total = 0
+        for trace in traces:
+            outcomes = run_all(trace, program.n_threads)
+            vector_total += outcomes["L2Cache"].raw_count
+            cord_total += outcomes["CORD-D16"].raw_count
+        assert cord_total <= vector_total
+
+
+class TestSuiteRegistry:
+    def test_standard_suite_names(self):
+        names = [spec.name for spec in standard_suite()]
+        assert names == [
+            "Ideal", "InfCache", "L2Cache", "L1Cache",
+            "CORD-D1", "CORD-D4", "CORD-D16", "CORD-D256",
+        ]
+
+    def test_reduced_suite(self):
+        names = [
+            spec.name
+            for spec in standard_suite(
+                include_d_sweep=False, include_cache_sweep=False
+            )
+        ]
+        assert names == ["Ideal", "L2Cache", "CORD-D16"]
+
+    def test_suite_by_name(self):
+        suite = suite_by_name(standard_suite())
+        assert suite["Ideal"].name == "Ideal"
+
+    def test_detectors_are_fresh_per_build(self):
+        spec = suite_by_name(standard_suite())["CORD-D16"]
+        a = spec.build(4)
+        b = spec.build(4)
+        assert a is not b
+        assert a.name == "CORD-D16"

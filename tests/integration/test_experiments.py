@@ -1,0 +1,123 @@
+"""Integration tests for the figure/table drivers (small configurations)."""
+
+import pytest
+
+from repro.experiments import (
+    Suite,
+    SuiteConfig,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    figure17,
+    order_recording_summary,
+    table1,
+)
+from repro.workloads import WorkloadParams
+
+#: Small but non-trivial suite: three apps, few runs (fast CI shape).
+SMALL = SuiteConfig(
+    runs_per_app=5,
+    workloads=("fft", "raytrace", "ocean"),
+    params=WorkloadParams(scale=0.35, compute_grain=8),
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    s = Suite(SMALL)
+    s.campaigns()
+    return s
+
+
+class TestTable1:
+    def test_rows(self):
+        table = table1()
+        assert len(table.rows) == 12
+        assert table.rows[0][0] == "barnes"
+        rendered = table.render()
+        assert "Table 1" in rendered
+        assert "teapot" in rendered
+
+
+class TestDetectionFigures:
+    def test_figure10(self, suite):
+        fig = figure10(suite)
+        assert set(fig.rows) == set(SMALL.workloads)
+        assert 0.0 < fig.average[0] <= 1.0
+        assert "Figure 10" in fig.render()
+
+    def test_figure12_13_consistency(self, suite):
+        f12 = figure12(suite)
+        f13 = figure13(suite)
+        # Raw detection is much sparser than problem detection.
+        assert f13.average_of("vs Ideal") <= f12.average_of("vs Ideal")
+        for fig in (f12, f13):
+            for values in fig.rows.values():
+                assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_figure14_15_ordering(self, suite):
+        f14 = figure14(suite)
+        f15 = figure15(suite)
+        for fig in (f14, f15):
+            avg = dict(zip(fig.series, fig.average))
+            assert avg["InfCache"] >= avg["L2Cache"] >= avg["L1Cache"]
+
+    def test_figure16_17_ordering(self, suite):
+        f16 = figure16(suite)
+        f17 = figure17(suite)
+        for fig in (f16, f17):
+            avg = dict(zip(fig.series, fig.average))
+            assert avg["CORD-D1"] <= avg["CORD-D4"]
+            assert avg["CORD-D4"] <= avg["CORD-D16"] + 1e-9
+            assert avg["CORD-D16"] <= avg["CORD-D256"] + 1e-9
+
+    def test_render_contains_average(self, suite):
+        assert "Average" in figure10(suite).render()
+
+    def test_value_accessors(self, suite):
+        fig = figure10(suite)
+        assert fig.value("fft", "manifested") == fig.rows["fft"][0]
+
+
+class TestFigure11:
+    def test_small_overhead_all_apps(self):
+        fig = figure11(
+            params=WorkloadParams(scale=0.5),
+            workloads=("lu", "cholesky", "raytrace"),
+        )
+        for app, values in fig.rows.items():
+            assert 1.0 <= values[0] < 1.10, app
+        assert fig.average[0] < 1.05
+
+    def test_cholesky_is_costlier_than_raytrace(self):
+        fig = figure11(workloads=("cholesky", "raytrace"))
+        assert fig.value("cholesky", "relative time") >= \
+            fig.value("raytrace", "relative time")
+
+
+class TestOrderRecordingSummary:
+    def test_all_apps_replay(self):
+        summary = order_recording_summary(
+            params=WorkloadParams(scale=0.3, compute_grain=8),
+            workloads=("fft", "lu", "water-sp"),
+        )
+        assert summary.all_ok
+        rendered = summary.render()
+        assert "clean replay" in rendered
+        for row in summary.rows:
+            assert row.log_bytes_clean < (1 << 20)  # paper: < 1 MB
+
+
+class TestSuite:
+    def test_campaigns_cached(self, suite):
+        first = suite.campaign("fft")
+        second = suite.campaign("fft")
+        assert first is second
+
+    def test_pooled_rates_bounded(self, suite):
+        rate = suite.average_problem_rate("CORD-D16", "Ideal")
+        assert 0.0 <= rate <= 1.0

@@ -1,0 +1,136 @@
+"""Integration tests for fault injection and campaigns (Section 3.4)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.detectors.registry import DetectorSpec, standard_suite
+from repro.engine import run_program
+from repro.injection import (
+    CampaignConfig,
+    InjectionInterceptor,
+    count_sync_instances,
+    run_campaign,
+    run_injected_once,
+)
+from repro.workloads import WorkloadParams, get_workload
+
+from tests.conftest import build_counter_program
+
+TINY = WorkloadParams(scale=0.25, compute_grain=8)
+
+
+class TestInjectionInterceptor:
+    def test_removes_exactly_one_instance(self):
+        program = build_counter_program()
+        baseline = count_sync_instances(program, seed=1)
+        interceptor = InjectionInterceptor(0)
+        run_program(program, seed=1, interceptor=interceptor)
+        assert interceptor.removed is not None
+        assert interceptor.seen >= baseline - 2  # injection may perturb
+
+    def test_target_beyond_instances_removes_nothing(self):
+        program = build_counter_program()
+        interceptor = InjectionInterceptor(10_000)
+        trace = run_program(program, seed=1, interceptor=interceptor)
+        assert interceptor.removed is None
+        assert not trace.hung
+
+    def test_removed_spec_identifies_kind(self):
+        program = build_counter_program()
+        kinds = set()
+        for target in range(20):
+            interceptor = InjectionInterceptor(target)
+            run_program(program, seed=1, interceptor=interceptor)
+            if interceptor.removed:
+                kinds.add(interceptor.removed.kind)
+        assert kinds == {"lock", "wait"}
+
+    def test_lock_removal_takes_unlock_too(self):
+        # Removing a lock instance must not trigger the engine's
+        # "unlock without hold" error: the pair is removed together.
+        program = build_counter_program()
+        for target in range(12):
+            interceptor = InjectionInterceptor(target)
+            run_program(program, seed=2, interceptor=interceptor)
+
+
+class TestBarrierInjection:
+    def test_some_barrier_removals_hang(self):
+        # Lost arrival-count updates can deadlock the barrier; the
+        # watchdog must convert that into a hung (not crashed) run.
+        program = build_counter_program(rounds=6)
+        saw_hung = False
+        for target in range(30):
+            interceptor = InjectionInterceptor(target)
+            trace = run_program(program, seed=3, interceptor=interceptor)
+            saw_hung = saw_hung or trace.hung
+        assert saw_hung
+
+
+class TestCampaign:
+    def test_counter_campaign_shape(self):
+        result = run_campaign(
+            lambda seed: build_counter_program(),
+            "counter",
+            CampaignConfig(n_runs=6),
+        )
+        assert len(result.runs) == 6
+        assert result.sync_instances > 0
+        assert set(result.detector_names) >= {"Ideal", "CORD-D16"}
+        assert 0.0 <= result.manifestation_rate <= 1.0
+
+    def test_rates_bounded_by_oracle(self):
+        result = run_campaign(
+            lambda seed: build_counter_program(),
+            "counter",
+            CampaignConfig(n_runs=8),
+        )
+        for name in result.detector_names:
+            assert result.problems_detected(name) <= \
+                result.problems_detected("Ideal")
+            assert 0.0 <= result.problem_rate(name) <= 1.0
+            assert result.races_detected(name) <= \
+                result.races_detected("Ideal")
+
+    def test_campaign_deterministic(self):
+        config = CampaignConfig(n_runs=4)
+        a = run_campaign(
+            lambda seed: build_counter_program(), "counter", config
+        )
+        b = run_campaign(
+            lambda seed: build_counter_program(), "counter", config
+        )
+        assert [r.flagged for r in a.runs] == [r.flagged for r in b.runs]
+
+    def test_workload_campaign_runs(self):
+        spec = get_workload("raytrace")
+        result = run_campaign(
+            spec.program_factory(TINY),
+            "raytrace",
+            CampaignConfig(n_runs=4),
+        )
+        assert result.n_manifested >= 1
+
+    def test_soundness_check_catches_planted_false_positive(self):
+        # A detector that flags a non-race must abort the campaign.
+        class LiarDetector:
+            name = "Liar"
+
+            def __init__(self):
+                from repro.detectors.base import DetectionOutcome
+
+                self.outcome = DetectionOutcome("Liar")
+
+            def run(self, trace):
+                self.outcome.flagged.add((0, 0))
+                return self.outcome
+
+        specs = list(standard_suite(False, False))
+        specs.append(DetectorSpec("Liar", lambda n: LiarDetector()))
+        with pytest.raises(SimulationError):
+            run_injected_once(
+                lambda seed: build_counter_program(),
+                seed=1,
+                target_index=10_000,  # no injection: clean run
+                detectors=specs,
+            )

@@ -1,0 +1,52 @@
+"""Integration tests for the Markdown report generator."""
+
+import pytest
+
+from repro.experiments.reportgen import generate_report, write_report
+from repro.experiments.runner import SuiteConfig
+from repro.workloads import WorkloadParams
+
+SMALL = SuiteConfig(
+    runs_per_app=3,
+    workloads=("fft", "raytrace"),
+    params=WorkloadParams(scale=0.35, compute_grain=8),
+)
+
+
+class TestReportGeneration:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(config=SMALL)
+
+    def test_contains_every_section(self, report):
+        for heading in (
+            "# CORD reproduction report",
+            "## Table 1",
+            "## Figure 10",
+            "## Figure 12",
+            "## Figure 13",
+            "## Figure 14",
+            "## Figure 15",
+            "## Figure 16",
+            "## Figure 17",
+            "## Figure 11",
+            "Wilson intervals",
+            "## Order recording and replay",
+        ):
+            assert heading in report, heading
+
+    def test_tables_are_fenced(self, report):
+        assert report.count("```") % 2 == 0
+        assert report.count("```") >= 20
+
+    def test_apps_limited_to_config(self, report):
+        # Table 1 lists all twelve, but the campaign figures only the
+        # configured subset.
+        figure10_block = report.split("## Figure 10")[1]
+        assert "fft" in figure10_block
+        assert "water-n2" not in figure10_block.split("## Figure 12")[0]
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "r.md", config=SMALL)
+        assert path.exists()
+        assert path.read_text("utf-8").startswith("# CORD")

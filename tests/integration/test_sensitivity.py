@@ -1,0 +1,57 @@
+"""Integration tests for the sensitivity-sweep drivers."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    SweepResult,
+    cache_sensitivity,
+    d_sensitivity,
+)
+from repro.workloads import WorkloadParams
+
+FAST = WorkloadParams(scale=0.3, compute_grain=8)
+
+
+class TestSweepResult:
+    def test_render(self):
+        sweep = SweepResult("D", [1, 4], [0.3, 0.6], [0.1, 0.2])
+        out = sweep.render()
+        assert "Sensitivity sweep over D" in out
+        assert "60.0%" in out
+
+    def test_monotonicity_check(self):
+        up = SweepResult("x", [1, 2], [0.3, 0.6], [0, 0])
+        down = SweepResult("x", [1, 2], [0.6, 0.3], [0, 0])
+        assert up.is_monotone_nondecreasing()
+        assert not down.is_monotone_nondecreasing()
+
+
+class TestDSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return d_sensitivity(
+            workloads=("fft",),
+            d_values=(1, 4, 16),
+            runs_per_app=5,
+            params=FAST,
+        )
+
+    def test_shape(self, sweep):
+        assert sweep.points == [1, 4, 16]
+        assert len(sweep.problem_rates) == 3
+        assert all(0.0 <= r <= 1.0 for r in sweep.problem_rates)
+
+    def test_raw_rates_grow_with_d(self, sweep):
+        assert sweep.raw_rates[0] <= sweep.raw_rates[-1]
+
+
+class TestCacheSweep:
+    def test_infinite_at_least_as_good_as_tiny(self):
+        sweep = cache_sensitivity(
+            workloads=("fft",),
+            cache_sizes=(2048, None),
+            runs_per_app=5,
+            params=FAST,
+        )
+        assert sweep.points == ["2048B", "inf"]
+        assert sweep.problem_rates[0] <= sweep.problem_rates[1] + 1e-9

@@ -1,0 +1,96 @@
+"""Integration tests for trace serialization and scheduled migrations."""
+
+import pytest
+
+from repro.common.errors import LogFormatError
+from repro.cord import CordConfig, CordDetector, replay_trace, verify_replay
+from repro.detectors import IdealDetector
+from repro.engine import run_program
+from repro.trace import decode_trace, encode_trace
+
+from tests.conftest import build_counter_program
+
+
+class TestTraceSerialization:
+    def test_roundtrip(self):
+        program = build_counter_program()
+        trace = run_program(program, seed=5)
+        restored = decode_trace(encode_trace(trace))
+        assert restored.name == trace.name
+        assert restored.final_icounts == trace.final_icounts
+        assert restored.hung == trace.hung
+        assert restored.seed == trace.seed
+        assert [e.key() for e in restored.events] == [
+            e.key() for e in trace.events
+        ]
+        assert [e.value for e in restored.events] == [
+            e.value for e in trace.events
+        ]
+
+    def test_detector_agrees_on_restored_trace(self):
+        program = build_counter_program()
+        trace = run_program(program, seed=6)
+        restored = decode_trace(encode_trace(trace))
+        original = CordDetector(CordConfig(), 4).run(trace)
+        again = CordDetector(CordConfig(), 4).run(restored)
+        assert original.flagged == again.flagged
+        assert [
+            (e.clock, e.thread, e.count) for e in original.log
+        ] == [(e.clock, e.thread, e.count) for e in again.log]
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(LogFormatError):
+            decode_trace(b"NOTATRACE" + b"\x00" * 32)
+
+    def test_truncated_payload_rejected(self):
+        program = build_counter_program()
+        data = encode_trace(run_program(program, seed=5))
+        with pytest.raises(LogFormatError):
+            decode_trace(data[:-5])
+
+    def test_hung_and_seedless_flags_roundtrip(self):
+        from repro.trace import Trace
+
+        trace = Trace([], [0, 0], name="empty", hung=True, seed=None)
+        restored = decode_trace(encode_trace(trace))
+        assert restored.hung
+        assert restored.seed is None
+        assert len(restored.events) == 0
+
+
+class TestScheduledMigrations:
+    def test_migrated_run_stays_sound(self):
+        program = build_counter_program()
+        trace = run_program(program, seed=7)
+        ideal = IdealDetector(4).run(trace)
+        detector = CordDetector(CordConfig(d=16), 4)
+        # Bounce thread 0 between processors mid-run, and move thread 2
+        # late; the +D rule must prevent any self-race false positives.
+        schedule = [
+            (len(trace.events) // 4, 0, 1),
+            (len(trace.events) // 2, 0, 0),
+            (3 * len(trace.events) // 4, 2, 3),
+        ]
+        outcome = detector.run_with_migrations(trace, schedule)
+        assert outcome.flagged <= ideal.flagged
+
+    def test_migrated_run_still_replays(self):
+        program = build_counter_program()
+        trace = run_program(program, seed=8)
+        detector = CordDetector(CordConfig(d=16), 4)
+        schedule = [(len(trace.events) // 3, 1, 2)]
+        outcome = detector.run_with_migrations(trace, schedule)
+        replayed = replay_trace(program, outcome.log)
+        verdict = verify_replay(trace, replayed)
+        assert verdict.equivalent, verdict.detail
+
+    def test_migration_counts_in_log(self):
+        program = build_counter_program()
+        trace = run_program(program, seed=8)
+        plain = CordDetector(CordConfig(d=16), 4).run(trace)
+        migrated_detector = CordDetector(CordConfig(d=16), 4)
+        migrated = migrated_detector.run_with_migrations(
+            trace, [(10, 0, 1), (20, 0, 2)]
+        )
+        # Each migration adds one clock change, hence log entries.
+        assert len(migrated.log) >= len(plain.log)

@@ -1,0 +1,98 @@
+"""Integration tests for the timing model (Figure 11's machinery)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.engine import run_program
+from repro.timingsim import (
+    AccessKind,
+    DataCacheModel,
+    TimingParams,
+    estimate_overhead,
+)
+from repro.workloads import WorkloadParams, get_workload
+
+from tests.conftest import build_counter_program
+
+TINY = WorkloadParams(scale=0.25, compute_grain=8)
+
+
+class TestTimingParams:
+    def test_defaults_follow_paper(self):
+        params = TimingParams()
+        assert params.memory_cycles == 600.0
+        assert params.cache_to_cache_cycles == 20.0
+        assert params.l1_size == 8 * 1024
+        assert params.l2_size == 32 * 1024
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TimingParams(window_events=0)
+        with pytest.raises(ConfigError):
+            TimingParams(memory_cycles=-1)
+
+
+class TestDataCacheModel:
+    def classify(self, trace):
+        return DataCacheModel(4, TimingParams()).classify(trace)
+
+    def test_cold_misses_then_hits(self):
+        trace = run_program(build_counter_program(), seed=1)
+        classified = self.classify(trace)
+        assert classified[0].kind == AccessKind.MEMORY
+        kinds = {c.kind for c in classified}
+        assert AccessKind.L1_HIT in kinds
+
+    def test_sharing_produces_cache_to_cache(self):
+        trace = run_program(build_counter_program(), seed=1)
+        kinds = {c.kind for c in self.classify(trace)}
+        assert AccessKind.CACHE_TO_CACHE in kinds
+
+    def test_write_to_shared_line_upgrades(self):
+        trace = run_program(build_counter_program(), seed=1)
+        kinds = {c.kind for c in self.classify(trace)}
+        assert AccessKind.UPGRADE in kinds
+
+    def test_bus_transactions_on_misses_only(self):
+        trace = run_program(build_counter_program(), seed=1)
+        for info in self.classify(trace):
+            if info.kind in (AccessKind.L1_HIT, AccessKind.L2_HIT):
+                assert info.addr_bus_tx == 0
+            else:
+                assert info.addr_bus_tx == 1
+
+
+class TestOverheadEstimate:
+    def test_overhead_is_small_and_positive(self):
+        spec = get_workload("ocean")
+        trace = run_program(spec.build(TINY), seed=1)
+        result = estimate_overhead(trace)
+        assert 1.0 <= result.relative_time < 1.2
+        assert result.n_windows >= 1
+        assert result.extra_check_tx >= 0
+
+    def test_more_sync_means_more_overhead(self):
+        quiet = run_program(get_workload("raytrace").build(TINY), seed=1)
+        busy = run_program(get_workload("cholesky").build(TINY), seed=1)
+        assert (
+            estimate_overhead(busy).relative_time
+            >= estimate_overhead(quiet).relative_time
+        )
+
+    def test_deterministic(self):
+        trace = run_program(get_workload("lu").build(TINY), seed=1)
+        a = estimate_overhead(trace)
+        b = estimate_overhead(trace)
+        assert a.cord_cycles == b.cord_cycles
+
+    def test_window_size_changes_granularity(self):
+        trace = run_program(get_workload("lu").build(TINY), seed=1)
+        coarse = estimate_overhead(trace, TimingParams(window_events=5000))
+        fine = estimate_overhead(trace, TimingParams(window_events=100))
+        assert fine.n_windows > coarse.n_windows
+
+    def test_empty_trace(self):
+        from repro.trace import Trace
+
+        result = estimate_overhead(Trace([], [0, 0, 0, 0]))
+        assert result.relative_time == 1.0

@@ -1,0 +1,89 @@
+"""Integration tests for workload validation/characterization."""
+
+import pytest
+
+from repro.workloads import WorkloadParams
+from repro.workloads.validation import (
+    ValidationReport,
+    characterize,
+    validate_workloads,
+)
+
+FAST = WorkloadParams(scale=0.3, compute_grain=8)
+
+
+class TestCharacterize:
+    def test_profile_fields(self):
+        profile = characterize("raytrace", FAST)
+        assert profile.name == "raytrace"
+        assert profile.input_label == "teapot"
+        assert profile.events > 100
+        assert profile.instructions > profile.events
+        assert 0 < profile.sync_percent < 50
+        assert profile.lock_instances > 0
+        assert profile.wait_instances > 0
+        assert profile.footprint_kb > 1
+        assert 0 < profile.sharing_percent <= 100
+
+
+class TestValidateWorkloads:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return validate_workloads(
+            names=("fft", "lu", "water-sp"),
+            params=FAST,
+            seeds=(1, 2),
+        )
+
+    def test_all_race_free(self, report):
+        assert report.all_race_free
+        assert not report.failures
+
+    def test_profiles_cover_names(self, report):
+        assert [p.name for p in report.profiles] == [
+            "fft", "lu", "water-sp",
+        ]
+
+    def test_render(self, report):
+        out = report.render()
+        assert "race-free" in out
+        assert "fft" in out
+
+    def test_detects_planted_race(self):
+        # A deliberately racy "workload" must fail validation: patch a
+        # temporary spec into the registry lookup path.
+        from repro.program import AddressSpace, Program
+        from repro.program.ops import ReadOp, WriteOp
+        from repro.workloads import registry
+        from repro.workloads.base import WorkloadSpec
+
+        def build(params):
+            space = AddressSpace()
+            word = space.alloc("w", align_to_line=True)
+
+            def body(tid):
+                value = yield ReadOp(word)
+                yield WriteOp(word, (value or 0) + 1)
+
+            return Program([body] * 2, space, name="racy")
+
+        spec = WorkloadSpec("racy", "-", "deliberately racy", build)
+        registry._BY_NAME["racy"] = spec
+        try:
+            report = validate_workloads(
+                names=("racy",), params=FAST, seeds=(1, 2, 3, 4)
+            )
+            assert not report.all_race_free
+            assert "racy" in report.failures
+        finally:
+            del registry._BY_NAME["racy"]
+
+
+class TestCliCharacterize:
+    def test_single_app(self, capsys):
+        from repro.cli import main
+
+        assert main(["characterize", "water-sp", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "water-sp" in out
+        assert "yes" in out

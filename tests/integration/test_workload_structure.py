@@ -1,0 +1,140 @@
+"""Structural assertions per workload analogue.
+
+The figure shapes rest on each analogue exhibiting its application's
+characteristic sharing/synchronization structure; these tests pin those
+characteristics so refactors cannot silently degrade them.
+"""
+
+import pytest
+
+from repro.engine import run_program
+from repro.program.ops import FlagSetOp, FlagWaitOp, LockOp
+from repro.engine.interceptor import SyncInterceptor
+from repro.trace import compute_stats
+from repro.workloads import WorkloadParams, get_workload
+
+PARAMS = WorkloadParams(scale=0.5)
+
+
+class OpCensus(SyncInterceptor):
+    """Counts injectable primitive invocations by kind and address."""
+
+    def __init__(self, space):
+        self.space = space
+        self.locks = {}
+        self.waits = {}
+
+    def on_sync_instance(self, thread, op):
+        name = self.space.name_of(op.address)
+        table = self.locks if isinstance(op, LockOp) else self.waits
+        table[name] = table.get(name, 0) + 1
+        return False
+
+
+def census(name, seed=3):
+    program = get_workload(name).build(PARAMS)
+    interceptor = OpCensus(program.address_space)
+    trace = run_program(program, seed=seed, interceptor=interceptor)
+    return program, trace, interceptor
+
+
+class TestSyncCharacter:
+    def test_cholesky_is_most_sync_intensive(self):
+        # The Figure 11 worst case depends on this.
+        fractions = {}
+        for name in ("cholesky", "raytrace", "lu", "ocean"):
+            trace = run_program(get_workload(name).build(PARAMS), seed=2)
+            fractions[name] = compute_stats(trace).sync_fraction
+        assert fractions["cholesky"] == max(fractions.values())
+
+    def test_water_n2_locks_denser_than_water_sp(self):
+        # The O(n^2) variant accumulates under per-molecule locks for
+        # every pair; the spatial variant only at cell boundaries.
+        _p, n2_trace, n2 = census("water-n2")
+        _p, sp_trace, sp = census("water-sp")
+        n2_rate = sum(n2.locks.values()) / len(n2_trace.events)
+        sp_rate = sum(sp.locks.values()) / len(sp_trace.events)
+        assert n2_rate > sp_rate
+
+    def test_barrier_apps_have_no_app_level_locks(self):
+        # lu is barriers-plus-norms-lock only; its lock census should
+        # name only barrier mutexes and the norms lock.
+        _p, _t, interceptor = census("lu")
+        for name in interceptor.locks:
+            assert name in ("step.mutex", "norms"), name
+
+
+class TestSharingCharacter:
+    def test_raytrace_scene_is_read_only_shared(self):
+        program, trace, _i = census("raytrace")
+        space = program.address_space
+        scene_writes = [
+            e for e in trace.events
+            if e.is_write and space.name_of(e.address) == "scene"
+        ]
+        # Scene array base is named; no write ever touches its base (or,
+        # by construction, any of its words).
+        assert not scene_writes
+
+    def test_radix_output_lines_are_write_shared(self):
+        # The permutation interleaves threads' ranks within lines --
+        # word-disjoint, line-shared writes (what per-word bits handle).
+        program, trace, _i = census("radix")
+        line_writers = {}
+        for event in trace.events:
+            if event.is_write and not event.is_sync:
+                line_writers.setdefault(
+                    event.address & ~63, set()
+                ).add(event.thread)
+        assert any(len(w) >= 3 for w in line_writers.values())
+
+    def test_pipeline_flags_in_fft_and_fmm(self):
+        # The Figure 8-style producer pattern: each thread performs many
+        # sync writes to its own stream/upward flag.
+        for name, prefix in (("fft", "streamflag"), ("fmm", "upflag")):
+            program = get_workload(name).build(PARAMS)
+            space = program.address_space
+            trace = run_program(program, seed=4)
+            sets_per_flag = {}
+            for event in trace.events:
+                label = space.name_of(event.address)
+                if label.startswith(prefix) and event.is_write:
+                    sets_per_flag[label] = sets_per_flag.get(label, 0) + 1
+            assert len(sets_per_flag) == 4, name
+            assert min(sets_per_flag.values()) >= 10, name
+
+    def test_long_range_blocks_exist(self):
+        # barnes/lu/fft carry the lock-protected phase-spanning block
+        # that feeds Figures 14/15.
+        for name, lock_name in (
+            ("barnes", "bounds"),
+            ("lu", "norms"),
+            ("fft", "plan"),
+        ):
+            _p, _t, interceptor = census(name)
+            assert any(
+                key == lock_name for key in interceptor.locks
+            ), (name, interceptor.locks)
+
+
+class TestQueueCharacter:
+    @pytest.mark.parametrize(
+        "name,queue", [("raytrace", "tiles"), ("cholesky", "queue")]
+    )
+    def test_task_queues_serialize_all_threads(self, name, queue):
+        _p, trace, interceptor = census(name)
+        assert interceptor.locks.get(queue, 0) > trace.n_threads
+
+    def test_radiosity_steals(self):
+        # Every thread eventually pops from foreign queues: the per-run
+        # lock census shows each queue lock acquired more often than one
+        # thread's own tasks would require.
+        program, trace, interceptor = census("radiosity")
+        queue_locks = {
+            k: v for k, v in interceptor.locks.items()
+            if k.startswith("queue")
+        }
+        assert len(queue_locks) == 4
+        # Each queue is touched ~tasks+steal-probes times; at minimum
+        # every queue must be visited by several threads' probes.
+        assert min(queue_locks.values()) >= 4

@@ -1,0 +1,111 @@
+"""Integration tests over all twelve workload analogues."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cord import CordConfig, CordDetector
+from repro.detectors import IdealDetector
+from repro.engine import run_program
+from repro.trace import compute_stats
+from repro.workloads import (
+    WorkloadParams,
+    all_workloads,
+    get_workload,
+    workload_names,
+)
+
+TINY = WorkloadParams(scale=0.25, compute_grain=8)
+
+ALL_NAMES = workload_names()
+
+
+class TestRegistry:
+    def test_twelve_apps(self):
+        assert len(all_workloads()) == 12
+
+    def test_names_match_table1(self):
+        assert ALL_NAMES == [
+            "barnes", "cholesky", "fft", "fmm", "lu", "ocean",
+            "radiosity", "radix", "raytrace", "volrend",
+            "water-n2", "water-sp",
+        ]
+
+    def test_lookup(self):
+        assert get_workload("lu").name == "lu"
+        with pytest.raises(ConfigError):
+            get_workload("nonesuch")
+
+    def test_specs_have_labels(self):
+        for spec in all_workloads():
+            assert spec.input_label
+            assert spec.description
+            assert spec.sync_style
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryWorkload:
+    def test_builds_and_completes(self, name):
+        trace = run_program(get_workload(name).build(TINY), seed=1)
+        assert not trace.hung
+        assert len(trace.events) > 100
+
+    def test_clean_run_is_race_free(self, name):
+        # The paper's evaluation codes are data-race-free until injected.
+        program = get_workload(name).build(TINY)
+        trace = run_program(program, seed=2)
+        ideal = IdealDetector(program.n_threads).run(trace)
+        assert ideal.raw_count == 0, ideal.races[:3]
+
+    def test_cord_silent_on_clean_run(self, name):
+        program = get_workload(name).build(TINY)
+        trace = run_program(program, seed=3)
+        outcome = CordDetector(
+            CordConfig(), program.n_threads
+        ).run(trace)
+        assert outcome.raw_count == 0, outcome.races[:3]
+
+    def test_deterministic_given_seed(self, name):
+        program = get_workload(name).build(TINY)
+        a = run_program(program, seed=4)
+        b = run_program(program, seed=4)
+        assert [e.key() for e in a.events] == [e.key() for e in b.events]
+
+    def test_has_sync_and_sharing(self, name):
+        trace = run_program(get_workload(name).build(TINY), seed=5)
+        stats = compute_stats(trace)
+        assert stats.n_sync > 0
+        assert stats.shared_words > 0
+        assert 0 < stats.sync_fraction < 0.5
+
+    def test_scaling_changes_size(self, name):
+        small = run_program(
+            get_workload(name).build(WorkloadParams(scale=0.25)), seed=1
+        )
+        large = run_program(
+            get_workload(name).build(WorkloadParams(scale=1.0)), seed=1
+        )
+        assert len(large.events) > len(small.events)
+
+
+class TestWorkloadParams:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WorkloadParams(n_threads=1)
+        with pytest.raises(ConfigError):
+            WorkloadParams(scale=0)
+        with pytest.raises(ConfigError):
+            WorkloadParams(compute_grain=0)
+
+    def test_scaled_clamps(self):
+        params = WorkloadParams(scale=0.01)
+        assert params.scaled(10, minimum=2) == 2
+
+    def test_with_scale(self):
+        assert WorkloadParams().with_scale(2.0).scale == 2.0
+
+    def test_program_factory_ignores_seed(self):
+        spec = get_workload("lu")
+        factory = spec.program_factory(TINY)
+        a = run_program(factory(1), seed=7)
+        b = run_program(factory(999), seed=7)
+        assert [e.key() for e in a.events] == [e.key() for e in b.events]

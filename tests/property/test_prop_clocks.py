@@ -1,0 +1,125 @@
+"""Property-based tests for clocks and the sliding-window comparator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks import ScalarClock, SlidingWindowComparator, VectorClock
+
+vectors = st.lists(
+    st.integers(min_value=0, max_value=50), min_size=3, max_size=3
+).map(VectorClock)
+
+
+class TestVectorClockLattice:
+    @given(vectors, vectors)
+    def test_join_commutative(self, a, b):
+        assert a.joined(b) == b.joined(a)
+
+    @given(vectors, vectors, vectors)
+    def test_join_associative(self, a, b, c):
+        assert a.joined(b).joined(c) == a.joined(b.joined(c))
+
+    @given(vectors)
+    def test_join_idempotent(self, a):
+        assert a.joined(a) == a
+
+    @given(vectors, vectors)
+    def test_join_is_upper_bound(self, a, b):
+        join = a.joined(b)
+        assert join.dominates(a) and join.dominates(b)
+
+    @given(vectors, vectors)
+    def test_order_trichotomy(self, a, b):
+        relations = [
+            a == b,
+            a.happens_before(b),
+            b.happens_before(a),
+            a.concurrent_with(b),
+        ]
+        assert relations.count(True) == 1
+
+    @given(vectors, vectors, vectors)
+    def test_happens_before_transitive(self, a, b, c):
+        if a.happens_before(b) and b.happens_before(c):
+            assert a.happens_before(c)
+
+    @given(vectors, st.integers(min_value=0, max_value=2))
+    def test_tick_strictly_advances(self, a, thread):
+        assert a.happens_before(a.ticked(thread))
+
+
+class TestSlidingWindowAgreement:
+    @given(
+        st.integers(min_value=0, max_value=1 << 22),
+        st.integers(min_value=-(1 << 15) + 1, max_value=(1 << 15) - 1),
+    )
+    def test_windowed_equals_unbounded_within_window(self, base, delta):
+        other = base + delta
+        if other < 0:
+            return
+        cmp = SlidingWindowComparator()
+        assert cmp.within_window(base, other)
+        assert cmp.greater(base, other) == (base > other)
+        assert cmp.greater_equal(base, other) == (base >= other)
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 22),
+        st.integers(min_value=0, max_value=(1 << 14)),
+        st.integers(min_value=1, max_value=256),
+    )
+    def test_synchronized_after_matches_unbounded(self, ts, gap, d):
+        cmp = SlidingWindowComparator()
+        clock = ts + gap
+        assert cmp.synchronized_after(clock, ts, d) == (clock >= ts + d)
+
+
+class TestScalarClockProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["race", "sync_read", "sync_write"]),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            max_size=40,
+        ),
+        st.sampled_from([1, 4, 16, 256]),
+    )
+    def test_clock_never_decreases(self, updates, d):
+        clock = ScalarClock(d=d)
+        previous = clock.value
+        for kind, ts in updates:
+            if kind == "race":
+                clock.update_for_race(ts)
+            elif kind == "sync_read":
+                clock.update_for_sync_read(ts)
+            else:
+                clock.increment_after_sync_write()
+            assert clock.value >= previous
+            previous = clock.value
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from([1, 4, 16]),
+    )
+    def test_race_update_establishes_order(self, initial, ts, d):
+        clock = ScalarClock(d=d, initial=initial)
+        clock.update_for_race(ts)
+        assert clock.ordered_after(ts)
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from([1, 4, 16]),
+    )
+    def test_sync_read_establishes_window(self, initial, ts, d):
+        clock = ScalarClock(d=d, initial=initial)
+        clock.update_for_sync_read(ts)
+        assert clock.synchronized_after(ts)
+
+    @given(st.integers(min_value=1, max_value=256))
+    def test_synchronized_implies_ordered(self, d):
+        clock = ScalarClock(d=d, initial=100)
+        for ts in range(0, 120):
+            if clock.synchronized_after(ts):
+                assert clock.ordered_after(ts)

@@ -1,0 +1,49 @@
+"""Property tests: the epoch oracle agrees with the full vector oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors import IdealDetector
+from repro.detectors.epoch import EpochDetector
+from repro.engine import run_program
+
+from tests.property.test_prop_system import build_program, programs, seeds
+
+
+@settings(max_examples=80, deadline=None)
+@given(programs, seeds)
+def test_same_problem_verdict(thread_actions, seed):
+    program = build_program(thread_actions)
+    trace = run_program(program, seed=seed)
+    ideal = IdealDetector(program.n_threads).run(trace)
+    epoch = EpochDetector(program.n_threads).run(trace)
+    assert ideal.problem_detected == epoch.problem_detected
+
+
+@settings(max_examples=80, deadline=None)
+@given(programs, seeds)
+def test_same_racy_words(thread_actions, seed):
+    # Stronger: the *set of words* with detected races is identical --
+    # per-word detection state is only ever touched by that word's
+    # accesses, and a demoted read history is always covered by the
+    # ordering write that demoted it.
+    program = build_program(thread_actions)
+    trace = run_program(program, seed=seed)
+    ideal = IdealDetector(program.n_threads).run(trace)
+    epoch = EpochDetector(program.n_threads).run(trace)
+    ideal_words = {race.address for race in ideal.races}
+    epoch_words = {race.address for race in epoch.races}
+    assert ideal_words == epoch_words
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs, seeds)
+def test_epochs_dominate_representation(thread_actions, seed):
+    # The optimization's payoff: most read tracking stays in epoch form.
+    program = build_program(thread_actions)
+    trace = run_program(program, seed=seed)
+    detector = EpochDetector(program.n_threads)
+    detector.run(trace)
+    total = detector.epoch_reads + detector.vector_reads
+    if total >= 10:
+        assert detector.epoch_reads >= detector.vector_reads

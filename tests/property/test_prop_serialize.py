@@ -1,0 +1,108 @@
+"""Property tests: trace codec round-trips and migration soundness."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import AccessClass, AccessMode
+from repro.cord import CordConfig, CordDetector
+from repro.detectors import IdealDetector
+from repro.engine import run_program
+from repro.trace import MemoryEvent, Trace, decode_trace, encode_trace
+
+from tests.property.test_prop_system import build_program, programs, seeds
+
+events_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),            # thread
+        st.integers(min_value=0, max_value=2**30).map(
+            lambda a: a * 4
+        ),                                                # address
+        st.booleans(),                                    # write
+        st.booleans(),                                    # sync
+        st.integers(min_value=0, max_value=2**31),        # icount
+        st.integers(min_value=-(2**40), max_value=2**40),  # value
+    ),
+    max_size=50,
+)
+
+
+@given(
+    events_strategy,
+    st.booleans(),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=2**40)),
+)
+def test_trace_codec_roundtrip(raw_events, hung, seed):
+    events = [
+        MemoryEvent(
+            index,
+            thread,
+            address,
+            AccessMode.WRITE if write else AccessMode.READ,
+            AccessClass.SYNC if sync else AccessClass.DATA,
+            icount,
+            value,
+        )
+        for index, (thread, address, write, sync, icount, value)
+        in enumerate(raw_events)
+    ]
+    trace = Trace(events, [2**31] * 4, name="prop", hung=hung, seed=seed)
+    restored = decode_trace(encode_trace(trace))
+    assert restored.hung == hung
+    assert restored.seed == seed
+    assert len(restored.events) == len(events)
+    for mine, theirs in zip(events, restored.events):
+        assert mine.key() == theirs.key()
+        assert mine.value == theirs.value
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    programs,
+    seeds,
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=200),  # event index
+            st.integers(min_value=0, max_value=2),    # thread
+            st.integers(min_value=0, max_value=3),    # processor
+        ),
+        max_size=4,
+    ),
+)
+def test_migrations_never_create_false_positives(
+    thread_actions, seed, schedule
+):
+    program = build_program(thread_actions)
+    trace = run_program(program, seed=seed)
+    usable = [
+        (index, thread, processor)
+        for index, thread, processor in schedule
+        if thread < program.n_threads
+    ]
+    ideal = IdealDetector(program.n_threads).run(trace)
+    detector = CordDetector(CordConfig(d=16), program.n_threads)
+    outcome = detector.run_with_migrations(trace, usable)
+    # Run-level soundness: reports only in genuinely racy executions.
+    if outcome.problem_detected:
+        assert ideal.problem_detected
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs, seeds)
+def test_directory_equals_snooping_everywhere(thread_actions, seed):
+    # The directory variant must produce identical races and identical
+    # order logs on arbitrary racy programs, not just the workloads.
+    from repro.cord import CordConfig, CordDetector
+    from repro.cord.directory import DirectoryCordDetector
+
+    program = build_program(thread_actions)
+    trace = run_program(program, seed=seed)
+    snoop = CordDetector(CordConfig(d=16), program.n_threads).run(trace)
+    directory_detector = DirectoryCordDetector(
+        CordConfig(d=16), program.n_threads
+    )
+    directory = directory_detector.run(trace)
+    assert snoop.flagged == directory.flagged
+    assert [(e.clock, e.thread, e.count) for e in snoop.log] == [
+        (e.clock, e.thread, e.count) for e in directory.log
+    ]
+    directory_detector.verify_directory()

@@ -1,0 +1,122 @@
+"""Property-based tests for caches, line metadata, and the log codec."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim import CacheGeometry, MetadataCache
+from repro.cord import OrderLog
+from repro.meta import LineMeta
+
+
+class _Payload:
+    def __init__(self):
+        self.data_valid = False
+
+
+line_addresses = st.integers(min_value=0, max_value=63).map(
+    lambda i: i * 64
+)
+
+
+class TestCacheInvariants:
+    @given(st.lists(line_addresses, max_size=200))
+    def test_capacity_and_residency(self, accesses):
+        geometry = CacheGeometry(4 * 64 * 2, 64, 4)  # 2 sets x 4 ways
+        cache = MetadataCache(geometry, _Payload)
+        inserted = set()
+        for line in accesses:
+            payload, evicted = cache.access(line)
+            inserted.add(line)
+            # Per-set occupancy never exceeds associativity.
+            for cache_set in cache._sets:
+                assert len(cache_set) <= geometry.associativity
+            # The just-touched line is always resident afterwards.
+            assert cache.peek(line) is payload
+        assert set(cache.lines()) <= inserted
+
+    @given(st.lists(line_addresses, max_size=200))
+    def test_eviction_accounting(self, accesses):
+        geometry = CacheGeometry(4 * 64 * 2, 64, 4)
+        cache = MetadataCache(geometry, _Payload)
+        total_evicted = 0
+        for line in accesses:
+            _, evicted = cache.access(line)
+            total_evicted += len(evicted)
+        assert cache.evictions == total_evicted
+        assert cache.insertions - total_evicted == len(cache)
+
+    @given(st.lists(line_addresses, max_size=200))
+    def test_infinite_cache_retains_everything(self, accesses):
+        cache = MetadataCache(CacheGeometry.infinite(), _Payload)
+        for line in accesses:
+            _, evicted = cache.access(line)
+            assert not evicted
+        assert set(cache.lines()) == set(accesses)
+
+
+record_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=30),   # timestamp
+        st.integers(min_value=0, max_value=15),   # word
+        st.booleans(),                            # is_write
+    ),
+    max_size=60,
+)
+
+
+class TestLineMetaInvariants:
+    @given(record_ops, st.integers(min_value=1, max_value=3))
+    def test_entry_count_bounded(self, ops, max_entries):
+        meta = LineMeta(max_entries)
+        for ts, word, is_write in ops:
+            meta.record_access(ts, word, is_write)
+            assert len(meta.entries) <= max_entries
+
+    @given(record_ops)
+    def test_latest_record_is_covered(self, ops):
+        meta = LineMeta(2)
+        for ts, word, is_write in ops:
+            meta.record_access(ts, word, is_write)
+            assert ts in list(
+                meta.conflicting_timestamps(word, is_write=True)
+            )
+
+    @given(record_ops)
+    def test_conflicts_subset_of_resident(self, ops):
+        meta = LineMeta(2)
+        for ts, word, is_write in ops:
+            meta.record_access(ts, word, is_write)
+        resident = {entry.ts for entry in meta.entries}
+        for word in range(16):
+            for mode in (True, False):
+                for ts in meta.conflicting_timestamps(word, mode):
+                    assert ts in resident
+
+
+def _log_entries():
+    # Per-thread strictly increasing clocks with jumps below 2^15 (the
+    # window the walker maintains); arbitrary interleaving of threads.
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),           # thread
+            st.integers(min_value=1, max_value=(1 << 15) - 1),  # jump
+            st.integers(min_value=0, max_value=1 << 20),     # count
+        ),
+        max_size=60,
+    )
+
+
+class TestLogCodecRoundtrip:
+    @given(_log_entries())
+    @settings(max_examples=200)
+    def test_roundtrip(self, jumps):
+        log = OrderLog()
+        clocks = {}
+        for thread, jump, count in jumps:
+            clock = clocks.get(thread, 1) + jump
+            clocks[thread] = clock
+            log.append(clock, thread, count)
+        decoded = OrderLog.decode(log.encode())
+        assert [
+            (e.clock, e.thread, e.count) for e in decoded
+        ] == [(e.clock, e.thread, e.count) for e in log]

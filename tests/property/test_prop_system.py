@@ -1,0 +1,177 @@
+"""System-level property tests: random programs, the three big claims.
+
+Hypothesis generates small multithreaded programs (reads/writes over a
+small shared pool, properly nested critical sections, compute blocks) and
+random scheduler seeds, then checks:
+
+1. **Determinism** -- same seed, same trace.
+2. **Soundness** -- on data-race-free executions CORD (at any D) reports
+   nothing; on racy executions a report implies a real race exists (the
+   level at which the paper's no-false-alarm guarantee holds; see
+   EXPERIMENTS.md).
+3. **Replay** -- re-execution from the order log is conflict-equivalent
+   to the recorded run, racy or not.
+
+The generated programs are deliberately racy (locks guard only some
+accesses), so these properties are exercised far outside the polite
+workload set.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cord import CordConfig, CordDetector, replay_trace, verify_replay
+from repro.detectors import IdealDetector
+from repro.engine import run_program
+from repro.program import AddressSpace, Program
+from repro.program.ops import ComputeOp, ReadOp, WriteOp
+from repro.sync import Mutex, acquire, release
+
+N_ADDRESSES = 6
+N_MUTEXES = 2
+
+# One thread's behavior: a list of actions.
+_action = st.one_of(
+    st.tuples(
+        st.just("data"),
+        st.integers(min_value=0, max_value=N_ADDRESSES - 1),
+        st.booleans(),
+    ),
+    st.tuples(
+        st.just("cs"),
+        st.integers(min_value=0, max_value=N_MUTEXES - 1),
+        st.integers(min_value=0, max_value=N_ADDRESSES - 1),
+    ),
+    st.tuples(
+        st.just("compute"),
+        st.integers(min_value=1, max_value=5),
+        st.just(0),
+    ),
+)
+
+_thread_actions = st.lists(_action, min_size=1, max_size=25)
+programs = st.lists(_thread_actions, min_size=2, max_size=3)
+seeds = st.integers(min_value=0, max_value=2**20)
+
+
+def build_program(thread_actions):
+    space = AddressSpace()
+    words = space.alloc_array("pool", N_ADDRESSES)
+    mutexes = [
+        Mutex.allocate(space, "m%d" % i) for i in range(N_MUTEXES)
+    ]
+
+    def make_body(actions):
+        def body(tid):
+            for kind, a, b in actions:
+                if kind == "data":
+                    if b:
+                        value = yield ReadOp(words[a])
+                        yield WriteOp(words[a], (value or 0) + 1)
+                    else:
+                        yield ReadOp(words[a])
+                elif kind == "cs":
+                    yield from acquire(mutexes[a])
+                    value = yield ReadOp(words[b])
+                    yield WriteOp(words[b], (value or 0) + 1)
+                    yield from release(mutexes[a])
+                else:
+                    yield ComputeOp(a)
+
+        return body
+
+    bodies = [make_body(actions) for actions in thread_actions]
+    return Program(bodies, space, name="hypothesis")
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs, seeds)
+def test_engine_determinism(thread_actions, seed):
+    program = build_program(thread_actions)
+    a = run_program(program, seed=seed)
+    b = run_program(program, seed=seed)
+    assert [e.key() for e in a.events] == [e.key() for e in b.events]
+    assert a.final_icounts == b.final_icounts
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs, seeds, st.sampled_from([1, 16]))
+def test_cord_never_alarms_on_race_free_runs(thread_actions, seed, d):
+    """The paper's soundness guarantee, at the level it actually holds.
+
+    On a data-race-free execution CORD must be silent.  On racy
+    executions, access-level exactness is not guaranteed (clock updates
+    on real data races can make a later ordered pair look reversed), but
+    a problem report always implies a real race exists.
+    """
+    program = build_program(thread_actions)
+    trace = run_program(program, seed=seed)
+    ideal = IdealDetector(program.n_threads).run(trace)
+    outcome = CordDetector(CordConfig(d=d), program.n_threads).run(trace)
+    if not ideal.problem_detected:
+        assert not outcome.problem_detected, sorted(outcome.flagged)[:3]
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs, seeds)
+def test_record_replay_equivalence(thread_actions, seed):
+    program = build_program(thread_actions)
+    trace = run_program(program, seed=seed)
+    outcome = CordDetector(CordConfig(), program.n_threads).run(trace)
+    replayed = replay_trace(program, outcome.log)
+    verdict = verify_replay(trace, replayed)
+    assert verdict.equivalent, verdict.detail
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs, seeds)
+def test_replay_through_codec(thread_actions, seed):
+    from repro.cord import OrderLog
+
+    program = build_program(thread_actions)
+    trace = run_program(program, seed=seed)
+    outcome = CordDetector(CordConfig(), program.n_threads).run(trace)
+    decoded = OrderLog.decode(outcome.log.encode())
+    replayed = replay_trace(program, decoded)
+    assert verify_replay(trace, replayed).equivalent
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs, seeds)
+def test_limited_vector_exactly_sound(thread_actions, seed):
+    # Unlike scalar clocks, the vector configurations never update clocks
+    # on data races, so they are access-level sound on *every* execution.
+    from repro.cachesim import CacheGeometry
+    from repro.detectors import LimitedVectorDetector
+
+    program = build_program(thread_actions)
+    trace = run_program(program, seed=seed)
+    ideal = IdealDetector(program.n_threads).run(trace)
+    limited = LimitedVectorDetector(
+        program.n_threads, CacheGeometry(8 * 1024)
+    ).run(trace)
+    assert limited.flagged <= ideal.flagged
+
+
+@settings(max_examples=50, deadline=None)
+@given(programs, seeds)
+def test_order_log_invariants(thread_actions, seed):
+    """Structural invariants of every recorded log.
+
+    Per thread: fragment counts sum exactly to the thread's final
+    instruction count, and clock values are strictly increasing.
+    Globally: the log is consistent with the trace's per-thread clock
+    at each boundary (monotone, anchored at the initial clock).
+    """
+    program = build_program(thread_actions)
+    trace = run_program(program, seed=seed)
+    outcome = CordDetector(CordConfig(), program.n_threads).run(trace)
+    for thread in range(program.n_threads):
+        entries = outcome.log.entries_of_thread(thread)
+        assert sum(e.count for e in entries) == \
+            trace.final_icounts[thread]
+        clocks = [e.clock for e in entries]
+        assert clocks == sorted(clocks)
+        assert len(set(clocks)) == len(clocks)  # strictly increasing
+        if clocks:
+            assert clocks[0] >= 1  # anchored at the initial clock

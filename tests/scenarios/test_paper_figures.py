@@ -1,0 +1,356 @@
+"""The paper's worked examples (Figures 1-9), executable.
+
+Each scenario hand-builds the exact access sequence of a figure and runs
+it through the CORD detector (and, where relevant, the Ideal oracle),
+asserting the behavior the paper's prose derives: which clock updates
+happen, which races are reported, which are deliberately missed, and that
+no false positives ever appear.
+
+Events are built directly (not via the engine) so the interleavings match
+the figures exactly.
+"""
+
+import pytest
+
+from repro.common.types import AccessClass, AccessMode
+from repro.cord import CordConfig, CordDetector
+from repro.detectors import IdealDetector
+from repro.trace import MemoryEvent, Trace
+
+
+class TraceBuilder:
+    """Builds figure interleavings event by event."""
+
+    def __init__(self, n_threads=2):
+        self.events = []
+        self.icounts = [0] * n_threads
+
+    def _add(self, thread, address, mode, klass, value=0):
+        event = MemoryEvent(
+            len(self.events), thread, address, mode, klass,
+            self.icounts[thread], value,
+        )
+        self.icounts[thread] += 1
+        self.events.append(event)
+        return event
+
+    def rd(self, thread, address):
+        return self._add(thread, address, AccessMode.READ,
+                         AccessClass.DATA)
+
+    def wr(self, thread, address, value=0):
+        return self._add(thread, address, AccessMode.WRITE,
+                         AccessClass.DATA, value)
+
+    def sync_rd(self, thread, address):
+        return self._add(thread, address, AccessMode.READ,
+                         AccessClass.SYNC)
+
+    def sync_wr(self, thread, address, value=0):
+        return self._add(thread, address, AccessMode.WRITE,
+                         AccessClass.SYNC, value)
+
+    def trace(self):
+        return Trace(self.events, list(self.icounts), name="figure")
+
+
+# Distinct cache lines for each variable (64-byte lines).
+X = 0x100000
+Y = 0x100040
+Z = 0x100080
+Q = 0x1000C0
+L = 0x8000000
+L1 = 0x8000040
+L2 = 0x8000080
+
+
+def run_cord(trace, d=16, n_threads=2, **config_kwargs):
+    detector = CordDetector(
+        CordConfig(d=d, **config_kwargs), n_threads
+    )
+    return detector, detector.run(trace)
+
+
+def flagged_addresses(outcome):
+    return {race.address for race in outcome.races}
+
+
+class TestFigure1:
+    """Lock-chain ordering: the conflict on X is transitive, not a race."""
+
+    def build(self):
+        b = TraceBuilder()
+        b.wr(0, X)          # WR X
+        b.sync_wr(0, L)     # unlock(L): WR L
+        b.sync_rd(1, L)     # lock(L): RD L observes the unlock
+        b.rd(1, X)          # RD X -- ordered through L, no data race
+        b.wr(0, Y)          # WR Y, concurrent with RD X (no conflict)
+        return b.trace()
+
+    def test_no_data_race_reported(self):
+        _det, outcome = run_cord(self.build())
+        assert outcome.raw_count == 0
+
+    def test_ideal_agrees(self):
+        outcome = IdealDetector(2).run(self.build())
+        assert outcome.raw_count == 0
+
+    def test_order_log_records_the_sync_race(self):
+        detector, outcome = run_cord(self.build())
+        # Thread 1's clock jumped at RD L: at least one entry for t1.
+        assert any(e.thread == 1 for e in outcome.log.entries)
+        assert detector.clocks[1] > detector.clocks[0] - 1
+
+
+class TestFigure2:
+    """A timestamp change erases the line's history; a second entry saves
+    most of it."""
+
+    LINE = 0x100000
+
+    def build(self):
+        # Thread 0 populates words 0..2 at one clock epoch, then a sync
+        # write changes its clock, then it writes word 3: the Figure 2
+        # situation where the new timestamp would erase everything.
+        b = TraceBuilder()
+        for word in range(3):
+            b.wr(0, self.LINE + 4 * word)
+        b.sync_wr(0, L)
+        b.wr(0, self.LINE + 12)
+        return b.trace()
+
+    def coverage(self, entries_per_line):
+        from repro.cord import CordConfig, CordDetector
+
+        detector = CordDetector(
+            CordConfig(d=1, entries_per_line=entries_per_line), 2
+        )
+        detector.run(self.build())
+        meta = detector.snoop.cache_of(0).peek(self.LINE)
+        return {
+            word
+            for word in range(4)
+            if list(meta.conflicting_timestamps(word, True))
+        }
+
+    def test_single_entry_erases_history(self):
+        # With one timestamp per line, the post-sync write resets all
+        # access bits: only word 3 remains covered.
+        assert self.coverage(1) == {3}
+
+    def test_two_entries_preserve_history(self):
+        # The paper's fix: the old timestamp and its access bits provide
+        # history for words not yet accessed at the new timestamp.
+        assert self.coverage(2) == {0, 1, 2, 3}
+
+
+class TestFigure3:
+    """A clock update on a data race can hide a second data race."""
+
+    def build(self):
+        b = TraceBuilder()
+        b.wr(0, Y)   # Thread A: WR Y at clk 1
+        b.wr(0, X)   # Thread A: WR X at clk 1
+        b.rd(1, X)   # Thread B: RD X -> race, clk(B) = 2
+        b.rd(1, Y)   # Thread B: RD Y -- ordered now (clk 2 > ts 1)
+        return b.trace()
+
+    def test_naive_scalar_clock_hides_second_race(self):
+        _det, outcome = run_cord(self.build(), d=1)
+        assert flagged_addresses(outcome) == {X}
+
+    def test_window_recovers_the_hidden_race(self):
+        # With D > 1 the detector knows the +1 update was not real
+        # synchronization, so Y is still reported (Section 2.6's point).
+        _det, outcome = run_cord(self.build(), d=4)
+        assert flagged_addresses(outcome) == {X, Y}
+
+    def test_ideal_sees_both(self):
+        outcome = IdealDetector(2).run(self.build())
+        assert flagged_addresses(outcome) == {X, Y}
+
+
+class TestFigure4:
+    """Clock must be incremented after a synchronization write."""
+
+    def build(self):
+        b = TraceBuilder()
+        b.sync_wr(0, L)   # Thread A: WR L (clk 1 -> 2 afterwards)
+        b.wr(0, X)        # Thread A: WR X at clk 2
+        b.sync_rd(1, L)   # Thread B: RD L -> clk = ts(L) + D
+        b.rd(1, X)        # Thread B: RD X -- real data race on X
+        return b.trace()
+
+    def test_race_on_x_detected(self):
+        # The write to X is *after* the sync write, so it is NOT ordered
+        # by L; the post-sync-write increment is what exposes it.
+        _det, outcome = run_cord(self.build(), d=4)
+        assert flagged_addresses(outcome) == {X}
+
+    def test_ideal_agrees(self):
+        assert flagged_addresses(
+            IdealDetector(2).run(self.build())
+        ) == {X}
+
+
+class TestFigure5:
+    """No clock increments on reads or data writes."""
+
+    def build(self):
+        b = TraceBuilder()
+        b.wr(0, X)   # Thread A: WR X at clk 1
+        b.rd(1, Y)   # Thread B: RD Y (must NOT advance B's clock)
+        b.rd(1, X)   # Thread B: RD X -- real race on X
+        return b.trace()
+
+    def test_race_detected_because_reads_do_not_tick(self):
+        _det, outcome = run_cord(self.build(), d=1)
+        assert flagged_addresses(outcome) == {X}
+
+
+class TestFigure6:
+    """Sync variable displaced to memory: ordering must survive."""
+
+    def test_memts_preserves_ordering_and_no_false_race(self):
+        # Thread A writes L then X; L's history is displaced (simulated
+        # with a tiny cache by touching many other lines); thread B reads
+        # L from memory and then X.  Order-recording must place B after
+        # A, and no false data race on X may appear.
+        b = TraceBuilder()
+        b.wr(0, X)
+        b.sync_wr(0, L)
+        # Displace everything thread 0 has by touching many lines in the
+        # same sets (tiny 2-way cache below).
+        for i in range(1, 33):
+            b.wr(0, 0x200000 + 64 * i)
+        b.sync_rd(1, L)   # L now answered by main-memory timestamps
+        b.rd(1, X)
+        trace = b.trace()
+        detector, outcome = run_cord(
+            trace, d=4, cache_size=2 * 64 * 4, associativity=2,
+        )
+        assert outcome.raw_count == 0  # no false race on X
+        # B's clock must have been pushed past A's sync write.
+        assert detector.memts_orderings >= 1
+        assert detector.clocks[1] > 1
+
+    def test_ideal_agrees_no_race(self):
+        b = TraceBuilder()
+        b.wr(0, X)
+        b.sync_wr(0, L)
+        b.sync_rd(1, L)
+        b.rd(1, X)
+        assert IdealDetector(2).run(b.trace()).raw_count == 0
+
+
+class TestFigure7:
+    """Memory-timestamp updates may hide a real race -- never report it."""
+
+    def test_race_masked_by_memts_is_missed_not_false(self):
+        b = TraceBuilder(n_threads=3)
+        b.wr(2, Q)        # Thread C: WR Q
+        b.wr(0, X)        # Thread A: WR X at clk 1
+        # Displace C's Q entry to memory (write-ts rises).
+        for i in range(1, 33):
+            b.wr(2, 0x200000 + 64 * i)
+        b.sync_rd(1, L)   # Thread B reads L from memory: clock update
+        b.rd(1, X)        # real race on X -- masked by the clock update
+        trace = b.trace()
+        detector, outcome = run_cord(
+            trace, d=4, n_threads=3,
+            cache_size=2 * 64 * 4, associativity=2,
+        )
+        ideal = IdealDetector(3).run(trace)
+        # Ideal sees the race on X; CORD misses it but reports nothing
+        # false (comparisons against memory timestamps are never races).
+        assert X in flagged_addresses(ideal)
+        assert outcome.flagged <= ideal.flagged
+
+
+class TestFigure8:
+    """Symmetric sync-write rates defeat D=1 scalar clocks.
+
+    Both threads perform synchronization writes at about the same rate,
+    so each thread's current clock is larger than timestamps other
+    threads produced earlier -- old races look "ordered" to a naive
+    scalar clock.  All sync-write conflict outcomes here order B before
+    A, so A's data is never ordered before B's reads (the races are
+    real), yet B's clock has grown past their timestamps.
+    """
+
+    def build(self):
+        b = TraceBuilder()
+        b.wr(0, Q)          # A: WR Q at clk 1 (never ordered vs B)
+        b.sync_wr(1, L1)    # B releases L1 first: clk 1 -> 2
+        b.sync_wr(0, L1)    # A's conflicting write: A updated after B
+        b.sync_wr(1, L2)    # B: clk 2 -> 3
+        b.sync_wr(0, L2)
+        b.wr(0, X)          # A: WR X (post-sync, unordered vs B)
+        b.rd(1, Q)          # B: RD Q -- real race, but clk(B) > ts(Q)
+        b.wr(0, Z)          # A: WR Z at a high clock
+        b.rd(1, Z)          # B: RD Z -- clk(B) <= ts(Z): even D=1 sees it
+        b.rd(1, X)          # B: RD X -- real race, closer in time
+        return b.trace()
+
+    def test_races_are_real(self):
+        ideal = IdealDetector(2).run(self.build())
+        assert {Q, X, Z} <= flagged_addresses(ideal)
+
+    def test_d1_detects_only_nearly_simultaneous(self):
+        _det, outcome = run_cord(self.build(), d=1)
+        assert Z in flagged_addresses(outcome)
+        assert Q not in flagged_addresses(outcome)
+
+    def test_larger_window_recovers_races(self):
+        _det, d1 = run_cord(self.build(), d=1)
+        _det, d16 = run_cord(self.build(), d=16)
+        assert d16.raw_count > d1.raw_count
+        assert {Q, X, Z} <= flagged_addresses(d16)
+
+    def test_no_false_positives_at_any_d(self):
+        ideal = IdealDetector(2).run(self.build())
+        for d in (1, 4, 16, 256):
+            _det, outcome = run_cord(self.build(), d=d)
+            assert outcome.flagged <= ideal.flagged
+
+
+class TestFigure9:
+    """Sync-read +D updates vs +1 race updates, in one interleaving."""
+
+    def build(self, d):
+        b = TraceBuilder()
+        b.wr(0, Y)          # A: WR Y at clk 1
+        b.sync_wr(0, L)     # A: WR L at 1; clk -> 2
+        b.sync_rd(1, L)     # B: RD L -> clk = 1 + D
+        b.rd(1, Y)          # B: RD Y -- properly synchronized, no race
+        b.wr(0, X)          # A: WR X at clk 2
+        b.wr(1, X)          # B: WR X -- data race (window), +1 update
+        b.rd(0, Z)
+        b.wr(1, Z)          # depends on relative clocks
+        return b.trace()
+
+    def test_synchronized_conflict_not_reported(self):
+        _det, outcome = run_cord(self.build(4), d=4)
+        assert Y not in flagged_addresses(outcome)
+
+    def test_data_race_on_x_detected(self):
+        _det, outcome = run_cord(self.build(4), d=4)
+        assert X in flagged_addresses(outcome)
+
+    def test_race_update_is_plus_one(self):
+        detector = CordDetector(CordConfig(d=4), 2)
+        b = TraceBuilder()
+        b.wr(0, X, 1)
+        detector.process(b.events[0])
+        ts_x = detector.clocks[0]
+        b2 = TraceBuilder()
+        b2.wr(1, X, 2)
+        event = b2.events[0]
+        detector.process(event)
+        # Equal clocks: race -> updated to ts + 1, not ts + D.
+        assert detector.clocks[1] == ts_x + 1
+
+    def test_no_false_positives(self):
+        ideal = IdealDetector(2).run(self.build(4))
+        _det, outcome = run_cord(self.build(4), d=4)
+        assert outcome.flagged <= ideal.flagged

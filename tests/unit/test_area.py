@@ -1,0 +1,76 @@
+"""Unit tests for the hardware area-overhead model (Sections 2.3-2.4)."""
+
+import pytest
+
+from repro.analysis.area import (
+    AreaModel,
+    cord_area,
+    per_line_vector_area,
+    per_word_vector_area,
+    scaling_table,
+)
+from repro.common.errors import ConfigError
+
+
+class TestPaperFigures:
+    def test_per_word_vector_is_200_percent(self):
+        # "per-word vector timestamps, each with four 16-bit components,
+        # represent a 200% cache area overhead"
+        assert per_word_vector_area(4).overhead == pytest.approx(2.00)
+
+    def test_per_line_vector_is_38_percent(self):
+        # "with 4x16-bit vector timestamps ... the chip area overhead of
+        # timestamps and access bits is 38% of the cache's data area"
+        assert per_line_vector_area(4).overhead == pytest.approx(
+            0.38, abs=0.01
+        )
+
+    def test_cord_is_19_percent(self):
+        # "16-bit scalar clocks ... reduce this overhead to 19%,
+        # regardless of the number of threads supported"
+        assert cord_area().overhead == pytest.approx(0.19, abs=0.01)
+
+    def test_filters_are_negligible(self):
+        with_f = cord_area(include_filters=True).overhead
+        without = cord_area().overhead
+        assert with_f > without
+        assert with_f - without < 0.005
+
+
+class TestScaling:
+    def test_vector_grows_linearly(self):
+        rows = scaling_table()
+        vector = [row[1] for row in rows]
+        assert vector == sorted(vector)
+        # Doubling threads roughly doubles the stamp contribution.
+        assert per_line_vector_area(8).overhead > \
+            1.5 * per_line_vector_area(2).overhead
+
+    def test_scalar_is_constant(self):
+        rows = scaling_table()
+        scalar = {row[2] for row in rows}
+        assert len(scalar) == 1
+
+    def test_crossover_always_vector_above_scalar(self):
+        for n_threads in (2, 4, 8, 16, 64):
+            assert per_line_vector_area(n_threads).overhead > \
+                cord_area().overhead
+
+
+class TestModelDetails:
+    def test_bits_accounting(self):
+        # 2 entries x 16 bits + 2 entries x 16 words x 2 bits = 96 bits
+        # over 512 data bits = 18.75%.
+        model = cord_area()
+        assert model.metadata_bits_per_line == 96
+        assert model.data_bits_per_line == 512
+        assert model.overhead == pytest.approx(96 / 512)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AreaModel(line_bytes=61)
+        with pytest.raises(ConfigError):
+            AreaModel(n_threads=0)
+
+    def test_words_per_line(self):
+        assert AreaModel().words_per_line == 16

@@ -1,0 +1,67 @@
+"""Unit tests for repro.common.bitops and repro.common.texttable."""
+
+from repro.common.bitops import (
+    bit,
+    clear_bit,
+    iter_bits,
+    low_mask,
+    popcount,
+    set_bit,
+)
+from repro.common.bitops import test_bit as bit_is_set
+from repro.common.texttable import format_percent, format_table
+
+
+class TestBitops:
+    def test_bit(self):
+        assert bit(0) == 1
+        assert bit(5) == 32
+
+    def test_set_and_test(self):
+        mask = set_bit(0, 3)
+        assert bit_is_set(mask, 3)
+        assert not bit_is_set(mask, 2)
+
+    def test_clear(self):
+        mask = set_bit(set_bit(0, 1), 2)
+        assert clear_bit(mask, 1) == bit(2)
+        assert clear_bit(mask, 7) == mask  # clearing unset bit is a no-op
+
+    def test_iter_bits(self):
+        assert list(iter_bits(0b101001)) == [0, 3, 5]
+        assert list(iter_bits(0)) == []
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_low_mask(self):
+        assert low_mask(0) == 0
+        assert low_mask(4) == 0b1111
+
+
+class TestTextTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["name", "x"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) == {"-"}
+        assert lines[2].startswith("a")
+
+    def test_title(self):
+        out = format_table(["h"], [["v"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(["h"], [[0.12345]])
+        assert "0.123" in out
+
+    def test_row_width_mismatch(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_percent(self):
+        assert format_percent(0.773) == "77.3%"
+        assert format_percent(1.0) == "100.0%"

@@ -1,0 +1,142 @@
+"""Unit tests for the metadata cache and snoop domain."""
+
+import pytest
+
+from repro.cachesim import CacheGeometry, MetadataCache, SnoopDomain
+from repro.common.errors import ConfigError
+
+
+class Payload:
+    def __init__(self):
+        self.data_valid = False
+
+
+class TestCacheGeometry:
+    def test_paper_l2_shape(self):
+        geom = CacheGeometry(32 * 1024, 64, 8)
+        assert geom.n_sets == 64
+        assert not geom.is_infinite
+
+    def test_infinite(self):
+        geom = CacheGeometry.infinite()
+        assert geom.is_infinite
+
+    def test_set_mapping(self):
+        geom = CacheGeometry(8 * 1024, 64, 8)  # 16 sets
+        assert geom.set_index(0) == 0
+        assert geom.set_index(64) == 1
+        assert geom.set_index(64 * 16) == 0
+
+    def test_line_address(self):
+        geom = CacheGeometry(8 * 1024)
+        assert geom.line_address(130) == 128
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(1000, 64, 8)  # not line multiple
+        with pytest.raises(ConfigError):
+            CacheGeometry(64 * 24, 64, 8)  # lines not divisible by ways
+        with pytest.raises(ConfigError):
+            CacheGeometry(8 * 1024, 48, 8)  # line not power of two
+
+
+class TestMetadataCache:
+    def make(self, size=8 * 64 * 2, assoc=8):
+        # Two sets of eight ways by default.
+        return MetadataCache(CacheGeometry(size, 64, assoc), Payload)
+
+    def test_miss_then_hit(self):
+        cache = self.make()
+        assert cache.peek(0) is None
+        payload, evicted = cache.access(0)
+        assert evicted == []
+        assert cache.peek(0) is payload
+
+    def test_lru_eviction_order(self):
+        cache = self.make()
+        # Fill one set: lines 0, 128, 256, ... map to set 0 (2 sets).
+        lines = [i * 128 for i in range(9)]
+        evicted_pairs = []
+        first_payload = None
+        for i, line in enumerate(lines):
+            payload, evicted = cache.access(line)
+            if i == 0:
+                first_payload = payload
+            evicted_pairs.extend(evicted)
+        assert evicted_pairs == [(0, first_payload)]
+        assert cache.evictions == 1
+
+    def test_touch_refreshes_lru(self):
+        cache = self.make()
+        lines = [i * 128 for i in range(8)]
+        for line in lines:
+            cache.access(line)
+        cache.access(lines[0])  # refresh line 0 to MRU
+        _, evicted = cache.access(8 * 128)  # evicts line 1's payload
+        assert cache.peek(lines[0]) is not None
+        assert cache.peek(lines[1]) is None
+        assert len(evicted) == 1
+
+    def test_peek_does_not_refresh_lru(self):
+        cache = self.make()
+        lines = [i * 128 for i in range(8)]
+        for line in lines:
+            cache.access(line)
+        cache.peek(lines[0])  # snoop must not protect line 0
+        cache.access(8 * 128)
+        assert cache.peek(lines[0]) is None
+
+    def test_infinite_cache_never_evicts(self):
+        cache = MetadataCache(CacheGeometry.infinite(), Payload)
+        for i in range(1000):
+            _, evicted = cache.access(i * 64)
+            assert evicted == []
+        assert len(cache) == 1000
+
+    def test_invalidate_data_keeps_metadata(self):
+        cache = self.make()
+        payload, _ = cache.access(0)
+        payload.data_valid = True
+        cache.invalidate_data(0)
+        assert cache.peek(0) is payload
+        assert not payload.data_valid
+
+    def test_drop(self):
+        cache = self.make()
+        payload, _ = cache.access(0)
+        assert cache.drop(0) is payload
+        assert cache.peek(0) is None
+        assert cache.drop(0) is None
+
+    def test_lines_snapshot(self):
+        cache = self.make()
+        cache.access(0)
+        cache.access(64)
+        assert set(cache.lines()) == {0, 64}
+
+
+class TestSnoopDomain:
+    def test_snoop_excludes_requester(self):
+        domain = SnoopDomain(3, CacheGeometry.infinite(), Payload)
+        domain.cache_of(0).access(0)
+        domain.cache_of(1).access(0)
+        domain.cache_of(2).access(0)
+        hits = dict(domain.snoop(1, 0))
+        assert set(hits) == {0, 2}
+
+    def test_snoop_misses_absent_lines(self):
+        domain = SnoopDomain(2, CacheGeometry.infinite(), Payload)
+        assert list(domain.snoop(0, 64)) == []
+
+    def test_invalidate_remote(self):
+        domain = SnoopDomain(2, CacheGeometry.infinite(), Payload)
+        mine, _ = domain.cache_of(0).access(0)
+        theirs, _ = domain.cache_of(1).access(0)
+        mine.data_valid = theirs.data_valid = True
+        domain.invalidate_remote(0, 0)
+        assert mine.data_valid
+        assert not theirs.data_valid
+
+    def test_needs_processor(self):
+        with pytest.raises(ValueError):
+            SnoopDomain(0, CacheGeometry.infinite(), Payload)

@@ -1,0 +1,56 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "lu"])
+        args_dict = vars(args)
+        assert args_dict["workload"] == "lu"
+        assert args_dict["seed"] == 1
+        assert args_dict["window"] == 16
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom"])
+
+    def test_inject_options(self):
+        args = build_parser().parse_args(
+            ["inject", "fft", "-n", "3", "--seed", "9"]
+        )
+        assert args.runs == 3
+        assert args.seed == 9
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "water-sp" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "lu", "--scale", "0.25", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "races    : 0" in out
+        assert "order log" in out
+
+    def test_replay(self, capsys):
+        assert main(["replay", "fft", "--scale", "0.25"]) == 0
+        assert "replay verdict: replay equivalent" in \
+            capsys.readouterr().out
+
+    def test_inject(self, capsys):
+        assert main(
+            ["inject", "raytrace", "-n", "2", "--scale", "0.25"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sync instances" in out
+        assert "CORD-D16" in out

@@ -1,0 +1,75 @@
+"""Unit tests for the detector base types and the errors module."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigError,
+    CordError,
+    DeadlockError,
+    LogFormatError,
+    ReplayDivergenceError,
+    SimulationError,
+)
+from repro.detectors.base import (
+    DataRace,
+    DetectionOutcome,
+    default_thread_to_processor,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_cord_error(self):
+        for cls in (
+            ConfigError,
+            DeadlockError,
+            LogFormatError,
+            ReplayDivergenceError,
+            SimulationError,
+        ):
+            assert issubclass(cls, CordError)
+
+    def test_config_error_is_value_error(self):
+        assert issubclass(ConfigError, ValueError)
+
+    def test_deadlock_error_carries_threads(self):
+        error = DeadlockError([1, 3])
+        assert error.blocked_threads == (1, 3)
+        assert "1" in str(error)
+
+    def test_replay_divergence_message(self):
+        error = ReplayDivergenceError(2, "short by 5")
+        assert error.thread_id == 2
+        assert "thread 2" in str(error)
+        assert "short by 5" in str(error)
+
+
+class TestDetectionOutcome:
+    def test_empty_outcome(self):
+        outcome = DetectionOutcome("x")
+        assert outcome.raw_count == 0
+        assert not outcome.problem_detected
+
+    def test_record_race_flags_access(self):
+        outcome = DetectionOutcome("x")
+        outcome.record_race(DataRace((1, 5), 0x100))
+        outcome.record_race(DataRace((1, 5), 0x104))  # same access again
+        assert outcome.raw_count == 1
+        assert outcome.problem_detected
+        assert len(outcome.races) == 2  # records kept, access deduped
+
+    def test_race_record_cap(self):
+        from repro.detectors.base import MAX_RACE_RECORDS
+
+        outcome = DetectionOutcome("x")
+        for i in range(MAX_RACE_RECORDS + 10):
+            outcome.record_race(DataRace((0, i), 0x100))
+        assert len(outcome.races) == MAX_RACE_RECORDS
+        assert outcome.raw_count == MAX_RACE_RECORDS + 10
+
+
+class TestThreadToProcessor:
+    def test_identity_for_paper_config(self):
+        assert default_thread_to_processor(4, 4) == [0, 1, 2, 3]
+
+    def test_modulo_for_overcommit(self):
+        assert default_thread_to_processor(6, 4) == [0, 1, 2, 3, 0, 1]

@@ -1,0 +1,317 @@
+"""Unit tests for the execution engine, schedulers, and interceptors."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.rng import DeterministicRng
+from repro.common.types import AccessClass, AccessMode
+from repro.engine import (
+    ExecutionEngine,
+    RandomScheduler,
+    RoundRobinScheduler,
+    run_program,
+)
+from repro.engine.interceptor import CountingInterceptor
+from repro.program import AddressSpace, Program
+from repro.program.ops import (
+    ComputeOp,
+    FlagSetOp,
+    FlagWaitOp,
+    LockOp,
+    ReadOp,
+    UnlockOp,
+    WriteOp,
+)
+
+
+def program_of(*bodies, name="t"):
+    return Program(list(bodies), AddressSpace(), name=name)
+
+
+DATA = 0x100000
+SYNC = 0x8000000
+
+
+class TestSchedulers:
+    def test_round_robin_cycles(self):
+        sched = RoundRobinScheduler()
+        picks = [sched.pick([0, 1, 2]) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_round_robin_skips_missing(self):
+        sched = RoundRobinScheduler()
+        assert sched.pick([0, 1, 2]) == 0
+        assert sched.pick([2]) == 2
+        assert sched.pick([0, 1]) == 0
+
+    def test_random_scheduler_deterministic(self):
+        a = RandomScheduler(DeterministicRng(3))
+        b = RandomScheduler(DeterministicRng(3))
+        runnable = [0, 1, 2, 3]
+        assert [a.pick(runnable) for _ in range(50)] == [
+            b.pick(runnable) for _ in range(50)
+        ]
+
+    def test_random_scheduler_uses_slices(self):
+        sched = RandomScheduler(
+            DeterministicRng(3), switch_probability=0.01
+        )
+        picks = [sched.pick([0, 1]) for _ in range(20)]
+        # With 1% switching, long runs of the same thread dominate.
+        assert max(
+            len(list(g)) for g in _runs(picks)
+        ) > 5
+
+    def test_bad_switch_probability(self):
+        with pytest.raises(ConfigError):
+            RandomScheduler(DeterministicRng(1), switch_probability=0.0)
+
+
+def _runs(items):
+    import itertools
+
+    return (group for _key, group in itertools.groupby(items))
+
+
+class TestEngineBasics:
+    def test_read_returns_stored_value(self):
+        seen = []
+
+        def body(tid):
+            yield WriteOp(DATA, 42)
+            value = yield ReadOp(DATA)
+            seen.append(value)
+
+        run_program(program_of(body), seed=1)
+        assert seen == [42]
+
+    def test_unwritten_reads_zero(self):
+        seen = []
+
+        def body(tid):
+            seen.append((yield ReadOp(DATA)))
+
+        run_program(program_of(body), seed=1)
+        assert seen == [0]
+
+    def test_compute_counts_instructions_but_no_event(self):
+        def body(tid):
+            yield ComputeOp(10)
+            yield WriteOp(DATA, 1)
+
+        trace = run_program(program_of(body), seed=1)
+        assert len(trace.events) == 1
+        assert trace.final_icounts == [11]
+        assert trace.events[0].icount == 10
+
+    def test_event_metadata(self):
+        def body(tid):
+            yield WriteOp(DATA, 5)
+
+        trace = run_program(program_of(body), seed=1)
+        event = trace.events[0]
+        assert event.thread == 0
+        assert event.mode is AccessMode.WRITE
+        assert event.klass is AccessClass.DATA
+        assert event.value == 5
+
+
+class TestLockSemantics:
+    def test_lock_lowering_events(self):
+        def body(tid):
+            yield LockOp(SYNC)
+            yield UnlockOp(SYNC)
+
+        trace = run_program(program_of(body), seed=1)
+        kinds = [(e.mode, e.klass) for e in trace.events]
+        assert kinds == [
+            (AccessMode.READ, AccessClass.SYNC),
+            (AccessMode.WRITE, AccessClass.SYNC),
+            (AccessMode.WRITE, AccessClass.SYNC),
+        ]
+
+    def test_mutual_exclusion(self):
+        order = []
+
+        def body(tid):
+            yield LockOp(SYNC)
+            order.append(("enter", tid))
+            yield WriteOp(DATA, tid)
+            yield ComputeOp(5)
+            yield ReadOp(DATA)
+            order.append(("exit", tid))
+            yield UnlockOp(SYNC)
+
+        run_program(program_of(body, body, body), seed=3)
+        # Critical sections never interleave.
+        for i in range(0, len(order), 2):
+            assert order[i][0] == "enter"
+            assert order[i + 1][0] == "exit"
+            assert order[i][1] == order[i + 1][1]
+
+    def test_recursive_lock_rejected(self):
+        def body(tid):
+            yield LockOp(SYNC)
+            yield LockOp(SYNC)
+
+        with pytest.raises(SimulationError):
+            run_program(program_of(body), seed=1)
+
+    def test_unlock_without_hold_rejected(self):
+        def body(tid):
+            yield UnlockOp(SYNC)
+
+        with pytest.raises(SimulationError):
+            run_program(program_of(body), seed=1)
+
+
+class TestFlagSemantics:
+    def test_wait_blocks_until_set(self):
+        order = []
+
+        def waiter(tid):
+            yield FlagWaitOp(SYNC, 1)
+            order.append("woke")
+
+        def setter(tid):
+            yield ComputeOp(3)
+            order.append("set")
+            yield FlagSetOp(SYNC, 1)
+
+        run_program(program_of(waiter, setter), seed=1)
+        assert order == ["set", "woke"]
+
+    def test_wait_threshold(self):
+        def waiter(tid):
+            yield FlagWaitOp(SYNC, 3)
+
+        def setter(tid):
+            yield FlagSetOp(SYNC, 1)
+            yield FlagSetOp(SYNC, 2)
+            yield FlagSetOp(SYNC, 3)
+
+        trace = run_program(program_of(waiter, setter), seed=1)
+        # Waiter's single sync read observes the satisfying value.
+        waits = [e for e in trace.events if e.thread == 0]
+        assert len(waits) == 1
+        assert waits[0].value == 3
+
+    def test_non_monotone_set_rejected(self):
+        def body(tid):
+            yield FlagSetOp(SYNC, 5)
+            yield FlagSetOp(SYNC, 4)
+
+        with pytest.raises(SimulationError):
+            run_program(program_of(body), seed=1)
+
+    def test_deadlock_watchdog_marks_hung(self):
+        def body(tid):
+            yield FlagWaitOp(SYNC, 1)  # never satisfied
+
+        trace = run_program(program_of(body), seed=1)
+        assert trace.hung
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, counter_program):
+        a = run_program(counter_program, seed=11)
+        b = run_program(counter_program, seed=11)
+        assert [e.key() for e in a.events] == [e.key() for e in b.events]
+
+    def test_different_seed_different_interleaving(self, counter_program):
+        a = run_program(counter_program, seed=11)
+        b = run_program(counter_program, seed=12)
+        assert [e.thread for e in a.events] != [e.thread for e in b.events]
+
+    def test_counter_value_correct_any_seed(self, counter_program):
+        counter_addr = counter_program.counter_address
+        for seed in range(5):
+            trace = run_program(counter_program, seed=seed)
+            final = [
+                e.value
+                for e in trace.events
+                if e.is_write and e.address == counter_addr
+            ][-1]
+            assert final == 16  # 4 threads x 4 rounds
+
+
+class TestInterceptors:
+    def test_counting_interceptor(self, counter_program):
+        counter = CountingInterceptor()
+        run_program(counter_program, seed=2, interceptor=counter)
+        assert counter.count == counter.lock_instances + \
+            counter.wait_instances
+        assert counter.lock_instances > 0
+        assert counter.wait_instances > 0
+
+    def test_blocked_lock_counts_once(self):
+        # A lock that blocks and retries is still one dynamic instance.
+        def holder(tid):
+            yield LockOp(SYNC)
+            yield ComputeOp(50)
+            yield UnlockOp(SYNC)
+
+        counter = CountingInterceptor()
+        run_program(
+            program_of(holder, holder), seed=1, interceptor=counter
+        )
+        assert counter.lock_instances == 2
+
+
+class TestEngineStepApi:
+    def test_step_finished_thread_rejected(self):
+        def body(tid):
+            yield WriteOp(DATA, 1)
+
+        engine = ExecutionEngine(program_of(body))
+        while not engine.all_finished():
+            engine.step(0)
+        with pytest.raises(SimulationError):
+            engine.step(0)
+
+    def test_runnable_excludes_blocked(self):
+        def waiter(tid):
+            yield FlagWaitOp(SYNC, 1)
+
+        def setter(tid):
+            yield FlagSetOp(SYNC, 1)
+
+        engine = ExecutionEngine(program_of(waiter, setter))
+        assert not engine.step(0)  # blocks
+        assert engine.runnable_threads() == [1]
+        engine.step(1)
+        assert 0 in engine.runnable_threads()
+
+
+class TestAcquireSplit:
+    def test_lock_acquire_retires_in_two_steps(self):
+        # The acquire's read and write are separate engine steps so that
+        # order-log fragment boundaries can fall between them; the lock
+        # is reserved at the read step (atomicity).
+        def body(tid):
+            yield LockOp(SYNC)
+            yield UnlockOp(SYNC)
+
+        engine = ExecutionEngine(program_of(body, body))
+        assert engine.step(0)            # read half
+        assert engine.icount(0) == 1
+        # Lock already reserved: thread 1 cannot acquire in between.
+        assert not engine.step(1)
+        assert engine.runnable_threads() == [0]
+        assert engine.step(0)            # write half
+        assert engine.icount(0) == 2
+
+    def test_interceptor_skip_happens_before_reservation(self):
+        from repro.injection import InjectionInterceptor
+
+        def body(tid):
+            yield LockOp(SYNC)
+            yield UnlockOp(SYNC)
+
+        interceptor = InjectionInterceptor(0)
+        trace = run_program(
+            program_of(body, body), seed=1, interceptor=interceptor
+        )
+        # One thread's pair removed: only one acquire/release remains.
+        sync_events = [e for e in trace.events if e.is_sync]
+        assert len(sync_events) == 3

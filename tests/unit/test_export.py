@@ -1,0 +1,42 @@
+"""Unit tests for figure CSV export."""
+
+from repro.experiments.export import (
+    figure_to_csv,
+    read_figure_csv,
+    write_figure_csv,
+)
+from repro.experiments.figures import FigureResult
+
+
+def make_figure():
+    figure = FigureResult("Figure X", "test", ["a", "b"])
+    figure.rows["app1"] = [0.5, 0.25]
+    figure.rows["app2"] = [1.0, 0.0]
+    figure.average = [0.75, 0.125]
+    return figure
+
+
+class TestCsvExport:
+    def test_header_and_rows(self):
+        text = figure_to_csv(make_figure())
+        lines = text.strip().splitlines()
+        assert lines[0] == "app,a,b"
+        assert lines[1].startswith("app1,0.5")
+        assert lines[-1].startswith("Average,")
+
+    def test_roundtrip(self, tmp_path):
+        figure = make_figure()
+        path = write_figure_csv(figure, tmp_path / "fig.csv")
+        restored = read_figure_csv(path)
+        assert restored.series == figure.series
+        assert restored.rows.keys() == figure.rows.keys()
+        for app in figure.rows:
+            assert restored.rows[app] == figure.rows[app]
+        assert restored.average == figure.average
+
+    def test_precision_preserved(self, tmp_path):
+        figure = FigureResult("f", "t", ["x"])
+        figure.rows["a"] = [0.123456]
+        figure.average = [0.123456]
+        path = write_figure_csv(figure, tmp_path / "p.csv")
+        assert read_figure_csv(path).rows["a"] == [0.123456]

@@ -1,0 +1,43 @@
+"""Unit tests for the FigureResult container and driver plumbing."""
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+
+
+class TestFigureResult:
+    def make(self):
+        fig = FigureResult(
+            "Figure 99", "Test figure", ["a", "b"],
+        )
+        fig.rows["app1"] = [0.5, 0.25]
+        fig.rows["app2"] = [1.0, 0.75]
+        fig.average = [0.75, 0.5]
+        return fig
+
+    def test_value_lookup(self):
+        fig = self.make()
+        assert fig.value("app1", "a") == 0.5
+        assert fig.value("app2", "b") == 0.75
+
+    def test_average_of(self):
+        fig = self.make()
+        assert fig.average_of("b") == 0.5
+
+    def test_unknown_series_raises(self):
+        fig = self.make()
+        with pytest.raises(ValueError):
+            fig.value("app1", "zzz")
+
+    def test_render_percent_mode(self):
+        out = self.make().render()
+        assert "Figure 99" in out
+        assert "50.0%" in out
+        assert "Average" in out
+
+    def test_render_ratio_mode(self):
+        fig = self.make()
+        fig.as_percent = False
+        out = fig.render()
+        assert "0.5000" in out
+        assert "%" not in out.splitlines()[-1]

@@ -1,0 +1,203 @@
+"""Unit tests for CORD line metadata, memory timestamps, and the walker."""
+
+import pytest
+
+from repro.cachesim import CacheGeometry, MetadataCache
+from repro.common.errors import ConfigError
+from repro.meta import (
+    CacheWalker,
+    LineMeta,
+    MainMemoryTimestamps,
+    TimestampEntry,
+)
+
+
+class TestTimestampEntry:
+    def test_record_and_covers(self):
+        entry = TimestampEntry(5)
+        entry.record(word=3, is_write=False)
+        assert entry.covers(3, need_reads=True)  # write checks reads
+        assert not entry.covers(3, need_reads=False)  # read skips reads
+        entry.record(word=3, is_write=True)
+        assert entry.covers(3, need_reads=False)
+
+    def test_has_flags(self):
+        entry = TimestampEntry(1)
+        assert not entry.has_reads and not entry.has_writes
+        entry.record(0, is_write=False)
+        assert entry.has_reads
+
+
+class TestLineMeta:
+    def test_same_timestamp_reuses_entry(self):
+        meta = LineMeta(2)
+        assert meta.record_access(5, 0, True) is None
+        assert meta.record_access(5, 1, False) is None
+        assert len(meta.entries) == 1
+
+    def test_new_timestamp_allocates(self):
+        meta = LineMeta(2)
+        meta.record_access(5, 0, True)
+        meta.record_access(6, 0, True)
+        assert [e.ts for e in meta.entries] == [6, 5]
+
+    def test_third_timestamp_retires_oldest(self):
+        # Figure 2's erased-history problem, bounded by two entries.
+        meta = LineMeta(2)
+        meta.record_access(5, 0, True)
+        meta.record_access(6, 1, True)
+        retired = meta.record_access(7, 2, True)
+        assert retired is not None and retired.ts == 5
+        assert [e.ts for e in meta.entries] == [7, 6]
+
+    def test_single_entry_mode(self):
+        meta = LineMeta(1)
+        meta.record_access(5, 0, True)
+        retired = meta.record_access(6, 0, True)
+        assert retired.ts == 5
+
+    def test_conflicting_timestamps_read_vs_write(self):
+        meta = LineMeta(2)
+        meta.record_access(5, 0, False)  # read of word 0
+        meta.record_access(6, 0, True)   # write of word 0
+        # A read conflicts only with the write history.
+        assert list(meta.conflicting_timestamps(0, is_write=False)) == [6]
+        # A write conflicts with both.
+        assert sorted(meta.conflicting_timestamps(0, is_write=True)) == [
+            5, 6,
+        ]
+
+    def test_conflicts_are_per_word(self):
+        meta = LineMeta(2)
+        meta.record_access(5, 0, True)
+        assert list(meta.conflicting_timestamps(1, is_write=True)) == []
+
+    def test_any_conflict_in_line(self):
+        meta = LineMeta(2)
+        meta.record_access(5, 3, False)
+        assert not meta.any_conflict_in_line(is_write=False)
+        assert meta.any_conflict_in_line(is_write=True)
+
+    def test_check_filters(self):
+        meta = LineMeta(2)
+        meta.grant_filter(is_write=True)
+        assert meta.filter_allows(True) and meta.filter_allows(False)
+        meta.revoke_filters(remote_is_write=False)
+        assert not meta.filter_allows(True)   # remote read kills writes
+        assert meta.filter_allows(False)      # but reads stay allowed
+        meta.revoke_filters(remote_is_write=True)
+        assert not meta.filter_allows(False)
+
+    def test_read_check_grants_only_read_filter(self):
+        meta = LineMeta(2)
+        meta.grant_filter(is_write=False)
+        assert meta.filter_allows(False)
+        assert not meta.filter_allows(True)
+
+    def test_retire_all_clears_filters(self):
+        meta = LineMeta(2)
+        meta.record_access(5, 0, True)
+        meta.grant_filter(True)
+        retired = meta.retire_all()
+        assert [e.ts for e in retired] == [5]
+        assert meta.entries == []
+        assert not meta.filter_allows(True)
+
+    def test_needs_one_entry(self):
+        with pytest.raises(ConfigError):
+            LineMeta(0)
+
+
+class TestMainMemoryTimestamps:
+    def test_fold_write_entry(self):
+        memts = MainMemoryTimestamps()
+        entry = TimestampEntry(9)
+        entry.record(0, is_write=True)
+        assert memts.fold_entry(entry)
+        assert memts.write_ts == 9
+        assert memts.read_ts == 0
+        assert memts.update_broadcasts == 1
+
+    def test_fold_read_entry(self):
+        memts = MainMemoryTimestamps()
+        entry = TimestampEntry(4)
+        entry.record(2, is_write=False)
+        memts.fold_entry(entry)
+        assert memts.read_ts == 4
+        assert memts.write_ts == 0
+
+    def test_fold_only_raises(self):
+        memts = MainMemoryTimestamps()
+        high = TimestampEntry(9)
+        high.record(0, True)
+        low = TimestampEntry(3)
+        low.record(0, True)
+        memts.fold_entry(high)
+        assert not memts.fold_entry(low)
+        assert memts.write_ts == 9
+        assert memts.update_broadcasts == 1
+        assert memts.folds == 2
+
+    def test_conflicting_timestamp_by_mode(self):
+        memts = MainMemoryTimestamps()
+        memts.read_ts, memts.write_ts = 7, 5
+        assert memts.conflicting_timestamp(is_write=False) == 5
+        assert memts.conflicting_timestamp(is_write=True) == 7
+
+
+class TestCacheWalker:
+    def make(self):
+        cache = MetadataCache(CacheGeometry.infinite(), lambda: LineMeta(2))
+        memts = MainMemoryTimestamps()
+        walker = CacheWalker(cache, memts, stale_lag=100, period=10)
+        return cache, memts, walker
+
+    def test_walk_evicts_stale(self):
+        cache, memts, walker = self.make()
+        meta, _ = cache.access(0)
+        meta.record_access(5, 0, True)
+        meta2, _ = cache.access(64)
+        meta2.record_access(950, 0, True)
+        walker.walk(max_clock=1000)
+        assert cache.peek(0) is None  # stale line dropped entirely
+        assert cache.peek(64) is not None
+        assert memts.write_ts == 5
+        assert walker.min_resident_ts == 950
+        assert walker.entries_retired == 1
+
+    def test_tick_period(self):
+        _cache, _memts, walker = self.make()
+        walked = [walker.tick(1000) for _ in range(25)]
+        assert walked.count(True) == 2
+
+    def test_window_headroom(self):
+        cache, _memts, walker = self.make()
+        meta, _ = cache.access(0)
+        meta.record_access(950, 0, True)
+        walker.walk(max_clock=1000)
+        assert walker.window_headroom(1000, window=200) == 150
+        assert walker.window_headroom(1200, window=200) == -50
+
+    def test_headroom_none_when_empty(self):
+        _cache, _memts, walker = self.make()
+        walker.walk(max_clock=10)
+        assert walker.window_headroom(10, 100) is None
+
+    def test_partial_retirement_clears_filters(self):
+        cache, _memts, walker = self.make()
+        meta, _ = cache.access(0)
+        meta.record_access(5, 0, True)
+        meta.record_access(950, 1, True)
+        meta.grant_filter(True)
+        walker.walk(max_clock=1000)
+        kept = cache.peek(0)
+        assert kept is meta
+        assert [e.ts for e in meta.entries] == [950]
+        assert not meta.filter_allows(True)
+
+    def test_config_validation(self):
+        cache, memts, _ = self.make()
+        with pytest.raises(ConfigError):
+            CacheWalker(cache, memts, stale_lag=0)
+        with pytest.raises(ConfigError):
+            CacheWalker(cache, memts, period=0)

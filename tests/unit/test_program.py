@@ -1,0 +1,108 @@
+"""Unit tests for the program IR: ops, address space, Program."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.program import (
+    AddressSpace,
+    ComputeOp,
+    FlagSetOp,
+    FlagWaitOp,
+    LockOp,
+    Program,
+    ReadOp,
+    Segment,
+    UnlockOp,
+    WriteOp,
+)
+
+
+class TestOps:
+    def test_word_alignment_enforced(self):
+        for cls in (ReadOp, LockOp, UnlockOp, FlagWaitOp, FlagSetOp):
+            with pytest.raises(ValueError):
+                cls(6)
+
+    def test_write_value_default(self):
+        assert WriteOp(8).value == 0
+
+    def test_compute_positive(self):
+        with pytest.raises(ValueError):
+            ComputeOp(0)
+        assert ComputeOp(5).amount == 5
+
+    def test_flag_defaults(self):
+        assert FlagWaitOp(4).at_least == 1
+        assert FlagSetOp(4).value == 1
+
+    def test_ops_are_hashable_values(self):
+        assert ReadOp(8) == ReadOp(8)
+        assert len({WriteOp(8, 1), WriteOp(8, 1)}) == 1
+
+
+class TestAddressSpace:
+    def test_disjoint_segments(self):
+        space = AddressSpace()
+        data = space.alloc("d")
+        sync = space.alloc_sync("s")
+        assert space.segment_of(data) is Segment.DATA
+        assert space.segment_of(sync) is Segment.SYNC
+        assert space.is_sync_address(sync)
+        assert not space.is_sync_address(data)
+
+    def test_bump_allocation_is_word_spaced(self):
+        space = AddressSpace()
+        a = space.alloc("a")
+        b = space.alloc("b")
+        assert b == a + 4
+
+    def test_line_alignment(self):
+        space = AddressSpace()
+        space.alloc("pad")  # misalign the cursor
+        aligned = space.alloc("x", align_to_line=True)
+        assert aligned % space.line_size == 0
+
+    def test_alloc_array_addresses(self):
+        space = AddressSpace()
+        addrs = space.alloc_array("arr", 5)
+        assert addrs == [addrs[0] + 4 * i for i in range(5)]
+        assert addrs[0] % space.line_size == 0
+
+    def test_name_lookup(self):
+        space = AddressSpace()
+        base = space.alloc("myvar")
+        assert space.name_of(base) == "myvar"
+        assert space.name_of(base + 4).startswith("0x")
+
+    def test_words_allocated(self):
+        space = AddressSpace()
+        space.alloc("a", words=3)
+        assert space.words_allocated(Segment.DATA) == 3
+
+    def test_bad_line_size_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressSpace(line_size=48)  # not a power of two
+        with pytest.raises(ConfigError):
+            AddressSpace(line_size=2)  # below word size
+
+    def test_bad_alloc_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(ConfigError):
+            space.alloc("x", words=0)
+
+
+class TestProgram:
+    def test_requires_bodies(self):
+        with pytest.raises(ConfigError):
+            Program([], AddressSpace())
+
+    def test_instantiate_fresh_generators(self):
+        def body(tid):
+            yield ReadOp(1048576)
+
+        program = Program([body, body], AddressSpace(), name="p")
+        first = program.instantiate()
+        second = program.instantiate()
+        assert len(first) == 2
+        assert first[0] is not second[0]
+        assert program.n_threads == 2

@@ -1,0 +1,91 @@
+"""Unit tests for the recovery helpers and directory bookkeeping."""
+
+import pytest
+
+from repro.common.types import AccessClass, AccessMode
+from repro.cord.directory import Directory
+from repro.recovery import SerializedScheduler, atomic_region_start
+from repro.trace import MemoryEvent, Trace
+
+
+def ev(index, thread, address, write, sync, icount):
+    return MemoryEvent(
+        index,
+        thread,
+        address,
+        AccessMode.WRITE if write else AccessMode.READ,
+        AccessClass.SYNC if sync else AccessClass.DATA,
+        icount,
+    )
+
+
+class TestAtomicRegionStart:
+    def test_after_last_sync(self):
+        trace = Trace(
+            [
+                ev(0, 0, 0x8000000, True, True, 0),   # sync at ic 0
+                ev(1, 0, 0x100000, False, False, 1),
+                ev(2, 0, 0x8000000, True, True, 2),   # sync at ic 2
+                ev(3, 0, 0x100000, True, False, 3),   # racy region
+                ev(4, 0, 0x100000, True, False, 4),
+            ],
+            [5],
+        )
+        assert atomic_region_start(trace, (0, 4)) == (0, 3)
+
+    def test_no_prior_sync_rolls_to_start(self):
+        trace = Trace(
+            [ev(0, 0, 0x100000, True, False, 0)],
+            [1],
+        )
+        assert atomic_region_start(trace, (0, 0)) == (0, 0)
+
+    def test_other_threads_syncs_ignored(self):
+        trace = Trace(
+            [
+                ev(0, 1, 0x8000000, True, True, 0),  # thread 1's sync
+                ev(1, 0, 0x100000, True, False, 0),
+            ],
+            [1, 1],
+        )
+        assert atomic_region_start(trace, (0, 0)) == (0, 0)
+
+
+class TestSerializedSchedulerUnits:
+    def test_sticks_until_unavailable(self):
+        scheduler = SerializedScheduler()
+        picks = [scheduler.pick([0, 1]) for _ in range(5)]
+        assert picks == [0] * 5
+        assert scheduler.pick([1]) == 1
+        # Once switched, sticks with the new thread even if the old one
+        # becomes runnable again.
+        assert scheduler.pick([0, 1]) == 1
+
+    def test_order_preference_on_switch(self):
+        scheduler = SerializedScheduler(order=[3, 1, 0, 2])
+        assert scheduler.pick([0, 1, 2]) == 1  # 3 absent: next in order
+        assert scheduler.pick([0, 2]) == 0
+
+
+class TestDirectory:
+    def test_add_remove(self):
+        directory = Directory(4)
+        directory.add(0x100, 1)
+        directory.add(0x100, 2)
+        assert directory.sharers(0x100) == {1, 2}
+        directory.remove(0x100, 1)
+        assert directory.sharers(0x100) == {2}
+        directory.remove(0x100, 2)
+        assert directory.sharers(0x100) == set()
+        assert directory.lines_tracked() == 0
+
+    def test_remove_absent_is_noop(self):
+        directory = Directory(2)
+        directory.remove(0x40, 0)
+        assert directory.sharers(0x40) == set()
+
+    def test_lines_tracked(self):
+        directory = Directory(2)
+        directory.add(0x40, 0)
+        directory.add(0x80, 1)
+        assert directory.lines_tracked() == 2

@@ -1,0 +1,77 @@
+"""Unit tests for repro.common.rng."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng, seeds_for_runs
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint(0, 10**9) for _ in range(4)] != [
+            b.randint(0, 10**9) for _ in range(4)
+        ]
+
+    def test_fork_is_independent_of_parent_state(self):
+        parent = DeterministicRng(7)
+        child_before = parent.fork("worker")
+        parent.randint(0, 1000)  # consume parent state
+        child_after = parent.fork("worker")
+        assert [child_before.randint(0, 100) for _ in range(10)] == [
+            child_after.randint(0, 100) for _ in range(10)
+        ]
+
+    def test_fork_names_give_distinct_streams(self):
+        parent = DeterministicRng(7)
+        a = parent.fork("a")
+        b = parent.fork("b")
+        assert [a.randint(0, 10**9) for _ in range(4)] != [
+            b.randint(0, 10**9) for _ in range(4)
+        ]
+
+    def test_fork_is_cross_platform_stable(self):
+        # SHA-256 derivation: this value must never change, or recorded
+        # experiments stop being reproducible.
+        child = DeterministicRng(2006, "root").fork("campaign/barnes")
+        assert child.seed == DeterministicRng(2006).fork(
+            "campaign/barnes"
+        ).seed
+
+    def test_geometric_minimum_one(self):
+        rng = DeterministicRng(5)
+        assert all(rng.geometric(0.5) >= 1 for _ in range(100))
+
+    def test_geometric_rejects_bad_p(self):
+        rng = DeterministicRng(5)
+        with pytest.raises(ValueError):
+            rng.geometric(0.0)
+        with pytest.raises(ValueError):
+            rng.geometric(1.5)
+
+    def test_choice_and_shuffle(self):
+        rng = DeterministicRng(5)
+        items = list(range(10))
+        assert rng.choice(items) in items
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+
+class TestSeedsForRuns:
+    def test_count_and_determinism(self):
+        seeds_a = list(seeds_for_runs(1, 5, "exp"))
+        seeds_b = list(seeds_for_runs(1, 5, "exp"))
+        assert len(seeds_a) == 5
+        assert seeds_a == seeds_b
+
+    def test_distinct_across_runs(self):
+        seeds = list(seeds_for_runs(1, 50, "exp"))
+        assert len(set(seeds)) == 50

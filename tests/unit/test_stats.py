@@ -1,0 +1,86 @@
+"""Unit tests for Wilson intervals and campaign rate estimates."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.experiments.stats import (
+    RateEstimate,
+    estimate,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_known_value(self):
+        # Classic check: 8/10 at 95 % -> about (0.49, 0.94).
+        low, high = wilson_interval(8, 10)
+        assert low == pytest.approx(0.49, abs=0.01)
+        assert high == pytest.approx(0.94, abs=0.01)
+
+    def test_extremes_behave(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0
+        assert 0.0 < high < 0.25
+        low, high = wilson_interval(20, 20)
+        assert 0.75 < low < 1.0
+        assert high == 1.0
+
+    def test_zero_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_interval_contains_point_estimate(self):
+        for successes, trials in ((1, 7), (3, 12), (11, 11), (0, 4)):
+            low, high = wilson_interval(successes, trials)
+            assert low <= successes / trials <= high
+
+    def test_narrows_with_more_trials(self):
+        small = wilson_interval(5, 10)
+        large = wilson_interval(500, 1000)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            wilson_interval(5, 3)
+        with pytest.raises(ConfigError):
+            wilson_interval(-1, 3)
+
+
+class TestRateEstimate:
+    def test_fields(self):
+        rate = estimate(3, 12)
+        assert rate.rate == 0.25
+        assert rate.low < 0.25 < rate.high
+        assert "n=12" in str(rate)
+
+    def test_overlap(self):
+        a = estimate(5, 10)
+        b = estimate(6, 10)
+        c = estimate(99, 100)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestCampaignEstimates:
+    def test_on_real_campaign(self):
+        from repro.experiments.stats import (
+            manifestation_estimate,
+            pooled_problem_estimate,
+            problem_rate_estimate,
+        )
+        from repro.injection import CampaignConfig, run_campaign
+        from tests.conftest import build_counter_program
+
+        campaign = run_campaign(
+            lambda seed: build_counter_program(),
+            "counter",
+            CampaignConfig(n_runs=8),
+        )
+        manifest = manifestation_estimate(campaign)
+        assert manifest.trials == 8
+        assert manifest.low <= manifest.rate <= manifest.high
+
+        cord = problem_rate_estimate(campaign, "CORD-D16")
+        assert cord.trials == campaign.problems_detected("Ideal")
+
+        pooled = pooled_problem_estimate([campaign], "CORD-D16")
+        assert pooled.successes == cord.successes

@@ -1,0 +1,120 @@
+"""Unit tests for sync objects and the primitive lowering library."""
+
+import pytest
+
+from repro.program import AddressSpace
+from repro.program.ops import (
+    FlagSetOp,
+    FlagWaitOp,
+    LockOp,
+    ReadOp,
+    UnlockOp,
+    WriteOp,
+)
+from repro.sync import (
+    Barrier,
+    Flag,
+    Mutex,
+    acquire,
+    barrier_wait,
+    critical_increment,
+    flag_set,
+    flag_wait,
+    release,
+)
+
+
+def drain(gen, replies=None):
+    """Run a generator collecting yielded ops, feeding canned read values."""
+    replies = iter(replies or [])
+    ops = []
+    try:
+        op = next(gen)
+        while True:
+            ops.append(op)
+            value = next(replies, 0) if isinstance(op, ReadOp) else None
+            op = gen.send(value)
+    except StopIteration:
+        return ops
+
+
+class TestObjects:
+    def test_mutex_and_flag_live_in_sync_segment(self):
+        space = AddressSpace()
+        mutex = Mutex.allocate(space, "m")
+        flag = Flag.allocate(space, "f")
+        assert space.is_sync_address(mutex.address)
+        assert space.is_sync_address(flag.address)
+
+    def test_barrier_composition(self):
+        space = AddressSpace()
+        barrier = Barrier.allocate(space, 4, "b")
+        assert space.is_sync_address(barrier.mutex.address)
+        assert space.is_sync_address(barrier.flag.address)
+        # Count and episode are ordinary data words (injectable races).
+        assert not space.is_sync_address(barrier.count_address)
+        assert not space.is_sync_address(barrier.episode_address)
+        assert barrier.n_threads == 4
+
+    def test_barrier_needs_threads(self):
+        with pytest.raises(ValueError):
+            Barrier.allocate(AddressSpace(), 0)
+
+
+class TestLowering:
+    def setup_method(self):
+        self.space = AddressSpace()
+        self.mutex = Mutex.allocate(self.space, "m")
+        self.flag = Flag.allocate(self.space, "f")
+
+    def test_acquire_release(self):
+        assert drain(acquire(self.mutex)) == [LockOp(self.mutex.address)]
+        assert drain(release(self.mutex)) == [UnlockOp(self.mutex.address)]
+
+    def test_flag_helpers(self):
+        assert drain(flag_wait(self.flag, 3)) == [
+            FlagWaitOp(self.flag.address, 3)
+        ]
+        assert drain(flag_set(self.flag, 5)) == [
+            FlagSetOp(self.flag.address, 5)
+        ]
+
+    def test_critical_increment_shape(self):
+        word = self.space.alloc("w")
+        ops = drain(critical_increment(self.mutex, word), replies=[7])
+        assert ops == [
+            LockOp(self.mutex.address),
+            ReadOp(word),
+            WriteOp(word, 8),
+            UnlockOp(self.mutex.address),
+        ]
+
+
+class TestBarrierLowering:
+    def setup_method(self):
+        self.space = AddressSpace()
+        self.barrier = Barrier.allocate(self.space, 2, "b")
+
+    def test_non_last_arriver_waits(self):
+        # Arrival count goes 0 -> 1 (< 2): unlock then wait for episode 1.
+        ops = drain(barrier_wait(self.barrier), replies=[0, 0])
+        kinds = [type(op) for op in ops]
+        assert kinds == [
+            LockOp, ReadOp, WriteOp, ReadOp, UnlockOp, FlagWaitOp,
+        ]
+        assert ops[-1] == FlagWaitOp(self.barrier.flag.address, 1)
+
+    def test_last_arriver_releases(self):
+        # Arrival count goes 1 -> 2 (== 2): reset, bump episode, set flag.
+        ops = drain(barrier_wait(self.barrier), replies=[1, 0])
+        kinds = [type(op) for op in ops]
+        assert kinds == [
+            LockOp, ReadOp, WriteOp, WriteOp, ReadOp, WriteOp,
+            UnlockOp, FlagSetOp,
+        ]
+        assert ops[-1] == FlagSetOp(self.barrier.flag.address, 1)
+
+    def test_episode_numbers_advance(self):
+        # A later episode's releaser sets the flag to episode+1.
+        ops = drain(barrier_wait(self.barrier), replies=[1, 4])
+        assert ops[-1] == FlagSetOp(self.barrier.flag.address, 5)

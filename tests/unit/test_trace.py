@@ -1,0 +1,160 @@
+"""Unit tests for trace containers, stats, and conflict summaries."""
+
+from repro.common.types import AccessClass, AccessMode
+from repro.trace import (
+    MemoryEvent,
+    Trace,
+    compute_stats,
+    summarize_conflicts,
+)
+
+
+def ev(index, thread, address, write=False, sync=False, icount=None,
+       value=0):
+    return MemoryEvent(
+        index,
+        thread,
+        address,
+        AccessMode.WRITE if write else AccessMode.READ,
+        AccessClass.SYNC if sync else AccessClass.DATA,
+        index if icount is None else icount,
+        value,
+    )
+
+
+class TestMemoryEvent:
+    def test_conflicts(self):
+        w0 = ev(0, 0, 8, write=True)
+        r1 = ev(1, 1, 8)
+        r2 = ev(2, 1, 12)
+        assert w0.conflicts_with(r1)
+        assert not r1.conflicts_with(r2)
+        assert not w0.conflicts_with(ev(3, 0, 8, write=True))
+
+    def test_key_is_interleaving_independent(self):
+        a = ev(0, 1, 8, write=True, icount=5)
+        b = ev(99, 1, 8, write=True, icount=5)
+        assert a.key() == b.key()
+
+
+class TestTrace:
+    def make(self):
+        events = [
+            ev(0, 0, 8, write=True, icount=0),
+            ev(1, 1, 8, icount=0),
+            ev(2, 0, 12, icount=1, sync=True, write=True),
+        ]
+        return Trace(events, [2, 1], name="t")
+
+    def test_basics(self):
+        trace = self.make()
+        assert len(trace) == 3
+        assert trace.n_threads == 2
+        assert trace[1].thread == 1
+        assert trace.addresses() == [8, 12]
+
+    def test_events_of_thread(self):
+        trace = self.make()
+        assert [e.index for e in trace.events_of_thread(0)] == [0, 2]
+
+    def test_per_thread_sequences(self):
+        trace = self.make()
+        seqs = trace.per_thread_sequences()
+        assert len(seqs[0]) == 2 and len(seqs[1]) == 1
+
+
+class TestStats:
+    def test_counts(self):
+        trace = self.make_trace()
+        stats = compute_stats(trace)
+        assert stats.n_events == 4
+        assert stats.n_reads == 2
+        assert stats.n_writes == 2
+        assert stats.n_sync == 1
+        assert stats.n_data == 3
+        assert 0 < stats.sync_fraction < 1
+
+    def test_sharing(self):
+        trace = self.make_trace()
+        stats = compute_stats(trace)
+        assert stats.distinct_words == 2
+        assert stats.shared_words == 1  # address 8 touched by both
+
+    def make_trace(self):
+        events = [
+            ev(0, 0, 8, write=True, icount=0),
+            ev(1, 1, 8, icount=0),
+            ev(2, 1, 16, icount=1),
+            ev(3, 0, 8, icount=1, sync=True, write=True),
+        ]
+        return Trace(events, [2, 2])
+
+
+class TestConflictSummary:
+    def test_write_order_and_reads_from(self):
+        events = [
+            ev(0, 0, 8, write=True, icount=0),
+            ev(1, 1, 8, icount=0),
+            ev(2, 1, 8, write=True, icount=1),
+            ev(3, 0, 8, icount=1),
+        ]
+        summary = summarize_conflicts(Trace(events, [2, 2]))
+        assert summary.write_order[8] == [(0, 0), (1, 1)]
+        assert summary.reads_from[(1, 0)] == (0, 0)
+        assert summary.reads_from[(0, 1)] == (1, 1)
+
+    def test_initial_read(self):
+        events = [ev(0, 0, 8, icount=0)]
+        summary = summarize_conflicts(Trace(events, [1]))
+        assert summary.reads_from[(0, 0)] is None
+
+    def test_equivalence_ignores_concurrent_reordering(self):
+        # Two traces where *non-conflicting* accesses appear in different
+        # global orders are equivalent.
+        a = Trace(
+            [ev(0, 0, 8, write=True, icount=0), ev(1, 1, 16, icount=0)],
+            [1, 1],
+        )
+        b = Trace(
+            [ev(0, 1, 16, icount=0), ev(1, 0, 8, write=True, icount=0)],
+            [1, 1],
+        )
+        assert summarize_conflicts(a).equivalent_to(summarize_conflicts(b))
+
+    def test_divergence_detected_and_described(self):
+        a = Trace(
+            [
+                ev(0, 0, 8, write=True, icount=0),
+                ev(1, 1, 8, write=True, icount=0),
+            ],
+            [1, 1],
+        )
+        b = Trace(
+            [
+                ev(0, 1, 8, write=True, icount=0),
+                ev(1, 0, 8, write=True, icount=0),
+            ],
+            [1, 1],
+        )
+        sa, sb = summarize_conflicts(a), summarize_conflicts(b)
+        assert not sa.equivalent_to(sb)
+        assert "write order differs" in sa.first_difference(sb)
+
+    def test_reads_from_divergence_described(self):
+        a = Trace(
+            [
+                ev(0, 0, 8, write=True, icount=0),
+                ev(1, 1, 8, icount=0),
+            ],
+            [1, 1],
+        )
+        b = Trace(
+            [
+                ev(0, 1, 8, icount=0),
+                ev(1, 0, 8, write=True, icount=0),
+            ],
+            [1, 1],
+        )
+        sa, sb = summarize_conflicts(a), summarize_conflicts(b)
+        assert not sa.equivalent_to(sb)
+        assert "observes" in sa.first_difference(sb)

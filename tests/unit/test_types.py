@@ -1,0 +1,75 @@
+"""Unit tests for repro.common.types."""
+
+import pytest
+
+from repro.common.types import (
+    Access,
+    AccessClass,
+    AccessMode,
+    WORD_SIZE,
+    line_address,
+    word_index,
+)
+
+
+class TestAccessMode:
+    def test_write_flag(self):
+        assert AccessMode.WRITE.is_write
+        assert not AccessMode.READ.is_write
+
+    def test_int_values_are_stable(self):
+        # Trace encodings rely on these.
+        assert int(AccessMode.READ) == 0
+        assert int(AccessMode.WRITE) == 1
+
+
+class TestAccessClass:
+    def test_sync_flag(self):
+        assert AccessClass.SYNC.is_sync
+        assert not AccessClass.DATA.is_sync
+
+
+class TestAccess:
+    def test_word_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            Access(0, 3, AccessMode.READ)
+
+    def test_aligned_ok(self):
+        access = Access(1, 8, AccessMode.WRITE, AccessClass.SYNC)
+        assert access.is_write and access.is_sync
+
+    def test_conflict_requires_write(self):
+        read_a = Access(0, 8, AccessMode.READ)
+        read_b = Access(1, 8, AccessMode.READ)
+        write_b = Access(1, 8, AccessMode.WRITE)
+        assert not read_a.conflicts_with(read_b)
+        assert read_a.conflicts_with(write_b)
+        assert write_b.conflicts_with(read_a)
+
+    def test_conflict_requires_different_threads(self):
+        a = Access(0, 8, AccessMode.WRITE)
+        b = Access(0, 8, AccessMode.WRITE)
+        assert not a.conflicts_with(b)
+
+    def test_conflict_requires_same_address(self):
+        a = Access(0, 8, AccessMode.WRITE)
+        b = Access(1, 12, AccessMode.WRITE)
+        assert not a.conflicts_with(b)
+
+
+class TestAddressHelpers:
+    def test_word_index(self):
+        assert word_index(0, 64) == 0
+        assert word_index(4, 64) == 1
+        assert word_index(60, 64) == 15
+        assert word_index(64, 64) == 0
+
+    def test_line_address(self):
+        assert line_address(0, 64) == 0
+        assert line_address(63, 64) == 0
+        assert line_address(64, 64) == 64
+        assert line_address(130, 64) == 128
+
+    def test_word_size_matches_paper_granularity(self):
+        # 64-byte lines with 4-byte words -> 16 access-bit slots/line.
+        assert 64 // WORD_SIZE == 16

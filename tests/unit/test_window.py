@@ -1,0 +1,72 @@
+"""Unit tests for the 16-bit sliding-window comparator (Section 2.7.5)."""
+
+import pytest
+
+from repro.clocks.window import (
+    DEFAULT_WINDOW,
+    SlidingWindowComparator,
+    WINDOW_CLOCK_BITS,
+)
+from repro.common.errors import ConfigError
+
+
+class TestSlidingWindowComparator:
+    def setup_method(self):
+        self.cmp = SlidingWindowComparator()
+
+    def test_paper_parameters(self):
+        assert WINDOW_CLOCK_BITS == 16
+        assert DEFAULT_WINDOW == (1 << 15) - 1
+        assert self.cmp.window == DEFAULT_WINDOW
+
+    def test_plain_comparisons(self):
+        assert self.cmp.greater(10, 5)
+        assert not self.cmp.greater(5, 10)
+        assert self.cmp.greater_equal(5, 5)
+
+    def test_wraparound_comparison(self):
+        # 65540 truncates to 4, 65530 truncates to 65530; the windowed
+        # comparator must still see 65540 as ahead.
+        assert self.cmp.greater(65540, 65530)
+        assert not self.cmp.greater(65530, 65540)
+
+    def test_signed_delta_range(self):
+        delta = self.cmp.signed_delta(0, 1)
+        assert delta == -1
+        assert -self.cmp.half <= delta < self.cmp.half
+
+    def test_synchronized_after_wraps(self):
+        # clock = ts + D across the wrap boundary.
+        ts = (1 << 16) - 5
+        clock = ts + 16
+        assert self.cmp.synchronized_after(clock, ts, 16)
+        assert not self.cmp.synchronized_after(clock, ts, 17)
+
+    def test_agrees_with_unbounded_within_window(self):
+        pairs = [
+            (100, 50),
+            (50, 100),
+            (70000, 70001),
+            (131000, 131000 + DEFAULT_WINDOW),
+            (131000 + DEFAULT_WINDOW, 131000),
+        ]
+        for a, b in pairs:
+            assert self.cmp.within_window(a, b)
+            assert self.cmp.greater(a, b) == (a > b), (a, b)
+            assert self.cmp.greater_equal(a, b) == (a >= b), (a, b)
+
+    def test_outside_window_detected(self):
+        assert not self.cmp.within_window(0, DEFAULT_WINDOW + 1)
+
+    def test_truncate(self):
+        assert self.cmp.truncate(1 << 16) == 0
+        assert self.cmp.truncate((1 << 16) + 7) == 7
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ConfigError):
+            SlidingWindowComparator(bits=1)
+
+    def test_custom_width(self):
+        small = SlidingWindowComparator(bits=8)
+        assert small.window == 127
+        assert small.greater(260, 250)  # 4 vs 250 under mod 256

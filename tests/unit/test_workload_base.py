@@ -1,0 +1,128 @@
+"""Unit tests for the workload building blocks."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.program import AddressSpace, Program
+from repro.program.ops import ComputeOp, LockOp, ReadOp, UnlockOp, WriteOp
+from repro.sync import Mutex
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    compute,
+    locked_rmw,
+    locked_update_block,
+    pattern_rng,
+    pop_task,
+    private_sweep,
+    read_block,
+    write_block,
+)
+
+
+def drain(gen, replies=None):
+    replies = iter(replies or [])
+    ops = []
+    try:
+        op = next(gen)
+        while True:
+            ops.append(op)
+            value = next(replies, 0) if isinstance(op, ReadOp) else None
+            op = gen.send(value)
+    except StopIteration as stop:
+        return ops, stop.value
+
+
+class TestHelpers:
+    def setup_method(self):
+        self.space = AddressSpace()
+        self.mutex = Mutex.allocate(self.space, "m")
+        self.words = self.space.alloc_array("arr", 32)
+
+    def test_compute_zero_is_empty(self):
+        ops, _ = drain(compute(0))
+        assert ops == []
+        ops, _ = drain(compute(3))
+        assert ops == [ComputeOp(3)]
+
+    def test_read_write_blocks(self):
+        ops, _ = drain(read_block(self.words[:3]))
+        assert ops == [ReadOp(a) for a in self.words[:3]]
+        ops, _ = drain(write_block(self.words[:2], 9))
+        assert ops == [WriteOp(a, 9) for a in self.words[:2]]
+
+    def test_locked_rmw_shape(self):
+        ops, _ = drain(locked_rmw(self.mutex, self.words[0]), [4])
+        assert [type(op) for op in ops] == [
+            LockOp, ReadOp, WriteOp, UnlockOp,
+        ]
+        assert ops[2].value == 5
+
+    def test_locked_update_block_covers_all_words(self):
+        ops, _ = drain(
+            locked_update_block(self.mutex, self.words[:3]), [0, 0, 0]
+        )
+        written = [op.address for op in ops if isinstance(op, WriteOp)]
+        assert written == self.words[:3]
+
+    def test_pop_task_claims_and_bumps(self):
+        ops, claimed = drain(
+            pop_task(self.mutex, self.words[0], limit=10), [4]
+        )
+        assert claimed == 4
+        bumps = [op for op in ops if isinstance(op, WriteOp)]
+        assert bumps[0].value == 5
+
+    def test_pop_task_exhausted(self):
+        ops, claimed = drain(
+            pop_task(self.mutex, self.words[0], limit=10), [10]
+        )
+        assert claimed is None
+        # No bump once exhausted.
+        assert not [op for op in ops if isinstance(op, WriteOp)]
+
+    def test_private_sweep_strides_and_wraps(self):
+        ops, cursor = drain(
+            private_sweep(self.words, cursor=0, count=3, stride=5)
+        )
+        reads = [op.address for op in ops if isinstance(op, ReadOp)]
+        assert reads == [self.words[0], self.words[5], self.words[10]]
+        assert cursor == 15
+        # Wraps modulo the array length.
+        ops, cursor = drain(
+            private_sweep(self.words, cursor=30, count=2, stride=5)
+        )
+        reads = [op.address for op in ops if isinstance(op, ReadOp)]
+        assert reads == [self.words[30], self.words[3]]
+
+
+class TestParamsAndSpec:
+    def test_pattern_rng_is_per_thread_deterministic(self):
+        params = WorkloadParams()
+        a = pattern_rng(params, "app", 0)
+        b = pattern_rng(params, "app", 0)
+        c = pattern_rng(params, "app", 1)
+        seq_a = [a.randint(0, 100) for _ in range(5)]
+        assert seq_a == [b.randint(0, 100) for _ in range(5)]
+        assert seq_a != [c.randint(0, 100) for _ in range(5)]
+
+    def test_pattern_seed_changes_streams(self):
+        a = pattern_rng(WorkloadParams(), "app", 0)
+        b = pattern_rng(WorkloadParams(pattern_seed=1), "app", 0)
+        assert [a.randint(0, 10**9) for _ in range(3)] != [
+            b.randint(0, 10**9) for _ in range(3)
+        ]
+
+    def test_spec_program_factory(self):
+        def build(params):
+            space = AddressSpace()
+
+            def body(tid):
+                yield ReadOp(0x100000)
+
+            return Program([body, body], space)
+
+        spec = WorkloadSpec("x", "input", "desc", build)
+        factory = spec.program_factory()
+        program = factory(123)
+        assert program.n_threads == 2

@@ -4,7 +4,9 @@ The detection figures (10, 12-17) all derive from one injection-campaign
 suite over the twelve applications; it is computed once per benchmark
 session.  Set ``CORD_BENCH_RUNS`` to change the number of injected runs
 per application (default 8; the paper used 20-100 -- raise it for tighter
-per-app numbers at proportional cost).
+per-app numbers at proportional cost) and ``CORD_BENCH_JOBS`` (or
+``REPRO_JOBS``) to fan the per-application campaigns out over worker
+processes.
 """
 
 import os
@@ -15,6 +17,7 @@ from repro.experiments import Suite, SuiteConfig
 from repro.workloads import WorkloadParams
 
 RUNS_PER_APP = int(os.environ.get("CORD_BENCH_RUNS", "8"))
+JOBS = int(os.environ.get("CORD_BENCH_JOBS", "0")) or None  # None: REPRO_JOBS
 
 
 @pytest.fixture(scope="session")
@@ -24,6 +27,6 @@ def suite():
         runs_per_app=RUNS_PER_APP,
         params=WorkloadParams(),
     )
-    instance = Suite(config)
+    instance = Suite(config, jobs=JOBS)
     instance.campaigns()
     return instance

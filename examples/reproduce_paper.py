@@ -2,11 +2,13 @@
 
     python examples/reproduce_paper.py            # full (several minutes)
     python examples/reproduce_paper.py --quick    # 3 apps, fewer runs
+    python examples/reproduce_paper.py --jobs 4   # campaigns on 4 processes
+    python examples/reproduce_paper.py --cache .repro-cache  # reuse results
 
 The output is the source of EXPERIMENTS.md's "measured" columns.
 """
 
-import sys
+import argparse
 import time
 
 from repro.experiments import (
@@ -26,7 +28,7 @@ from repro.experiments import (
 from repro.workloads import WorkloadParams
 
 
-def main(quick=False):
+def main(quick=False, jobs=None, cache=None):
     if quick:
         config = SuiteConfig(
             runs_per_app=5,
@@ -39,11 +41,12 @@ def main(quick=False):
     print(table1().render())
 
     start = time.time()
-    suite = Suite(config)
+    suite = Suite(config, jobs=jobs, cache_dir=cache)
     suite.campaigns()
-    print("\n[injection campaigns over %d app(s), %d runs each: %.0fs]"
+    print("\n[injection campaigns over %d app(s), %d runs each, "
+          "%d job(s): %.0fs]"
           % (len(config.workload_names()), config.runs_per_app,
-             time.time() - start))
+             suite.jobs, time.time() - start))
 
     for driver in (figure10, figure12, figure13, figure14, figure15,
                    figure16, figure17):
@@ -60,4 +63,14 @@ def main(quick=False):
 
 
 if __name__ == "__main__":
-    main(quick="--quick" in sys.argv)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="3 apps, fewer runs, smaller inputs")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="campaign worker processes "
+                             "(default: REPRO_JOBS or 1)")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="directory for on-disk campaign results "
+                             "(default: REPRO_CACHE_DIR or off)")
+    cli = parser.parse_args()
+    main(quick=cli.quick, jobs=cli.jobs, cache=cli.cache)

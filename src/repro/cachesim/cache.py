@@ -14,7 +14,6 @@ memory timestamp pair (Section 2.5).
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigError
@@ -106,19 +105,30 @@ class MetadataCache:
     ):
         self.geometry = geometry
         self._payload_factory = payload_factory
-        # One ordered dict per set (or a single one for infinite caches);
-        # most-recently-used entries at the end.
+        # One plain dict per set (or a single one for infinite caches);
+        # insertion order doubles as LRU order, most-recently-used last
+        # (a re-touch is pop+reinsert).  Plain dicts preserve insertion
+        # order and are measurably faster than OrderedDict on the hot
+        # peek/access path.
         if geometry.is_infinite:
-            self._sets: List[OrderedDict] = [OrderedDict()]
+            self._sets: List[dict] = [{}]
+            self._set_shift = 0
+            self._set_mask = 0
+            self._capacity = float("inf")
         else:
-            self._sets = [OrderedDict() for _ in range(geometry.n_sets)]
+            self._sets = [{} for _ in range(geometry.n_sets)]
+            # line_size and n_sets are powers of two (validated above),
+            # so set selection is a shift+mask instead of div+mod.
+            self._set_shift = geometry.line_size.bit_length() - 1
+            self._set_mask = geometry.n_sets - 1
+            self._capacity = geometry.associativity
         self.evictions = 0
         self.insertions = 0
 
-    def _set_for(self, line_address: int) -> OrderedDict:
-        if self.geometry.is_infinite:
-            return self._sets[0]
-        return self._sets[self.geometry.set_index(line_address)]
+    def _set_for(self, line_address: int) -> dict:
+        return self._sets[
+            (line_address >> self._set_shift) & self._set_mask
+        ]
 
     # -- lookups ----------------------------------------------------------
 
@@ -128,7 +138,9 @@ class MetadataCache:
         Used for snooping lookups from other processors, which must not
         perturb the local replacement order.
         """
-        return self._set_for(line_address).get(line_address)
+        return self._sets[
+            (line_address >> self._set_shift) & self._set_mask
+        ].get(line_address)
 
     def contains(self, line_address: int) -> bool:
         return line_address in self._set_for(line_address)
@@ -145,22 +157,24 @@ class MetadataCache:
         access.  The line is inserted if absent (possibly evicting the
         set's LRU line) and moved to MRU.
         """
-        cache_set = self._set_for(line_address)
+        cache_set = self._sets[
+            (line_address >> self._set_shift) & self._set_mask
+        ]
         payload = cache_set.get(line_address)
         evicted: List[Tuple[int, object]] = []
         if payload is None:
             payload = self._payload_factory()
             cache_set[line_address] = payload
             self.insertions += 1
-            if (
-                not self.geometry.is_infinite
-                and len(cache_set) > self.geometry.associativity
-            ):
-                victim_address, victim = cache_set.popitem(last=False)
-                evicted.append((victim_address, victim))
+            if len(cache_set) > self._capacity:
+                victim_address = next(iter(cache_set))
+                evicted.append(
+                    (victim_address, cache_set.pop(victim_address))
+                )
                 self.evictions += 1
         else:
-            cache_set.move_to_end(line_address)
+            # Move to MRU: pop + reinsert keeps dict order == LRU order.
+            cache_set[line_address] = cache_set.pop(line_address)
         return payload, evicted
 
     def invalidate_data(self, line_address: int) -> None:

@@ -46,6 +46,7 @@ from repro.clocks.window import SlidingWindowComparator
 from repro.common.errors import ConfigError
 from repro.cord.config import CordConfig
 from repro.cord.log import OrderLog
+from repro.cord.log import LogEntry as _LogEntry
 from repro.cord.recorder import OrderRecorder
 from repro.detectors.base import (
     DataRace,
@@ -53,7 +54,7 @@ from repro.detectors.base import (
     Detector,
     default_thread_to_processor,
 )
-from repro.meta.linemeta import LineMeta
+from repro.meta.linestore import ScalarLineStore
 from repro.meta.memts import MainMemoryTimestamps
 from repro.meta.walker import CacheWalker
 from repro.trace.events import MemoryEvent
@@ -97,11 +98,41 @@ class CordDetector(Detector):
         self.recorder = OrderRecorder(n_threads, config.initial_clock)
         self.memory_ts = MainMemoryTimestamps(0)
         self.geometry = config.geometry()
+        #: Flat array-backed metadata shared by all caches of the domain;
+        #: cache payloads are integer slots into this store.
+        self.store = ScalarLineStore(
+            config.entries_per_line,
+            self.geometry.line_size // 4,
+        )
         self.snoop = SnoopDomain(
             config.n_processors,
             self.geometry,
-            lambda: LineMeta(config.entries_per_line),
+            self.store.alloc,
         )
+        # Hot-path constants (the geometry is immutable).  All caches of
+        # the domain share one geometry, so a line's set index is the
+        # same everywhere; process() indexes the per-cache set dicts
+        # directly instead of calling through MetadataCache per snoop.
+        self._line_mask = ~(self.geometry.line_size - 1)
+        self._entries_per_line = config.entries_per_line
+        self._d = config.d
+        self._use_mem = config.use_memory_timestamps
+        self._cache_sets = [cache._sets for cache in self.snoop.caches]
+        self._set_shift = self.snoop.caches[0]._set_shift
+        self._set_mask = self.snoop.caches[0]._set_mask
+        self._frag_start = self.recorder._fragment_start
+        # Residency hint: line address -> bitmask of processors whose
+        # cache *may* hold the line.  Bits are set on fill and cleared on
+        # the inline eviction path; drops the cache walker performs are
+        # not mirrored, so the mask may overcount -- a race check still
+        # verifies each hinted cache with a real lookup, it just skips
+        # caches that provably never held the line (about half of all
+        # remote lookups in the SPLASH-style workloads).
+        self._residency: dict = {}
+        self._remote_masks = [
+            ((1 << config.n_processors) - 1) ^ (1 << p)
+            for p in range(config.n_processors)
+        ]
         self.thread_proc = default_thread_to_processor(
             n_threads, config.n_processors
         )
@@ -120,6 +151,7 @@ class CordDetector(Detector):
                     self.memory_ts,
                     stale_lag=config.walker_stale_lag,
                     period=config.walker_period,
+                    store=self.store,
                 )
                 for cache in self.snoop.caches
             ]
@@ -147,141 +179,365 @@ class CordDetector(Detector):
     # -- the access pipeline ---------------------------------------------------
 
     def process(self, event: MemoryEvent) -> None:
-        thread = event.thread
-        processor = self.thread_proc[thread]
-        is_write = event.is_write
-        is_sync = event.is_sync
-        d = self.config.d
-        clk0 = self.clocks[thread]
-        line = self.geometry.line_address(event.address)
-        word = (event.address - line) // 4
-        cache = self.snoop.cache_of(processor)
+        """Process one event: a batch of one (see :meth:`process_batch`).
 
-        # Instruction-count overflow guard (Section 2.7.1).
-        if self.recorder.count_would_overflow(thread, event.icount):
-            self._change_clock_before(thread, clk0 + 1, event.icount)
-            clk0 = self.clocks[thread]
+        Dispatches to this class's batch loop explicitly: subclasses that
+        override ``process_batch`` to wrap ``process`` (the directory
+        detector) must not recurse through it.
+        """
+        CordDetector.process_batch(self, (event,))
 
-        local = cache.peek(line)
-        fast = (
-            local is not None
-            and local.data_valid
-            # Synchronization reads always check: Section 2.6's rule --
-            # the thread's clock must become at least D larger than the
-            # sync variable's latest write timestamp -- is unconditional,
-            # and that timestamp may live only in the memory-timestamp
-            # pair.  (Sync instructions are already special-cased in the
-            # paper's hardware via labeling.)
-            and not (is_sync and not is_write)
-            # A write additionally needs coherence write permission: a
-            # remote read since our last write means the next write is a
-            # bus upgrade, which is a race-check opportunity hardware
-            # cannot skip.
-            and (not is_write or local.write_permission)
-            and (
-                local.filter_allows(is_write)
-                or self._bit_already_set(local, clk0, word, is_write)
-            )
-        )
+    def process_batch(self, events) -> None:
+        # The hottest loop in the repository: a campaign pushes millions
+        # of events through here.  All per-line state lives in the flat
+        # ScalarLineStore columns; everything invariant across events --
+        # the store's columns, the cache set dicts, geometry constants --
+        # is bound to locals once, outside the per-event loop.
+        d = self._d
+        use_mem = self._use_mem
+        store = self.store
+        entries_per_line = self._entries_per_line
+        line_mask = self._line_mask
+        set_shift = self._set_shift
+        set_mask = self._set_mask
+        tsa = store.ts
+        rma = store.rmask
+        wma = store.wmask
+        cnt = store.count
+        flg = store.flags
+        fclock = store.fclock
+        cache_sets = self._cache_sets
+        residency = self._residency
+        remote_masks = self._remote_masks
+        clocks = self.clocks
+        thread_proc = self.thread_proc
+        frag_start = self._frag_start
+        frag_clock = self.recorder._fragment_clock
+        log_append = self.recorder.log.entries.append
+        memts = self.memory_ts
+        record_race = self.outcome.record_race
+        walkers = self._walkers
+        fast_hits = 0
+        race_checks = 0
+        memts_orderings = 0
+        clock_changes = 0
 
-        new_clock = clk0
-        if fast:
-            self.fast_hits += 1
-            clean_line = False
-        else:
-            self.race_checks += 1
-            clean_line = True
-            reported = False
-            for remote, meta in self.snoop.snoop(processor, line):
-                if meta.any_conflict_in_line(is_write):
-                    clean_line = False
-                meta.revoke_filters(is_write)
-                remote_candidates = list(
-                    meta.conflicting_timestamps(word, is_write)
-                )
+        for event in events:
+            thread = event.thread
+            processor = thread_proc[thread]
+            is_write = event.is_write
+            is_sync = event.is_sync
+            clk0 = clocks[thread]
+            address = event.address
+            line = address & line_mask
+            word = (address - line) >> 2
+            wbit = 1 << word
+            set_index = (line >> set_shift) & set_mask
+            local_set = cache_sets[processor][set_index]
+
+            # Instruction-count overflow guard (Section 2.7.1).
+            if event.icount - frag_start[thread] >= 0xFFFFFFFF:
+                self._change_clock_before(thread, clk0 + 1, event.icount)
+                clk0 = clocks[thread]
+
+            local = local_set.get(line)
+            # Fast path (Section 2.7.2), cheapest test first: one flags
+            # byte answers data-valid, write-permission, and the filter
+            # bits before any timestamp is touched.
+            fast = False
+            if local is not None:
+                fl = flg[local]
+                # Synchronization reads always check: Section 2.6's rule
+                # -- the thread's clock must become at least D larger
+                # than the sync variable's latest write timestamp -- is
+                # unconditional, and that timestamp may live only in the
+                # memory-timestamp pair.  A write additionally needs
+                # coherence write permission: a remote read since our
+                # last write makes the next write a bus upgrade, a
+                # race-check opportunity hardware cannot skip.
                 if is_write:
-                    # Write upgrade: the remote copy is invalidated and
-                    # its history retired.  The ordering it carried is
-                    # absorbed right here (the candidates below); keeping
-                    # the stale access bits would let a later refetch
-                    # fast-path past a conflict (found by the
-                    # replay-equivalence property test).
-                    retired = meta.retire_all()
-                    if self.config.use_memory_timestamps:
-                        self.memory_ts.fold_entries(retired)
-                    meta.data_valid = False
-                for ts in remote_candidates:
-                    if is_sync:
-                        if is_write:
-                            if clk0 <= ts:
-                                new_clock = max(new_clock, ts + 1)
-                        else:
-                            # Sync read: at least D past the write ts.
-                            new_clock = max(new_clock, ts + d)
+                    eligible = fl & 12 == 12  # valid + write permission
+                    fbit = 2
+                else:
+                    eligible = fl & 4 and not is_sync
+                    fbit = 1
+                if eligible:
+                    if fl & fbit and fclock[local] == clk0:
+                        fast = True
                     else:
-                        if clk0 <= ts:
-                            new_clock = max(new_clock, ts + 1)
-                        if clk0 < ts + d and not reported:
-                            reported = True
-                            self.outcome.record_race(
-                                DataRace(
-                                    access=(thread, event.icount),
-                                    address=event.address,
-                                    other_thread=None,
-                                    detail="clk=%d ts=%d P%d"
-                                    % (clk0, ts, remote),
+                        # Word access bit already set at this clock?
+                        # Newest entry first -- it matches nearly always.
+                        base = local * entries_per_line
+                        n = cnt[local]
+                        if n and tsa[base] == clk0:
+                            mask = wma[base] if is_write else rma[base]
+                            fast = bool((mask >> word) & 1)
+                        elif n > 1:
+                            for e in range(base + 1, base + n):
+                                if tsa[e] == clk0:
+                                    mask = (
+                                        wma[e] if is_write else rma[e]
+                                    )
+                                    fast = bool((mask >> word) & 1)
+                                    break
+
+            new_clock = clk0
+            if fast:
+                fast_hits += 1
+                clean_line = False
+            else:
+                race_checks += 1
+                clean_line = True
+                reported = False
+                # Ascending-bit iteration over caches that may hold the
+                # line (same visit order as scanning all processors).
+                sharers = (
+                    residency.get(line, 0) & remote_masks[processor]
+                )
+                while sharers:
+                    low = sharers & -sharers
+                    sharers ^= low
+                    remote = low.bit_length() - 1
+                    rslot = cache_sets[remote][set_index].get(line)
+                    if rslot is None:
+                        continue  # stale hint (walker drop)
+                    n_resident = cnt[rslot]
+                    if not n_resident:
+                        # Nothing to conflict with, fold, or revoke: a
+                        # slot can only be empty right after a write
+                        # upgrade, which also cleared every flag bit.
+                        continue
+                    base = rslot * entries_per_line
+                    # One pass gathers both the line-level conflict
+                    # verdict (check-filter establishment) and the
+                    # per-word candidate timestamps, newest first.
+                    candidates = None
+                    if is_write:
+                        for e in range(base, base + n_resident):
+                            rm = rma[e]
+                            wm = wma[e]
+                            if rm or wm:
+                                clean_line = False
+                                if (rm | wm) & wbit:
+                                    if candidates is None:
+                                        candidates = [tsa[e]]
+                                    else:
+                                        candidates.append(tsa[e])
+                    else:
+                        for e in range(base, base + n_resident):
+                            wm = wma[e]
+                            if wm:
+                                clean_line = False
+                                if wm & wbit:
+                                    if candidates is None:
+                                        candidates = [tsa[e]]
+                                    else:
+                                        candidates.append(tsa[e])
+                    if is_write:
+                        # Write upgrade: revoke the remote filters,
+                        # retire its history into the memory timestamps,
+                        # and invalidate its data copy.  Keeping the
+                        # stale access bits would let a later refetch
+                        # fast-path past a conflict (found by the
+                        # replay-equivalence property test).
+                        if use_mem:
+                            for e in range(base, base + n_resident):
+                                memts.fold_raw(
+                                    tsa[e], rma[e] != 0, wma[e] != 0
                                 )
+                        cnt[rslot] = 0
+                        # Clear read/write filters, data-valid, and
+                        # write permission in one mask.
+                        flg[rslot] &= 0xF0
+                    else:
+                        # A remote read revokes write filter+permission.
+                        flg[rslot] &= 0xF5
+                    if candidates is None:
+                        continue
+                    for ts in candidates:
+                        if is_sync:
+                            if is_write:
+                                if clk0 <= ts and ts + 1 > new_clock:
+                                    new_clock = ts + 1
+                            else:
+                                # Sync read: at least D past the write.
+                                if ts + d > new_clock:
+                                    new_clock = ts + d
+                        else:
+                            if clk0 <= ts and ts + 1 > new_clock:
+                                new_clock = ts + 1
+                            if clk0 < ts + d and not reported:
+                                reported = True
+                                record_race(
+                                    DataRace(
+                                        access=(thread, event.icount),
+                                        address=address,
+                                        other_thread=None,
+                                        detail="clk=%d ts=%d P%d"
+                                        % (clk0, ts, remote),
+                                    )
+                                )
+                # Main-memory timestamp comparison (never reported as a
+                # race).  Sync reads take the full +D window so that
+                # synchronization whose release write was displaced to
+                # memory still suppresses later false data races (the
+                # Figure 7 update, strengthened by Section 2.6's rule);
+                # everything else takes the +1 ordering update.
+                if use_mem:
+                    if is_write:
+                        mem_ts = memts.read_ts
+                        if memts.write_ts > mem_ts:
+                            mem_ts = memts.write_ts
+                    else:
+                        mem_ts = memts.write_ts
+                    if is_sync and not is_write:
+                        if mem_ts + d > new_clock:
+                            new_clock = mem_ts + d
+                            memts_orderings += 1
+                    elif clk0 <= mem_ts:
+                        if mem_ts + 1 > new_clock:
+                            new_clock = mem_ts + 1
+                            memts_orderings += 1
+
+            if new_clock != clk0:
+                # _change_clock_before inlined: flush the completed
+                # fragment (pre-instruction boundary -- the triggering
+                # access runs at the new clock, so the fragment excludes
+                # it).  OrderLog.append's range checks are vacuous here:
+                # boundaries are monotone and the overflow guard above
+                # ticks the clock before a count can reach 2^32.
+                icount = event.icount
+                log_append(
+                    _LogEntry(
+                        frag_clock[thread],
+                        thread,
+                        icount - frag_start[thread],
+                    )
+                )
+                frag_clock[thread] = new_clock
+                frag_start[thread] = icount
+                clocks[thread] = new_clock
+                clock_changes += 1
+
+            # Record the access in local metadata (inlined MetadataCache
+            # insert/MRU-touch; dict order doubles as LRU order).
+            if local is None:
+                cache = self.snoop.caches[processor]
+                slot = store.alloc()
+                local_set[line] = slot
+                cache.insertions += 1
+                pbit = 1 << processor
+                residency[line] = residency.get(line, 0) | pbit
+                self._on_line_filled(processor, line)
+                if len(local_set) > cache._capacity:
+                    victim_line = next(iter(local_set))
+                    victim_slot = local_set.pop(victim_line)
+                    cache.evictions += 1
+                    remaining = residency.get(victim_line, 0) & ~pbit
+                    if remaining:
+                        residency[victim_line] = remaining
+                    else:
+                        residency.pop(victim_line, None)
+                    if use_mem:
+                        vbase = victim_slot * entries_per_line
+                        for e in range(vbase, vbase + cnt[victim_slot]):
+                            memts.fold_raw(
+                                tsa[e], rma[e] != 0, wma[e] != 0
                             )
-            # Main-memory timestamp comparison (never reported as a race).
-            # Sync reads take the full +D window so that synchronization
-            # whose release write was displaced to memory still suppresses
-            # later false data races (the Figure 7 update, strengthened by
-            # Section 2.6's rule); everything else takes the +1 ordering
-            # update.
-            if self.config.use_memory_timestamps:
-                mem_ts = self.memory_ts.conflicting_timestamp(is_write)
-                if is_sync and not is_write:
-                    if mem_ts + d > new_clock:
-                        new_clock = mem_ts + d
-                        self.memts_orderings += 1
-                elif clk0 <= mem_ts:
-                    if mem_ts + 1 > new_clock:
-                        new_clock = mem_ts + 1
-                        self.memts_orderings += 1
+                    self._on_line_evicted(processor, victim_line)
+                    store.free(victim_slot)
+            else:
+                slot = local
+                local_set[line] = local_set.pop(line)  # move to MRU
+            clock = clocks[thread]
+            fl = flg[slot] | 4  # data valid
+            if is_write and not fast:
+                # Remote copies were invalidated (and their metadata
+                # retired) during the snoop above; the local copy is now
+                # exclusive.
+                fl |= 8
+            if not fast and clean_line:
+                # Check filter granted at the (possibly updated) clock;
+                # any later clock change invalidates it.
+                fl |= 3 if is_write else 1
+                fclock[slot] = clock
+            flg[slot] = fl
+            # Common case inline: the word joins an entry already at
+            # this clock value.  Allocation of a new entry (and the
+            # possible retirement it causes) stays in
+            # ScalarLineStore.record_access.
+            base = slot * entries_per_line
+            n = cnt[slot]
+            if n and tsa[base] == clock:
+                # Newest entry first: accesses cluster within an epoch,
+                # so the front entry matches nearly always.
+                if is_write:
+                    wma[base] |= wbit
+                else:
+                    rma[base] |= wbit
+            else:
+                merged = False
+                if n > 1:
+                    for e in range(base + 1, base + n):
+                        if tsa[e] == clock:
+                            if is_write:
+                                wma[e] |= wbit
+                            else:
+                                rma[e] |= wbit
+                            merged = True
+                            break
+                if not merged:
+                    # Insertion path: ScalarLineStore.record_access with
+                    # its merge scan elided (the scan above already
+                    # failed).  A full line retires its oldest entry
+                    # into the main-memory timestamps.
+                    if n == entries_per_line:
+                        last = base + n - 1
+                        if use_mem:
+                            memts.fold_raw(
+                                tsa[last], rma[last] != 0, wma[last] != 0
+                            )
+                        shift_from = base + n - 1
+                    else:
+                        cnt[slot] = n + 1
+                        shift_from = base + n
+                    for e in range(shift_from, base, -1):
+                        tsa[e] = tsa[e - 1]
+                        rma[e] = rma[e - 1]
+                        wma[e] = wma[e - 1]
+                    tsa[base] = clock
+                    if is_write:
+                        rma[base] = 0
+                        wma[base] = wbit
+                    else:
+                        rma[base] = wbit
+                        wma[base] = 0
 
-        if new_clock != clk0:
-            self._change_clock_before(thread, new_clock, event.icount)
+            # Post-retirement increment after synchronization writes
+            # (_change_clock_after inlined; post-instruction boundary,
+            # so the completed fragment includes the write).
+            if is_sync and is_write:
+                boundary = event.icount + 1
+                log_append(
+                    _LogEntry(
+                        frag_clock[thread],
+                        thread,
+                        boundary - frag_start[thread],
+                    )
+                )
+                new_clock = clock + 1
+                frag_clock[thread] = new_clock
+                frag_start[thread] = boundary
+                clocks[thread] = new_clock
+                clock_changes += 1
 
-        # Record the access in local metadata.
-        meta, evicted = cache.access(line)
-        if local is None:
-            self._on_line_filled(processor, line)
-        for victim_line, victim in evicted:
-            retired_entries = victim.retire_all()
-            if self.config.use_memory_timestamps:
-                self.memory_ts.fold_entries(retired_entries)
-            self._on_line_evicted(processor, victim_line)
-        meta.data_valid = True
-        if is_write and not fast:
-            # Remote copies were invalidated (and their metadata retired)
-            # during the snoop above; the local copy is now exclusive.
-            meta.write_permission = True
-        retired = meta.record_access(
-            self.clocks[thread], word, is_write
-        )
-        if retired is not None and self.config.use_memory_timestamps:
-            self.memory_ts.fold_entry(retired)
-        if not fast and clean_line:
-            meta.grant_filter(is_write)
+            if walkers is not None:
+                self._run_walker(processor)
 
-        # Post-retirement increment after synchronization writes.
-        if is_sync and is_write:
-            self._change_clock_after(
-                thread, self.clocks[thread] + 1, event.icount
-            )
-
-        if self._walkers is not None:
-            self._run_walker(processor)
+        self.fast_hits += fast_hits
+        self.race_checks += race_checks
+        self.memts_orderings += memts_orderings
+        self.clock_changes += clock_changes
 
     # -- helpers ---------------------------------------------------------------
 
@@ -290,23 +546,6 @@ class CordDetector(Detector):
 
     def _on_line_filled(self, processor: int, line: int) -> None:
         """Hook for subclasses tracking residency (directory protocols)."""
-
-    @staticmethod
-    def _bit_already_set(
-        meta: LineMeta, clock: int, word: int, is_write: bool
-    ) -> bool:
-        """Was this word already accessed in this mode at this clock value?
-
-        If so, the race check for it already happened ("an access that
-        finds the corresponding access bit to be zero results in
-        broadcasting a special race check request" -- a set bit means no
-        new request).
-        """
-        for entry in meta.entries:
-            if entry.ts == clock:
-                mask = entry.write_mask if is_write else entry.read_mask
-                return bool((mask >> word) & 1)
-        return False
 
     def _change_clock_before(self, thread: int, new_clock: int,
                              icount: int) -> None:

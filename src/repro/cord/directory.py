@@ -92,6 +92,12 @@ class DirectoryCordDetector(CordDetector):
 
     # -- traffic accounting ------------------------------------------------------
 
+    def process_batch(self, events) -> None:
+        # The snooping detector's batched loop bypasses process(); the
+        # directory model needs the per-event traffic accounting below.
+        for event in events:
+            self.process(event)
+
     def process(self, event: MemoryEvent) -> None:
         checks_before = self.race_checks
         processor = self.thread_proc[event.thread]

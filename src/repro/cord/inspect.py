@@ -33,24 +33,22 @@ class LineView:
 def snapshot_line(detector: CordDetector, address: int) -> List[LineView]:
     """Every cache's view of the line containing ``address``."""
     line = detector.geometry.line_address(address)
+    store = detector.store
     views = []
     for processor, cache in enumerate(detector.snoop.caches):
-        meta = cache.peek(line)
-        if meta is None:
+        slot = cache.peek(line)
+        if slot is None:
             views.append(LineView(processor, present=False))
             continue
         views.append(
             LineView(
                 processor,
                 present=True,
-                data_valid=meta.data_valid,
-                write_permission=meta.write_permission,
-                read_filter=meta.read_filter,
-                write_filter=meta.write_filter,
-                entries=[
-                    (entry.ts, entry.read_mask, entry.write_mask)
-                    for entry in meta.entries
-                ],
+                data_valid=store.data_valid(slot),
+                write_permission=store.write_permission(slot),
+                read_filter=store.read_filter(slot),
+                write_filter=store.write_filter(slot),
+                entries=store.entries(slot),
             )
         )
     return views
@@ -132,21 +130,22 @@ def explain_access(
         % (thread, processor, "WRITE" if is_write else "READ",
            address, clk, d)
     ]
+    store = detector.store
     local = detector.snoop.cache_of(processor).peek(line)
     fast = (
         local is not None
-        and local.data_valid
-        and (not is_write or local.write_permission)
+        and store.data_valid(local)
+        and (not is_write or store.write_permission(local))
         and (
-            local.filter_allows(is_write)
-            or detector._bit_already_set(local, clk, word, is_write)
+            store.filter_allows(local, is_write, clk)
+            or store.bit_already_set(local, clk, word, is_write)
         )
     )
     out.append("fast path: %s" % ("yes (no check)" if fast else "no"))
     if not fast:
         found = False
-        for remote, meta in detector.snoop.snoop(processor, line):
-            for ts in meta.conflicting_timestamps(word, is_write):
+        for remote, rslot in detector.snoop.snoop(processor, line):
+            for ts in store.conflicting_timestamps(rslot, word, is_write):
                 found = True
                 if clk >= ts + d:
                     verdict = "synchronized"

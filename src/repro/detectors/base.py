@@ -87,14 +87,23 @@ class Detector:
     def process(self, event: MemoryEvent) -> None:
         raise NotImplementedError
 
+    def process_batch(self, events) -> None:
+        """Process a sequence of events.
+
+        The default simply loops over :meth:`process`; hot detectors
+        override this to hoist per-event setup out of the loop.
+        """
+        process = self.process
+        for event in events:
+            process(event)
+
     def finish(self, trace: Trace) -> DetectionOutcome:
         """Hook for end-of-trace work; returns the outcome."""
         return self.outcome
 
     def run(self, trace: Trace) -> DetectionOutcome:
         """Process a whole trace."""
-        for event in trace.events:
-            self.process(event)
+        self.process_batch(trace.events)
         return self.finish(trace)
 
 

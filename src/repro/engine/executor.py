@@ -54,6 +54,13 @@ from repro.trace.stream import Trace
 #: Step-count safety valve; generously above any workload in this repo.
 DEFAULT_MAX_STEPS = 5_000_000
 
+# Hot-path constants: module-level names load faster than the two
+# attribute lookups an enum access costs, and the engine emits one
+# mode/class pair per event.
+_READ = AccessMode.READ
+_WRITE = AccessMode.WRITE
+_DATA = AccessClass.DATA
+
 
 class _AcquireWrite:
     """Second half of a lock acquire (the test-and-set write).
@@ -164,43 +171,63 @@ class ExecutionEngine:
             raise SimulationError("thread %d already finished" % thread)
 
         if rt.pending_op is not None:
-            op = rt.pending_op
-        else:
-            try:
-                op = rt.generator.send(rt.pending_send)
-            except StopIteration:
-                rt.finished = True
-                return True
-            rt.pending_send = None
-            # Injectable primitives are consulted once per dynamic
-            # invocation, on first yield (not on blocked retries).
-            if isinstance(op, (LockOp, FlagWaitOp)):
-                if self.interceptor.on_sync_instance(thread, op):
-                    if isinstance(op, LockOp):
-                        self._skipped_locks[(thread, op.address)] += 1
-                    return True  # instance removed: no accesses, no block
+            return self._step_sync(thread, rt, rt.pending_op)
+        try:
+            op = rt.generator.send(rt.pending_send)
+        except StopIteration:
+            rt.finished = True
+            return True
+        rt.pending_send = None
 
-        return self._dispatch(thread, rt, op)
-
-    def _dispatch(self, thread: int, rt: _ThreadRuntime, op) -> bool:
-        if isinstance(op, ReadOp):
+        # Dispatch, hottest ops first, with exact-type tests: the op
+        # classes below have no subclasses, and ``is`` beats isinstance()
+        # on this path (one dispatch per retired op, millions per
+        # campaign).  Data reads/writes emit their event inline rather
+        # than through _emit -- one call frame per event adds up.
+        cls = op.__class__
+        if cls is ReadOp:
             value = self.memory.get(op.address, 0)
-            self._emit(rt, thread, op.address, AccessMode.READ,
-                       AccessClass.DATA, value)
+            events = self.events
+            events.append(
+                MemoryEvent(len(events), thread, op.address, _READ,
+                            _DATA, rt.icount, value)
+            )
+            rt.icount += 1
             rt.pending_send = value
             return True
 
-        if isinstance(op, WriteOp):
-            self.memory[op.address] = op.value
-            self._emit(rt, thread, op.address, AccessMode.WRITE,
-                       AccessClass.DATA, op.value)
+        if cls is WriteOp:
+            value = op.value
+            self.memory[op.address] = value
+            events = self.events
+            events.append(
+                MemoryEvent(len(events), thread, op.address, _WRITE,
+                            _DATA, rt.icount, value)
+            )
+            rt.icount += 1
             return True
 
-        if isinstance(op, ComputeOp):
+        if cls is ComputeOp:
             rt.icount += op.amount
             return True
 
-        if isinstance(op, LockOp):
+        # Injectable primitives are consulted once per dynamic
+        # invocation, on first yield (not on blocked retries).
+        if cls is LockOp or cls is FlagWaitOp:
+            if self.interceptor.on_sync_instance(thread, op):
+                if cls is LockOp:
+                    self._skipped_locks[(thread, op.address)] += 1
+                return True  # instance removed: no accesses, no block
+        return self._step_sync(thread, rt, op)
+
+    def _step_sync(self, thread: int, rt: _ThreadRuntime, op) -> bool:
+        """Retire (or block on) a sync primitive.
+
+        ``op`` is either a freshly yielded primitive whose interceptor
+        consult already happened, or ``rt.pending_op`` on a blocked retry.
+        """
+        cls = op.__class__
+        if cls is LockOp:
             holder = self.lock_holder.get(op.address)
             if holder == thread:
                 raise SimulationError(
@@ -218,14 +245,14 @@ class ExecutionEngine:
             rt.pending_op = _AcquireWrite(op.address)
             return True
 
-        if isinstance(op, _AcquireWrite):
+        if cls is _AcquireWrite:
             rt.pending_op = None
             self.memory[op.address] = 1
             self._emit(rt, thread, op.address, AccessMode.WRITE,
                        AccessClass.SYNC, 1)
             return True
 
-        if isinstance(op, UnlockOp):
+        if cls is UnlockOp:
             if self._skipped_locks[(thread, op.address)]:
                 # The matching lock instance was removed by injection, so
                 # its unlock is removed too (Section 3.4).
@@ -242,7 +269,7 @@ class ExecutionEngine:
             self.lock_holder[op.address] = None
             return True
 
-        if isinstance(op, FlagWaitOp):
+        if cls is FlagWaitOp:
             value = self.memory.get(op.address, 0)
             if value < op.at_least:
                 rt.pending_op = op
@@ -252,7 +279,7 @@ class ExecutionEngine:
                        AccessClass.SYNC, value)
             return True
 
-        if isinstance(op, FlagSetOp):
+        if cls is FlagSetOp:
             current = self.memory.get(op.address, 0)
             if op.value < current:
                 raise SimulationError(
@@ -329,20 +356,128 @@ def run_program(
             switch_probability=switch_probability,
         )
     engine = ExecutionEngine(program, interceptor)
+    # The driver loop runs once per op attempt; the runnable scan below
+    # is ExecutionEngine.runnable_threads()/_can_proceed() inlined (the
+    # scan re-runs every step, so its call overhead is the engine's
+    # second-largest cost after dispatch).  Blocked-thread eligibility
+    # depends on lock/flag state, which any step may change, so the scan
+    # cannot be cached across steps without changing pick sequences.
+    threads = engine._threads
+    memory = engine.memory
+    lock_holder = engine.lock_holder
+    events = engine.events
+    interceptor_hook = engine.interceptor.on_sync_instance
+    skipped_locks = engine._skipped_locks
+    step_sync = engine._step_sync
+    sends = [rt.generator.send for rt in threads]
+    pick = scheduler.pick
+    # For the stock random scheduler, inline pick() too: its decision is
+    # two rng draws at most, and the call frame (plus the DeterministicRng
+    # delegation) costs more than the decision.  The rng draw sequence
+    # below is exactly RandomScheduler.pick's -- one random() when the
+    # current thread is still runnable, one randrange() on a switch -- so
+    # traces are bit-identical either way.  Subclasses and custom
+    # schedulers keep the virtual call.
+    fast_sched = scheduler.__class__ is RandomScheduler
+    if fast_sched:
+        rng_random = scheduler._rng._random.random
+        rng_randrange = scheduler._rng._random.randrange
+        switch_probability = scheduler._switch_probability
+        current = scheduler._current
+    unfinished = len(threads)
     steps = 0
-    while not engine.all_finished():
-        runnable = engine.runnable_threads()
-        if not runnable:
-            if on_deadlock == "raise":
-                raise DeadlockError(
-                    [
-                        t
-                        for t in range(engine.n_threads)
-                        if not engine.finished(t)
-                    ]
-                )
-            return engine.build_trace(hung=True, seed=seed)
-        engine.step(scheduler.pick(runnable))
+    while unfinished:
+        # Stay-on-current fast path: with the stock scheduler, ~90% of
+        # steps keep the current thread, and that decision needs only
+        # *its* eligibility -- not the full runnable list.  The rng draw
+        # sequence matches pick() exactly: one random() whenever the
+        # current thread is runnable, one randrange() on a switch.
+        tid = -1
+        if fast_sched and current is not None:
+            rt = threads[current]
+            if not rt.finished:
+                op = rt.pending_op
+                if (
+                    op is None
+                    or op.__class__ is _AcquireWrite
+                    or (
+                        lock_holder.get(op.address) is None
+                        if op.__class__ is LockOp
+                        else memory.get(op.address, 0) >= op.at_least
+                    )
+                ):
+                    if rng_random() >= switch_probability:
+                        tid = current
+        if tid < 0:
+            runnable = []
+            for cand, rt in enumerate(threads):
+                if rt.finished:
+                    continue
+                op = rt.pending_op
+                if op is None or op.__class__ is _AcquireWrite:
+                    runnable.append(cand)
+                elif op.__class__ is LockOp:
+                    if lock_holder.get(op.address) is None:
+                        runnable.append(cand)
+                elif memory.get(op.address, 0) >= op.at_least:
+                    runnable.append(cand)  # FlagWaitOp whose flag is up
+            if not runnable:
+                if on_deadlock == "raise":
+                    raise DeadlockError(
+                        [
+                            t
+                            for t in range(engine.n_threads)
+                            if not engine.finished(t)
+                        ]
+                    )
+                return engine.build_trace(hung=True, seed=seed)
+            if fast_sched:
+                tid = current = runnable[rng_randrange(len(runnable))]
+                scheduler._current = current
+            else:
+                tid = pick(runnable)
+        # Retire one op for ``tid``: ExecutionEngine.step() inlined for
+        # the fresh data-op cases (the overwhelming majority of steps);
+        # sync primitives fall through to the shared _step_sync().
+        rt = threads[tid]
+        if rt.pending_op is not None:
+            step_sync(tid, rt, rt.pending_op)
+        else:
+            try:
+                op = sends[tid](rt.pending_send)
+            except StopIteration:
+                rt.finished = True
+                unfinished -= 1
+                op = None
+            if op is not None:
+                rt.pending_send = None
+                cls = op.__class__
+                if cls is ReadOp:
+                    value = memory.get(op.address, 0)
+                    events.append(
+                        MemoryEvent(len(events), tid, op.address, _READ,
+                                    _DATA, rt.icount, value)
+                    )
+                    rt.icount += 1
+                    rt.pending_send = value
+                elif cls is WriteOp:
+                    value = op.value
+                    memory[op.address] = value
+                    events.append(
+                        MemoryEvent(len(events), tid, op.address, _WRITE,
+                                    _DATA, rt.icount, value)
+                    )
+                    rt.icount += 1
+                elif cls is ComputeOp:
+                    rt.icount += op.amount
+                elif cls is LockOp or cls is FlagWaitOp:
+                    if interceptor_hook(tid, op):
+                        if cls is LockOp:
+                            skipped_locks[(tid, op.address)] += 1
+                    else:
+                        step_sync(tid, rt, op)
+                else:
+                    step_sync(tid, rt, op)
         steps += 1
         if steps > max_steps:
             raise SimulationError(

@@ -4,12 +4,30 @@ A :class:`Suite` lazily runs one injection campaign per workload (with the
 full detector suite) and caches the :class:`CampaignResult`; Figures 10 and
 12-17 are all views over the same campaign data, exactly as the paper's
 per-configuration columns are views over its injection runs.
+
+Campaigns are embarrassingly parallel -- every (workload, config) pair is
+an independent deterministic computation -- so :meth:`Suite.campaigns`
+fans missing campaigns out over a :mod:`multiprocessing` pool
+(``jobs`` argument, or the ``REPRO_JOBS`` environment variable).  Results
+are bit-identical regardless of ``jobs``: each campaign derives its seeds
+from ``(base_seed, workload)`` alone, and the pool only changes *where* a
+campaign runs, never what it computes.
+
+An optional on-disk cache (``cache_dir`` argument, or ``REPRO_CACHE_DIR``)
+persists finished campaigns keyed by the full parameter tuple, so
+re-running a figure script after an interruption -- or a second script
+over the same configuration -- skips straight to the views.
 """
 
 from __future__ import annotations
 
+import hashlib
+import multiprocessing
+import os
+import pickle
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.injection.campaign import (
     CampaignConfig,
@@ -18,6 +36,27 @@ from repro.injection.campaign import (
 )
 from repro.workloads.base import WorkloadParams
 from repro.workloads.registry import all_workloads, get_workload
+
+#: Bump when CampaignResult's pickle layout changes incompatibly; stale
+#: cache entries then miss instead of unpickling garbage.
+_CACHE_SCHEMA = 1
+
+
+def default_jobs() -> int:
+    """Worker-process count from ``REPRO_JOBS`` (default: 1, serial)."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return 1
+
+
+def default_cache_dir() -> Optional[Path]:
+    """On-disk campaign cache from ``REPRO_CACHE_DIR`` (default: off)."""
+    raw = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return Path(raw) if raw else None
 
 
 @dataclass(frozen=True)
@@ -45,31 +84,146 @@ class SuiteConfig:
         return [spec.name for spec in all_workloads()]
 
 
-class Suite:
-    """Runs and caches the per-workload injection campaigns."""
+#: One unit of pool work: everything a worker needs to rebuild the
+#: campaign (must stay picklable for spawn-based platforms).
+_CampaignTask = Tuple[str, int, int, WorkloadParams]
 
-    def __init__(self, config: Optional[SuiteConfig] = None):
+
+def _run_campaign_task(task: _CampaignTask) -> Tuple[str, CampaignResult]:
+    """Pool worker: run one workload's campaign (module-level, picklable)."""
+    name, n_runs, base_seed, params = task
+    spec = get_workload(name)
+    result = run_campaign(
+        spec.program_factory(params),
+        name,
+        CampaignConfig(n_runs=n_runs, base_seed=base_seed),
+    )
+    return name, result
+
+
+class Suite:
+    """Runs and caches the per-workload injection campaigns.
+
+    Args:
+        config: suite configuration.
+        jobs: campaign worker processes; ``None`` reads ``REPRO_JOBS``
+            (default 1 = serial in-process, no pool spawned).
+        cache_dir: directory for pickled campaign results; ``None`` reads
+            ``REPRO_CACHE_DIR`` (default: no on-disk cache).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SuiteConfig] = None,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[os.PathLike] = None,
+    ):
         self.config = config or SuiteConfig()
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.cache_dir = (
+            Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        )
         self._campaigns: Dict[str, CampaignResult] = {}
+
+    # -- on-disk cache -------------------------------------------------------
+
+    def _cache_key(self, workload: str) -> str:
+        """Digest over everything that determines a campaign's result."""
+        ident = repr((
+            _CACHE_SCHEMA,
+            workload,
+            self.config.runs_per_app,
+            self.config.base_seed,
+            self.config.params,
+        ))
+        return hashlib.sha256(ident.encode()).hexdigest()[:16]
+
+    def _cache_path(self, workload: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / (
+            "campaign-%s-%s.pkl" % (workload, self._cache_key(workload))
+        )
+
+    def _cache_load(self, workload: str) -> Optional[CampaignResult]:
+        path = self._cache_path(workload)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except Exception:
+            return None  # stale or truncated entry: recompute
+        return result if isinstance(result, CampaignResult) else None
+
+    def _cache_store(self, workload: str, result: CampaignResult) -> None:
+        path = self._cache_path(workload)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so a concurrent reader (or a crash) never
+        # sees a half-written pickle.
+        tmp = path.with_suffix(".tmp.%d" % os.getpid())
+        with tmp.open("wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    # -- campaign execution --------------------------------------------------
+
+    def _task(self, workload: str) -> _CampaignTask:
+        return (
+            workload,
+            self.config.runs_per_app,
+            self.config.base_seed,
+            self.config.params,
+        )
 
     def campaign(self, workload: str) -> CampaignResult:
         """The (cached) campaign for one application."""
         if workload not in self._campaigns:
-            spec = get_workload(workload)
-            self._campaigns[workload] = run_campaign(
-                spec.program_factory(self.config.params),
-                workload,
-                CampaignConfig(
-                    n_runs=self.config.runs_per_app,
-                    base_seed=self.config.base_seed,
-                ),
-            )
+            cached = self._cache_load(workload)
+            if cached is None:
+                _, cached = _run_campaign_task(self._task(workload))
+                self._cache_store(workload, cached)
+            self._campaigns[workload] = cached
         return self._campaigns[workload]
 
     def campaigns(self) -> Dict[str, CampaignResult]:
-        """All campaigns (running any that have not run yet)."""
-        for name in self.config.workload_names():
-            self.campaign(name)
+        """All campaigns (running any that have not run yet).
+
+        Missing campaigns run on a process pool when ``jobs > 1``; disk
+        cache hits never occupy a worker.
+        """
+        missing = [
+            name
+            for name in self.config.workload_names()
+            if name not in self._campaigns
+        ]
+        pending: List[str] = []
+        for name in missing:
+            cached = self._cache_load(name)
+            if cached is not None:
+                self._campaigns[name] = cached
+            else:
+                pending.append(name)
+        if len(pending) > 1 and self.jobs > 1:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # platforms without fork
+                context = multiprocessing.get_context()
+            n_workers = min(self.jobs, len(pending))
+            with context.Pool(n_workers) as pool:
+                finished = pool.map(
+                    _run_campaign_task,
+                    [self._task(name) for name in pending],
+                    chunksize=1,
+                )
+            for name, result in finished:
+                self._campaigns[name] = result
+                self._cache_store(name, result)
+        else:
+            for name in pending:
+                self.campaign(name)
         return dict(self._campaigns)
 
     # -- cross-app aggregates --------------------------------------------------

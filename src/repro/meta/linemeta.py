@@ -82,7 +82,7 @@ class LineMeta:
     """
 
     __slots__ = ("entries", "max_entries", "read_filter", "write_filter",
-                 "data_valid", "write_permission")
+                 "filter_clock", "data_valid", "write_permission")
 
     def __init__(self, max_entries: int = 2):
         if max_entries < 1:
@@ -94,6 +94,7 @@ class LineMeta:
         self.max_entries = max_entries
         self.read_filter = False
         self.write_filter = False
+        self.filter_clock = None
         self.data_valid = False
         self.write_permission = False
 
@@ -125,19 +126,36 @@ class LineMeta:
                 return True
         return False
 
-    def filter_allows(self, is_write: bool) -> bool:
-        return self.write_filter if is_write else self.read_filter
+    def filter_allows(self, is_write: bool, clock=None) -> bool:
+        """Is the line's check filter usable for this access?
 
-    def grant_filter(self, is_write: bool) -> None:
-        """Set filter bit(s) after a clean race check.
+        Filter bits are granted *at a clock value*: a filtered access is
+        recorded without a race check, so it must land at the same clock
+        the clean check proved conflict-free (otherwise the access skips
+        the memory-timestamp ordering comparison its new clock value would
+        require).  Passing ``clock`` enforces that; ``clock=None`` checks
+        only the raw bit (introspection and legacy callers).
+        """
+        bit = self.write_filter if is_write else self.read_filter
+        if not bit:
+            return False
+        return clock is None or self.filter_clock == clock
+
+    def grant_filter(self, is_write: bool, clock=None) -> None:
+        """Set filter bit(s) after a clean race check at ``clock``.
 
         A clean *write* check proves no read or write history anywhere, so
         both filters may be set; a clean read check only proves the absence
-        of write history, so it grants only the read filter.
+        of write history, so it grants only the read filter.  The grant is
+        tagged with the owning thread's clock: any later clock change
+        (sync-write increment, race update, migration) invalidates it --
+        the hardware flash-clears filter bits on a clock change, we tag
+        and compare lazily.
         """
         self.read_filter = True
         if is_write:
             self.write_filter = True
+        self.filter_clock = clock
 
     def revoke_filters(self, remote_is_write: bool) -> None:
         """Revoke filters when a remote access race-checks this line.
@@ -179,6 +197,7 @@ class LineMeta:
         retired, self.entries = self.entries, []
         self.read_filter = False
         self.write_filter = False
+        self.filter_clock = None
         return retired
 
     def newest_timestamp(self):

@@ -37,24 +37,33 @@ class MainMemoryTimestamps:
         #: Total entries folded (whether or not they raised a timestamp).
         self.folds = 0
 
-    def fold_entry(self, entry: TimestampEntry) -> bool:
-        """Fold one retired timestamp entry; return True if a value rose.
+    def fold_raw(
+        self, ts: int, has_reads: bool, has_writes: bool
+    ) -> bool:
+        """Fold one retired timestamp; return True if a value rose.
 
         The line's timestamp overwrites the memory read (write) timestamp
         only when the entry has a read (write) access bit set *and* the
-        entry's timestamp is larger (Section 2.5).
+        entry's timestamp is larger (Section 2.5).  This is the flat-store
+        fast path -- no entry object needed.
         """
         self.folds += 1
         changed = False
-        if entry.has_reads and entry.ts > self.read_ts:
-            self.read_ts = entry.ts
+        if has_reads and ts > self.read_ts:
+            self.read_ts = ts
             changed = True
-        if entry.has_writes and entry.ts > self.write_ts:
-            self.write_ts = entry.ts
+        if has_writes and ts > self.write_ts:
+            self.write_ts = ts
             changed = True
         if changed:
             self.update_broadcasts += 1
         return changed
+
+    def fold_entry(self, entry: TimestampEntry) -> bool:
+        """Fold one retired :class:`TimestampEntry` (object path)."""
+        return self.fold_raw(
+            entry.ts, entry.read_mask != 0, entry.write_mask != 0
+        )
 
     def fold_entries(self, entries: Iterable[TimestampEntry]) -> None:
         for entry in entries:

@@ -40,6 +40,7 @@ class CacheWalker:
         memory_ts: MainMemoryTimestamps,
         stale_lag: int = 1 << 13,
         period: int = 4096,
+        store=None,
     ):
         if stale_lag < 1:
             raise ConfigError("stale_lag must be >= 1, got %d" % stale_lag)
@@ -47,6 +48,10 @@ class CacheWalker:
             raise ConfigError("period must be >= 1, got %d" % period)
         self.cache = cache
         self.memory_ts = memory_ts
+        #: When set, cache payloads are integer slots into this
+        #: :class:`~repro.meta.linestore.ScalarLineStore`; otherwise they
+        #: are :class:`~repro.meta.linemeta.LineMeta` objects.
+        self.store = store
         self.stale_lag = stale_lag
         self.period = period
         self.min_resident_ts: Optional[int] = None
@@ -71,6 +76,22 @@ class CacheWalker:
         self.walks += 1
         threshold = max_clock - self.stale_lag
         minimum: Optional[int] = None
+        if self.store is not None:
+            store = self.store
+            for line_address, slot in list(self.cache.lines().items()):
+                n_retired, kept_min = store.retire_stale(
+                    slot, threshold, self.memory_ts
+                )
+                self.entries_retired += n_retired
+                if kept_min is not None and (
+                    minimum is None or kept_min < minimum
+                ):
+                    minimum = kept_min
+                if not store.count[slot]:
+                    self.cache.drop(line_address)
+                    store.free(slot)
+            self.min_resident_ts = minimum
+            return
         for line_address, meta in list(self.cache.lines().items()):
             kept = []
             for entry in meta.entries:

@@ -26,6 +26,11 @@ class MemoryEvent:
         icount: the issuing thread's instruction count *before* this
             instruction retires (i.e. the per-thread index of this op).
         value: the value read or written (diagnostics and replay checks).
+        is_write / is_sync: mode/class predicates, precomputed at
+            construction.  Detectors consult them several times per event
+            (millions of events per campaign), so they are plain slot
+            attributes rather than properties -- events are immutable by
+            convention, never mutate ``mode``/``klass`` after creation.
     """
 
     __slots__ = (
@@ -36,6 +41,8 @@ class MemoryEvent:
         "klass",
         "icount",
         "value",
+        "is_write",
+        "is_sync",
     )
 
     def __init__(self, index, thread, address, mode, klass, icount, value=0):
@@ -46,14 +53,8 @@ class MemoryEvent:
         self.klass = klass
         self.icount = icount
         self.value = value
-
-    @property
-    def is_write(self) -> bool:
-        return self.mode is AccessMode.WRITE
-
-    @property
-    def is_sync(self) -> bool:
-        return self.klass is AccessClass.SYNC
+        self.is_write = mode is AccessMode.WRITE
+        self.is_sync = klass is AccessClass.SYNC
 
     def conflicts_with(self, other: "MemoryEvent") -> bool:
         """Shasha/Snir conflict: different threads, same word, >= 1 write."""

@@ -152,11 +152,11 @@ class TestEntriesPerLineAblation:
         trace = self.layered_trace()
         for event in trace.events[:-1]:
             detector.process(event)
-        meta = detector.snoop.cache_of(0).peek(0x100000)
+        slot = detector.snoop.cache_of(0).peek(0x100000)
         return {
             word
             for word in range(3)
-            if list(meta.conflicting_timestamps(word, True))
+            if detector.store.conflicting_timestamps(slot, word, True)
         }
 
     def test_two_entries_keep_recent_history(self):

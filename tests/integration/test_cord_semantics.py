@@ -83,6 +83,28 @@ class TestCheckFilters:
         detector.process(make_event(2, 0, address, True, False, 1))
         assert detector.race_checks == 3
 
+    def test_own_clock_increment_invalidates_filter(self):
+        # Regression for stale check-filter bits: thread 0 earns a filter
+        # on a data line, then its clock moves (sync-write increment).
+        # The next access to the filtered line must race-check again --
+        # it is recorded at the new clock, so it needs the ordering
+        # comparisons a filtered access skips.
+        detector = CordDetector(CordConfig(), 2)
+        data = 0x100000
+        sync = 0x8000000
+        detector.process(make_event(0, 0, data, True, False, 0))
+        assert detector.race_checks == 1
+        clock_before = detector.clocks[0]
+        detector.process(make_event(1, 0, sync, True, True, 1))
+        assert detector.clocks[0] == clock_before + 1
+        detector.process(make_event(2, 0, data, True, False, 2))
+        assert detector.race_checks == 3
+        assert detector.fast_hits == 0
+        # At the *same* clock the filter still short-circuits checks.
+        detector.process(make_event(3, 0, data, False, False, 3))
+        assert detector.race_checks == 3
+        assert detector.fast_hits == 1
+
 
 class TestSyncChains:
     def test_lock_chain_gives_full_window(self):

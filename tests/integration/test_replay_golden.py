@@ -1,0 +1,153 @@
+"""Golden record -> replay determinism tests.
+
+For every workload in the registry this suite records a trace under a
+fixed seed, runs the CORD detector, replays the execution from the order
+log, and compares *digests* of everything observable -- the recorded
+event stream, the encoded order log, the race report, the replayed event
+stream, final clocks, and the detector's broadcast counters -- against
+fixtures checked in under ``tests/fixtures/golden/``.
+
+The fixtures pin detector behavior bit-for-bit: any change to the hot
+path (metadata layout, fast-path ordering, cache replacement, event
+plumbing) that alters a single race verdict, log entry, or replayed
+instruction flips a digest and fails loudly.  Performance work must keep
+this suite green without regenerating fixtures.
+
+Regenerating (only after an *intentional* semantic change):
+
+    PYTHONPATH=src python tests/integration/test_replay_golden.py --regen
+"""
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cord import CordConfig, CordDetector, replay_trace, verify_replay
+from repro.engine import run_program
+from repro.workloads import WorkloadParams
+from repro.workloads.registry import workload_names, get_workload
+
+FIXTURE_DIR = Path(__file__).resolve().parents[1] / "fixtures" / "golden"
+
+#: Recording parameters; changing any of these requires --regen.
+GOLDEN_SEED = 2006
+GOLDEN_PARAMS = dict(scale=0.5)
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def event_stream_digest(trace) -> str:
+    """Digest of the full global event stream (order-sensitive)."""
+    lines = [
+        "%d %d %d %d %d %d %d"
+        % (e.index, e.thread, e.address, int(e.mode), int(e.klass),
+           e.icount, e.value)
+        for e in trace.events
+    ]
+    lines.append("final=%s hung=%d" % (trace.final_icounts, trace.hung))
+    return _sha("\n".join(lines))
+
+
+def race_report_digest(outcome) -> str:
+    """Digest of the flagged access set and per-race diagnostics."""
+    lines = sorted(
+        "%r %d %r %r" % (r.access, r.address, r.other_thread, r.detail)
+        for r in outcome.races
+    )
+    lines.append("flagged=%r" % sorted(outcome.flagged))
+    return _sha("\n".join(lines))
+
+
+#: Counters that must stay identical across any optimization: they pin
+#: the fast-path decisions, broadcast traffic, and log shape exactly.
+PINNED_COUNTERS = (
+    "race_checks",
+    "fast_hits",
+    "memts_orderings",
+    "memts_update_broadcasts",
+    "clock_changes",
+    "log_entries",
+    "log_bytes",
+    "evictions",
+)
+
+
+def golden_run(workload: str) -> dict:
+    """Record, detect, and replay one workload; return its digests."""
+    params = WorkloadParams(**GOLDEN_PARAMS)
+    spec = get_workload(workload)
+    program = spec.build(params)
+    trace = run_program(program, seed=GOLDEN_SEED)
+    outcome = CordDetector(CordConfig(), program.n_threads).run(trace)
+    replayed = replay_trace(program, outcome.log)
+    verdict = verify_replay(trace, replayed)
+    return {
+        "workload": workload,
+        "n_events": len(trace.events),
+        "trace_sha": event_stream_digest(trace),
+        "log_sha": hashlib.sha256(outcome.log.encode()).hexdigest(),
+        "races_sha": race_report_digest(outcome),
+        "replay_sha": event_stream_digest(replayed),
+        "replay_equivalent": verdict.equivalent,
+        "final_clocks": list(outcome.final_clocks),
+        "counters": {k: outcome.counters[k] for k in PINNED_COUNTERS},
+    }
+
+
+def fixture_path(workload: str) -> Path:
+    return FIXTURE_DIR / ("%s.json" % workload)
+
+
+@pytest.mark.parametrize("workload", workload_names())
+def test_golden_record_replay(workload):
+    path = fixture_path(workload)
+    if not path.exists():
+        pytest.fail(
+            "no golden fixture for %r -- run "
+            "`PYTHONPATH=src python tests/integration/test_replay_golden.py"
+            " --regen`" % workload
+        )
+    expected = json.loads(path.read_text())
+    actual = golden_run(workload)
+
+    # The replayed execution must be conflict-equivalent to the recording
+    # (the paper's replay-correctness property), independent of fixtures.
+    assert actual["replay_equivalent"], workload
+
+    for key in ("n_events", "trace_sha", "log_sha", "races_sha",
+                "replay_sha", "final_clocks", "counters"):
+        assert actual[key] == expected[key], (
+            "golden mismatch for %s[%s]: detector behavior changed "
+            "(expected %r, got %r)"
+            % (workload, key, expected[key], actual[key])
+        )
+
+
+def test_all_workloads_have_fixtures():
+    missing = [w for w in workload_names() if not fixture_path(w).exists()]
+    assert not missing, "fixtures missing for: %s" % ", ".join(missing)
+
+
+def regenerate():
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    for workload in workload_names():
+        result = golden_run(workload)
+        if not result["replay_equivalent"]:
+            raise SystemExit(
+                "refusing to pin a non-equivalent replay for %r" % workload
+            )
+        path = fixture_path(workload)
+        path.write_text(json.dumps(result, indent=1, sort_keys=True) + "\n")
+        print("wrote %s (%d events)" % (path, result["n_events"]))
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

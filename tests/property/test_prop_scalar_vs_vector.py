@@ -1,0 +1,91 @@
+"""Scalar CORD vs the vector-clock configurations, adversarially.
+
+The paper's Section 4.3 comparison rests on an ordering of precision:
+vector clocks are the exact happens-before test over the same CORD-shaped
+buffering, so a scalar-clock detector -- which can only *over*-order
+(a single clock value folds every thread's progress together, and the
+window parameter D pads the comparison) -- must flag a subset of the
+vector detector's races.  These properties pin that hierarchy on
+hypothesis-generated racy programs:
+
+* **subset**: every access scalar CORD flags, the matched vector
+  configuration flags too (checked at D=1, the tightest window, and at
+  the paper's default D=16);
+* **zero false positives**: when the vector oracle is silent the scalar
+  detector is silent, and neither ever flags an access on a
+  data-race-free execution (Ideal oracle silent).
+
+The finite-cache variant is included deliberately: CORD's main-memory
+timestamps summarize displaced history conservatively, so even with
+evictions the scalar reports stay inside the vector set.
+
+Both assertions are behavior locks for the hot-path rewrite: they held
+before the array-backed store and batched detector loop landed, and must
+keep holding after.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim import CacheGeometry
+from repro.cord import CordConfig, CordDetector
+from repro.detectors import IdealDetector, LimitedVectorDetector
+from repro.engine import run_program
+
+from .test_prop_system import build_program, programs, seeds
+
+_LINE = 64
+
+
+def _vector_outcome(program, trace):
+    return LimitedVectorDetector(
+        program.n_threads, CacheGeometry.infinite(_LINE)
+    ).run(trace)
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs, seeds, st.sampled_from([1, 16]))
+def test_scalar_flags_subset_of_vector(thread_actions, seed, d):
+    """Matched buffering: scalar-clock reports ⊆ vector-clock reports."""
+    program = build_program(thread_actions)
+    trace = run_program(program, seed=seed)
+    vector = _vector_outcome(program, trace)
+    scalar = CordDetector(
+        CordConfig(d=d, cache_size=None, line_size=_LINE),
+        program.n_threads,
+    ).run(trace)
+    extra = scalar.flagged - vector.flagged
+    assert not extra, sorted(extra)[:3]
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs, seeds)
+def test_finite_cache_scalar_stays_inside_vector(thread_actions, seed):
+    """Even with evictions (memts summarization), no extra reports."""
+    program = build_program(thread_actions)
+    trace = run_program(program, seed=seed)
+    vector = _vector_outcome(program, trace)
+    scalar = CordDetector(
+        CordConfig(line_size=_LINE), program.n_threads
+    ).run(trace)
+    extra = scalar.flagged - vector.flagged
+    assert not extra, sorted(extra)[:3]
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs, seeds, st.sampled_from([1, 16]))
+def test_zero_false_positives_against_both_oracles(thread_actions, seed, d):
+    """Silence propagates down the precision hierarchy."""
+    program = build_program(thread_actions)
+    trace = run_program(program, seed=seed)
+    ideal = IdealDetector(program.n_threads).run(trace)
+    vector = _vector_outcome(program, trace)
+    scalar = CordDetector(
+        CordConfig(d=d, cache_size=None, line_size=_LINE),
+        program.n_threads,
+    ).run(trace)
+    if not vector.problem_detected:
+        assert not scalar.problem_detected, sorted(scalar.flagged)[:3]
+    if not ideal.problem_detected:
+        assert not vector.problem_detected, sorted(vector.flagged)[:3]
+        assert not scalar.problem_detected, sorted(scalar.flagged)[:3]

@@ -126,11 +126,11 @@ class TestFigure2:
             CordConfig(d=1, entries_per_line=entries_per_line), 2
         )
         detector.run(self.build())
-        meta = detector.snoop.cache_of(0).peek(self.LINE)
+        slot = detector.snoop.cache_of(0).peek(self.LINE)
         return {
             word
             for word in range(4)
-            if list(meta.conflicting_timestamps(word, True))
+            if detector.store.conflicting_timestamps(slot, word, True)
         }
 
     def test_single_entry_erases_history(self):

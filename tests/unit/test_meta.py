@@ -103,6 +103,37 @@ class TestLineMeta:
         assert meta.entries == []
         assert not meta.filter_allows(True)
 
+    def test_filter_granted_at_a_clock_is_stale_at_another(self):
+        # Regression: filter bits are only valid at the clock value the
+        # clean check was performed at.  A filtered access skips the
+        # memory-timestamp ordering comparison, so letting it ride a
+        # filter granted at an older clock would skip an ordering the
+        # paper's hardware (which flash-clears filters on clock change)
+        # performs.
+        meta = LineMeta(2)
+        meta.grant_filter(is_write=True, clock=5)
+        assert meta.filter_allows(True, clock=5)
+        assert meta.filter_allows(False, clock=5)
+        assert not meta.filter_allows(True, clock=6)
+        assert not meta.filter_allows(False, clock=6)
+        # Clock-less query still reports the raw bit (introspection).
+        assert meta.filter_allows(True)
+
+    def test_regrant_moves_the_filter_clock(self):
+        meta = LineMeta(2)
+        meta.grant_filter(is_write=True, clock=5)
+        meta.grant_filter(is_write=False, clock=9)
+        assert meta.filter_allows(False, clock=9)
+        assert not meta.filter_allows(False, clock=5)
+
+    def test_retire_all_clears_filter_clock(self):
+        meta = LineMeta(2)
+        meta.grant_filter(True, clock=3)
+        meta.retire_all()
+        meta.grant_filter(True)  # re-granted without a clock tag
+        assert meta.filter_allows(True)
+        assert not meta.filter_allows(True, clock=3)
+
     def test_needs_one_entry(self):
         with pytest.raises(ConfigError):
             LineMeta(0)

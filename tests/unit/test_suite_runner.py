@@ -1,0 +1,160 @@
+"""Unit tests for the experiment suite's fan-out and result cache.
+
+The contract under test: ``jobs`` and ``cache_dir`` change *where* and
+*whether* a campaign computes, never *what* it computes -- results are
+bit-identical across serial, pooled, and cache-hit paths.
+"""
+
+import pickle
+
+import pytest
+
+from repro.experiments.runner import (
+    Suite,
+    SuiteConfig,
+    default_cache_dir,
+    default_jobs,
+)
+from repro.workloads import WorkloadParams
+
+# Two small apps keep the pooled path (len(pending) > 1) exercised while
+# staying unit-test fast.
+_CONFIG = SuiteConfig(
+    runs_per_app=2,
+    workloads=("fft", "lu"),
+    params=WorkloadParams(scale=0.25),
+)
+
+
+def _digest(suite):
+    out = {}
+    for name, campaign in suite.campaigns().items():
+        out[name] = [
+            (
+                run.seed,
+                run.target_index,
+                run.hung,
+                run.n_events,
+                tuple(sorted(run.flagged.items())),
+                tuple(sorted(run.problem.items())),
+            )
+            for run in campaign.runs
+        ]
+    return out
+
+
+class TestEnvDefaults:
+    def test_default_jobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert default_jobs() == 6
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == 1  # clamped to serial
+        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+        assert default_jobs() == 1  # malformed: fall back, don't crash
+
+    def test_default_cache_dir(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir() is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_cache_dir() == tmp_path
+
+
+class TestParallelFanOut:
+    def test_pool_matches_serial(self):
+        serial = _digest(Suite(_CONFIG, jobs=1))
+        pooled = _digest(Suite(_CONFIG, jobs=2))
+        assert serial == pooled
+
+    def test_single_campaign_stays_in_process(self):
+        # One pending campaign must not pay pool startup.
+        config = SuiteConfig(
+            runs_per_app=2,
+            workloads=("fft",),
+            params=WorkloadParams(scale=0.25),
+        )
+        suite = Suite(config, jobs=4)
+        assert _digest(suite) == _digest(Suite(config, jobs=1))
+
+    def test_campaign_memoized_in_process(self):
+        suite = Suite(_CONFIG, jobs=1)
+        assert suite.campaign("fft") is suite.campaign("fft")
+
+
+class TestDiskCache:
+    def test_cold_then_warm(self, tmp_path):
+        cold = Suite(_CONFIG, jobs=1, cache_dir=tmp_path)
+        baseline = _digest(cold)
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert len(files) == 2
+        assert all(name.startswith("campaign-") for name in files)
+
+        # A warm suite must load results instead of recomputing: poison
+        # the compute path and verify it is never reached.
+        warm = Suite(_CONFIG, jobs=1, cache_dir=tmp_path)
+        import repro.experiments.runner as runner_mod
+
+        def explode(task):
+            raise AssertionError("cache miss recomputed %r" % (task,))
+
+        original = runner_mod._run_campaign_task
+        runner_mod._run_campaign_task = explode
+        try:
+            assert _digest(warm) == baseline
+        finally:
+            runner_mod._run_campaign_task = original
+
+    def test_key_tracks_config(self, tmp_path):
+        a = Suite(_CONFIG, jobs=1, cache_dir=tmp_path)
+        b = Suite(
+            SuiteConfig(
+                runs_per_app=3,  # differs
+                workloads=_CONFIG.workloads,
+                params=_CONFIG.params,
+            ),
+            jobs=1,
+            cache_dir=tmp_path,
+        )
+        assert a._cache_path("fft") != b._cache_path("fft")
+
+    def test_corrupt_entry_recomputes(self, tmp_path):
+        suite = Suite(_CONFIG, jobs=1, cache_dir=tmp_path)
+        path = suite._cache_path("fft")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a pickle")
+        assert _digest(suite)  # recomputes rather than raising
+
+    def test_wrong_payload_type_recomputes(self, tmp_path):
+        suite = Suite(_CONFIG, jobs=1, cache_dir=tmp_path)
+        path = suite._cache_path("fft")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("wb") as fh:
+            pickle.dump({"not": "a CampaignResult"}, fh)
+        assert suite._cache_load("fft") is None
+
+    def test_no_cache_dir_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        suite = Suite(_CONFIG, jobs=1)
+        suite.campaign("fft")
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestPickleRoundTrip:
+    def test_campaign_result_survives_pickle(self):
+        campaign = Suite(_CONFIG, jobs=1).campaign("fft")
+        clone = pickle.loads(pickle.dumps(campaign))
+        assert clone.workload == campaign.workload
+        assert clone.sync_instances == campaign.sync_instances
+        assert [r.seed for r in clone.runs] == [
+            r.seed for r in campaign.runs
+        ]
+        assert clone.manifestation_rate == campaign.manifestation_rate
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_aggregates_independent_of_jobs(jobs):
+    suite = Suite(_CONFIG, jobs=jobs)
+    rate = suite.average_problem_rate("Cord", "Ideal")
+    assert 0.0 <= rate <= 1.0

@@ -7,7 +7,12 @@ from repro.clocks.window import (
     SlidingWindowComparator,
     WINDOW_CLOCK_BITS,
 )
+from repro.cachesim.cache import CacheGeometry, MetadataCache
 from repro.common.errors import ConfigError
+from repro.meta.linemeta import LineMeta
+from repro.meta.linestore import ScalarLineStore
+from repro.meta.memts import MainMemoryTimestamps
+from repro.meta.walker import CacheWalker
 
 
 class TestSlidingWindowComparator:
@@ -70,3 +75,190 @@ class TestSlidingWindowComparator:
         small = SlidingWindowComparator(bits=8)
         assert small.window == 127
         assert small.greater(260, 250)  # 4 vs 250 under mod 256
+
+
+class TestWraparoundBoundaries:
+    """Exact behavior at the edges of the sliding window.
+
+    The window invariant promises exact comparison only while live values
+    stay within ``2^15 - 1`` of each other; these tests pin the boundary
+    itself -- the last distance that compares exactly, the first that
+    flips sign -- plus an exhaustive small-width proof.
+    """
+
+    def setup_method(self):
+        self.cmp = SlidingWindowComparator()
+
+    def test_delta_at_window_edge(self):
+        b = (1 << 16) - 3  # straddle the wrap point
+        assert self.cmp.signed_delta(b + DEFAULT_WINDOW, b) == DEFAULT_WINDOW
+        assert self.cmp.signed_delta(b - DEFAULT_WINDOW, b) == -DEFAULT_WINDOW
+        # One past the window: the sign flips (serial-number ambiguity).
+        assert self.cmp.signed_delta(b + DEFAULT_WINDOW + 1, b) < 0
+
+    def test_half_distance_is_negative(self):
+        # Exactly half the modulus is the one truly ambiguous distance;
+        # the comparator deterministically maps it to -half in *both*
+        # directions, so neither value ever counts as ahead.
+        assert self.cmp.signed_delta(self.cmp.half, 0) == -self.cmp.half
+        assert self.cmp.signed_delta(0, self.cmp.half) == -self.cmp.half
+        assert not self.cmp.greater(self.cmp.half, 0)
+        assert not self.cmp.greater(0, self.cmp.half)
+
+    def test_agreement_across_wrap_at_boundary(self):
+        # Unbounded values on both sides of a 2^16 multiple, at the
+        # extreme in-window distance.
+        for base in (1 << 16, 3 << 16):
+            a = base + 10
+            b = a - DEFAULT_WINDOW
+            assert self.cmp.within_window(a, b)
+            assert self.cmp.greater(a, b)
+            assert not self.cmp.greater(b, a)
+            assert self.cmp.greater_equal(a, a)
+
+    def test_synchronized_after_truncated_inputs(self):
+        # Hardware registers hold already-truncated values; the DRD test
+        # clk >= ts + D must still see through the wrap.
+        ts_hw = (1 << 16) - 2          # truncated timestamp near the top
+        clk_hw = 14                     # truncated clock past the wrap
+        assert self.cmp.synchronized_after(clk_hw, ts_hw, 16)
+        assert not self.cmp.synchronized_after(clk_hw, ts_hw, 17)
+
+    def test_exhaustive_small_width(self):
+        # At 5 bits the whole value space is enumerable: windowed
+        # comparison must agree with unbounded comparison for *every*
+        # pair of unbounded values within the window.
+        cmp5 = SlidingWindowComparator(bits=5)
+        for a in range(0, 3 * cmp5.modulus):
+            lo = max(0, a - cmp5.window)
+            for b in range(lo, a + cmp5.window + 1):
+                assert cmp5.greater(a, b) == (a > b), (a, b)
+                assert cmp5.greater_equal(a, b) == (a >= b), (a, b)
+
+
+class TestWalkerWindowBoundaries:
+    """Walker-triggered boundary cases for both metadata backends.
+
+    The walker is what keeps the window invariant true: after a walk at
+    ``max_clock``, every surviving timestamp is within ``stale_lag`` of
+    it, so windowed comparison stays exact whenever
+    ``stale_lag <= window``.  Cases cover the retirement threshold
+    itself and the headroom guarantee, on the object (LineMeta) walker
+    and the array-backed (ScalarLineStore) walker alike.
+    """
+
+    def make_object_walker(self, stale_lag=100):
+        cache = MetadataCache(CacheGeometry.infinite(), lambda: LineMeta(2))
+        memts = MainMemoryTimestamps()
+        walker = CacheWalker(cache, memts, stale_lag=stale_lag, period=10)
+        return cache, memts, walker
+
+    def make_store_walker(self, stale_lag=100):
+        store = ScalarLineStore(entries_per_line=2, words_per_line=16)
+        cache = MetadataCache(CacheGeometry.infinite(), store.alloc)
+        memts = MainMemoryTimestamps()
+        walker = CacheWalker(
+            cache, memts, stale_lag=stale_lag, period=10, store=store
+        )
+        return store, cache, memts, walker
+
+    def test_threshold_is_exclusive_object_path(self):
+        # threshold = max_clock - stale_lag; ts == threshold survives,
+        # ts == threshold - 1 retires.
+        cache, memts, walker = self.make_object_walker(stale_lag=100)
+        meta, _ = cache.access(0)
+        meta.record_access(900, 0, True)    # == threshold: kept
+        meta.record_access(899, 1, False)   # one below: retired
+        walker.walk(max_clock=1000)
+        assert [e.ts for e in meta.entries] == [900]
+        assert walker.entries_retired == 1
+        assert walker.min_resident_ts == 900
+        assert memts.read_ts == 899
+
+    def test_threshold_is_exclusive_store_path(self):
+        store, cache, memts, walker = self.make_store_walker(stale_lag=100)
+        slot, _ = cache.access(0)
+        store.record_access(slot, 899, 1, False)
+        store.record_access(slot, 900, 0, True)
+        walker.walk(max_clock=1000)
+        assert [ts for ts, _r, _w in store.entries(slot)] == [900]
+        assert walker.entries_retired == 1
+        assert walker.min_resident_ts == 900
+        assert memts.read_ts == 899
+
+    def test_store_path_drops_fully_stale_lines(self):
+        store, cache, memts, walker = self.make_store_walker(stale_lag=100)
+        slot, _ = cache.access(0)
+        store.record_access(slot, 5, 0, True)
+        live_slot, _ = cache.access(64)
+        store.record_access(live_slot, 950, 0, True)
+        walker.walk(max_clock=1000)
+        assert cache.peek(0) is None
+        assert cache.peek(64) == live_slot
+        assert memts.write_ts == 5
+        # The freed slot is recycled by the next fill.
+        assert store.alloc() == slot
+
+    def test_store_path_retirement_revokes_filters(self):
+        store, cache, _memts, walker = self.make_store_walker(stale_lag=100)
+        slot, _ = cache.access(0)
+        store.record_access(slot, 5, 0, True)
+        store.record_access(slot, 950, 1, True)
+        store.grant_filter(slot, True, clock=950)
+        walker.walk(max_clock=1000)
+        assert not store.filter_allows(slot, True, clock=950)
+        assert not store.filter_allows(slot, False, clock=950)
+
+    def test_min_resident_none_when_all_retired(self):
+        store, cache, _memts, walker = self.make_store_walker(stale_lag=100)
+        slot, _ = cache.access(0)
+        store.record_access(slot, 1, 0, True)
+        walker.walk(max_clock=1000)
+        assert walker.min_resident_ts is None
+        assert walker.window_headroom(1000, DEFAULT_WINDOW) is None
+
+    @pytest.mark.parametrize("make", ["object", "store"])
+    def test_walk_restores_window_invariant(self, make):
+        # Timestamps spread wider than the window; after a walk at
+        # max_clock, every survivor is within stale_lag -- and therefore
+        # within the window -- of the clock, and headroom is at least
+        # window - stale_lag.
+        stale_lag = 1 << 13
+        cmp16 = SlidingWindowComparator()
+        max_clock = (1 << 16) + 500  # clocks have wrapped once
+        stamps = [
+            max_clock - DEFAULT_WINDOW - 5,  # outside: must retire
+            max_clock - stale_lag - 1,       # just past the lag: retires
+            max_clock - stale_lag,           # exactly at the lag: kept
+            max_clock - 3,
+        ]
+        if make == "object":
+            cache, _memts, walker = self.make_object_walker(stale_lag)
+            for i, ts in enumerate(stamps):
+                meta, _ = cache.access(64 * i)
+                meta.record_access(ts, 0, True)
+            walker.walk(max_clock=max_clock)
+            survivors = [
+                e.ts
+                for meta in cache.lines().values()
+                for e in meta.entries
+            ]
+        else:
+            store, cache, _memts, walker = self.make_store_walker(stale_lag)
+            for i, ts in enumerate(stamps):
+                slot, _ = cache.access(64 * i)
+                store.record_access(slot, ts, 0, True)
+            walker.walk(max_clock=max_clock)
+            survivors = [
+                ts
+                for slot in cache.lines().values()
+                for ts, _r, _w in store.entries(slot)
+            ]
+        assert sorted(survivors) == sorted(stamps[2:])
+        assert walker.entries_retired == 2
+        for ts in survivors:
+            assert cmp16.within_window(max_clock, ts)
+            assert cmp16.greater_equal(max_clock, ts)
+        headroom = walker.window_headroom(max_clock, DEFAULT_WINDOW)
+        assert headroom is not None
+        assert headroom >= DEFAULT_WINDOW - stale_lag > 0

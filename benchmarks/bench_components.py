@@ -1,7 +1,10 @@
 """Component micro-benchmarks: engine, detectors, codec throughput.
 
 Not a paper figure -- these quantify the reproduction's own simulator so
-users can size their campaigns (events/second per component).
+users can size their campaigns (events/second per component).  Detector
+and codec components are measured on both paths where both exist: the
+legacy per-event-object path and the columnar packed path the record-once
+pipeline uses.
 """
 
 import pytest
@@ -11,6 +14,7 @@ from repro.detectors import IdealDetector, LimitedVectorDetector
 from repro.cachesim import CacheGeometry
 from repro.engine import run_program
 from repro.timingsim import estimate_overhead
+from repro.trace import decode_packed_trace, encode_packed_trace
 from repro.workloads import WorkloadParams, get_workload
 
 PARAMS = WorkloadParams(scale=0.5)
@@ -21,69 +25,177 @@ def trace():
     return run_program(get_workload("fmm").build(PARAMS), seed=1)
 
 
-def test_engine_throughput(benchmark):
+def _n_events(trace):
+    return len(trace.packed)
+
+
+def test_engine_throughput(benchmark, bench_log):
     program = get_workload("fmm").build(PARAMS)
-    result = benchmark(run_program, program, 1)
+    result = benchmark(
+        bench_log.timed,
+        "components",
+        "engine",
+        run_program,
+        program,
+        1,
+        events=_n_events,
+    )
     assert len(result.events) > 500
 
 
-def test_cord_detector_throughput(benchmark, trace):
+def test_cord_detector_throughput(benchmark, trace, bench_log):
     def detect():
         return CordDetector(CordConfig(), trace.n_threads).run(trace)
 
-    outcome = benchmark(detect)
+    outcome = benchmark(
+        bench_log.timed,
+        "components",
+        "cord_object_path",
+        detect,
+        events=_n_events(trace),
+    )
     assert outcome.raw_count == 0  # clean run
 
 
-def test_ideal_detector_throughput(benchmark, trace):
-    def detect():
-        return IdealDetector(trace.n_threads).run(trace)
+def test_cord_detector_packed_throughput(benchmark, trace, bench_log):
+    packed = trace.packed
 
-    outcome = benchmark(detect)
+    def detect():
+        return CordDetector(CordConfig(), trace.n_threads).run_packed(
+            packed
+        )
+
+    outcome = benchmark(
+        bench_log.timed,
+        "components",
+        "cord_packed_path",
+        detect,
+        events=len(packed),
+    )
     assert outcome.raw_count == 0
 
 
-def test_vector_detector_throughput(benchmark, trace):
+def test_ideal_detector_throughput(benchmark, trace, bench_log):
+    def detect():
+        return IdealDetector(trace.n_threads).run(trace)
+
+    outcome = benchmark(
+        bench_log.timed,
+        "components",
+        "ideal_object_path",
+        detect,
+        events=_n_events(trace),
+    )
+    assert outcome.raw_count == 0
+
+
+def test_ideal_detector_packed_throughput(benchmark, trace, bench_log):
+    packed = trace.packed
+
+    def detect():
+        return IdealDetector(trace.n_threads).run_packed(packed)
+
+    outcome = benchmark(
+        bench_log.timed,
+        "components",
+        "ideal_packed_path",
+        detect,
+        events=len(packed),
+    )
+    assert outcome.raw_count == 0
+
+
+def test_vector_detector_throughput(benchmark, trace, bench_log):
     def detect():
         return LimitedVectorDetector(
             trace.n_threads, CacheGeometry(32 * 1024)
         ).run(trace)
 
-    outcome = benchmark(detect)
+    outcome = benchmark(
+        bench_log.timed,
+        "components",
+        "vector_object_path",
+        detect,
+        events=_n_events(trace),
+    )
     assert outcome.raw_count == 0
 
 
-def test_timing_model_throughput(benchmark, trace):
-    result = benchmark(estimate_overhead, trace)
+def test_timing_model_throughput(benchmark, trace, bench_log):
+    result = benchmark(
+        bench_log.timed,
+        "components",
+        "timing_model",
+        estimate_overhead,
+        trace,
+        events=_n_events(trace),
+    )
     assert result.relative_time >= 1.0
 
 
-def test_log_codec_throughput(benchmark, trace):
+def test_log_codec_throughput(benchmark, trace, bench_log):
     outcome = CordDetector(CordConfig(), trace.n_threads).run(trace)
     encoded = outcome.log.encode()
 
     def roundtrip():
         return OrderLog.decode(encoded)
 
-    decoded = benchmark(roundtrip)
+    decoded = benchmark(
+        bench_log.timed, "components", "order_log_decode", roundtrip
+    )
     assert len(decoded) == len(outcome.log)
 
 
-def test_epoch_oracle_throughput(benchmark, trace):
+def test_trace_codec_packed_throughput(benchmark, trace, bench_log):
+    packed = trace.packed
+    encoded = encode_packed_trace(packed)
+
+    def roundtrip():
+        return decode_packed_trace(encode_packed_trace(packed))
+
+    restored = benchmark(
+        bench_log.timed,
+        "components",
+        "trace_codec_roundtrip",
+        roundtrip,
+        events=len(packed),
+    )
+    assert restored.columns_equal(packed)
+    bench_log.record(
+        "components",
+        "trace_codec_bytes_per_event",
+        0.0,
+        extra={"bytes_per_event": round(len(encoded) / len(packed), 2)},
+    )
+
+
+def test_epoch_oracle_throughput(benchmark, trace, bench_log):
     """FastTrack-style epochs vs the full vector oracle (same verdicts)."""
     from repro.detectors import EpochDetector
 
     def detect():
         return EpochDetector(trace.n_threads).run(trace)
 
-    outcome = benchmark(detect)
+    outcome = benchmark(
+        bench_log.timed,
+        "components",
+        "epoch_object_path",
+        detect,
+        events=_n_events(trace),
+    )
     assert outcome.raw_count == 0
 
 
-def test_lockset_throughput(benchmark, trace):
+def test_lockset_throughput(benchmark, trace, bench_log):
     from repro.detectors import LocksetDetector
 
     def detect():
         return LocksetDetector(trace.n_threads).run(trace)
 
-    benchmark(detect)
+    benchmark(
+        bench_log.timed,
+        "components",
+        "lockset",
+        detect,
+        events=_n_events(trace),
+    )

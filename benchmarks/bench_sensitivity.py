@@ -4,20 +4,36 @@ Extends Figures 14-17's four sample points per axis into full curves:
 the D knee must sit at small D with a plateau after (the paper found
 D=16 saturating), and detection must grow monotonically with metadata
 capacity up to a plateau (the paper's InfCache ~ L2Cache finding).
+
+Sweeps run in record-once / analyze-many mode: each injected run is
+simulated once and every sweep point analyzes the shared packed trace.
+``test_record_once_speedup`` measures that mode against the legacy
+per-configuration protocol on the same 8-point D sweep and asserts the
+end-to-end speedup (threshold ``CORD_BENCH_SPEEDUP_MIN``, default 3;
+results are bit-identical by construction and asserted here too).
 """
+
+import os
+import time
 
 from repro.experiments.sensitivity import cache_sensitivity, d_sensitivity
 from repro.workloads import WorkloadParams
 
 PARAMS = WorkloadParams(scale=0.6)
 
+#: The 8-point D axis (the paper samples 4 of these).
+D_SWEEP = (1, 2, 4, 8, 16, 32, 64, 256)
 
-def test_d_sensitivity_curve(benchmark):
+_SWEEP_WORKLOADS = ("fft", "ocean", "fmm")
+
+
+def test_d_sensitivity_curve(benchmark, bench_log):
     sweep = benchmark.pedantic(
-        d_sensitivity,
+        bench_log.timed,
+        args=("sweeps", "d_sweep_8pt_shared", d_sensitivity),
         kwargs=dict(
-            workloads=("fft", "ocean", "fmm"),
-            d_values=(1, 2, 4, 8, 16, 64),
+            workloads=_SWEEP_WORKLOADS,
+            d_values=D_SWEEP,
             runs_per_app=8,
             params=PARAMS,
         ),
@@ -32,9 +48,10 @@ def test_d_sensitivity_curve(benchmark):
     assert sweep.problem_rates[0] < sweep.problem_rates[-1]
 
 
-def test_cache_sensitivity_curve(benchmark):
+def test_cache_sensitivity_curve(benchmark, bench_log):
     sweep = benchmark.pedantic(
-        cache_sensitivity,
+        bench_log.timed,
+        args=("sweeps", "cache_sweep_shared", cache_sensitivity),
         kwargs=dict(
             workloads=("fft", "lu", "barnes"),
             cache_sizes=(2048, 4096, 8192, 32768, None),
@@ -50,3 +67,43 @@ def test_cache_sensitivity_curve(benchmark):
     # The paper's finding: the paper-size cache (32 KB) is already at
     # the plateau (InfCache adds nothing).
     assert sweep.problem_rates[-2] == sweep.problem_rates[-1]
+
+
+def test_record_once_speedup(bench_log):
+    """Record-once vs per-config on the 8-point D sweep: >= 3x, identical."""
+    kwargs = dict(
+        workloads=_SWEEP_WORKLOADS,
+        d_values=D_SWEEP,
+        runs_per_app=4,
+        params=PARAMS,
+    )
+    start = time.perf_counter()
+    shared = d_sensitivity(**kwargs)
+    shared_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    legacy = d_sensitivity(mode="per-config", **kwargs)
+    legacy_s = time.perf_counter() - start
+
+    # Same sweep, same reports -- sharing recordings changes cost only.
+    assert shared.points == legacy.points
+    assert shared.problem_rates == legacy.problem_rates
+    assert shared.raw_rates == legacy.raw_rates
+
+    speedup = legacy_s / shared_s
+    bench_log.record(
+        "sweeps",
+        "d_sweep_8pt_per_config",
+        legacy_s,
+        extra={"speedup_vs_shared": round(speedup, 2)},
+    )
+    print()
+    print(
+        "record-once %.2fs vs per-config %.2fs: %.2fx"
+        % (shared_s, legacy_s, speedup)
+    )
+    minimum = float(os.environ.get("CORD_BENCH_SPEEDUP_MIN", "3"))
+    assert speedup >= minimum, (
+        "record-once speedup %.2fx below required %.1fx"
+        % (speedup, minimum)
+    )

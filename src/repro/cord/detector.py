@@ -539,6 +539,391 @@ class CordDetector(Detector):
         self.memts_orderings += memts_orderings
         self.clock_changes += clock_changes
 
+    def process_packed(self, packed) -> None:
+        """The :meth:`process_batch` pipeline over raw trace columns.
+
+        Iterates pre-boxed column lists plus the trace's cached derived
+        geometry columns -- no :class:`MemoryEvent` objects exist on
+        this path.  The pipeline is :meth:`process_batch`'s, with the
+        filter/word-bit hit case split into a dedicated tail that skips
+        the provably dead work (no clock change, no flag transition);
+        outcomes are byte-identical (locked in by the packed-equivalence
+        property and golden-workload tests, counters included).
+        """
+        if self.__class__.process_batch is not CordDetector.process_batch:
+            # Subclasses that wrap process() per event (the directory
+            # detector's traffic accounting) must keep their hooks:
+            # feed them lazily materialized events instead.
+            self.process_batch(packed.iter_events())
+            return
+        d = self._d
+        use_mem = self._use_mem
+        store = self.store
+        entries_per_line = self._entries_per_line
+        line_mask = self._line_mask
+        set_shift = self._set_shift
+        set_mask = self._set_mask
+        tsa = store.ts
+        rma = store.rmask
+        wma = store.wmask
+        cnt = store.count
+        flg = store.flags
+        fclock = store.fclock
+        cache_sets = self._cache_sets
+        residency = self._residency
+        remote_masks = self._remote_masks
+        clocks = self.clocks
+        thread_proc = self.thread_proc
+        frag_start = self._frag_start
+        frag_clock = self.recorder._fragment_clock
+        log_append = self.recorder.log.entries.append
+        memts = self.memory_ts
+        record_race = self.outcome.record_race
+        walkers = self._walkers
+        race_checks = 0
+        memts_orderings = 0
+        clock_changes = 0
+        sets_by_thread = [cache_sets[p] for p in thread_proc]
+
+        threads, addresses, flag_col, icounts = packed.hot_columns()
+        lines, words, wbits, set_indexes = packed.geometry_columns(
+            line_mask, set_shift, set_mask
+        )
+        # The overflow guard can only ever fire when some instruction
+        # count reaches 2^32 - 1 (fragment starts are non-negative);
+        # hoist the test out of the loop for the common case.
+        may_overflow = bool(icounts) and max(icounts) >= 0xFFFFFFFF
+
+        for thread, address, eflags, icount, line, word, wbit, \
+                set_index in zip(
+            threads, addresses, flag_col, icounts,
+            lines, words, wbits, set_indexes,
+        ):
+            clk0 = clocks[thread]
+            local_set = sets_by_thread[thread][set_index]
+
+            # Instruction-count overflow guard (Section 2.7.1).
+            if may_overflow and icount - frag_start[thread] >= 0xFFFFFFFF:
+                self._change_clock_before(thread, clk0 + 1, icount)
+                clk0 = clocks[thread]
+
+            local = local_set.get(line)
+            is_write = eflags & 1
+            # Fast path (Section 2.7.2), cheapest test first: one flags
+            # byte answers data-valid, write-permission, and the filter
+            # bits before any timestamp is touched.
+            if local is not None:
+                fast = False
+                fl = flg[local]
+                if is_write:
+                    eligible = fl & 12 == 12  # valid + write permission
+                    fbit = 2
+                else:
+                    eligible = fl & 4 and not eflags & 2
+                    fbit = 1
+                if eligible:
+                    if fl & fbit and fclock[local] == clk0:
+                        fast = True
+                    else:
+                        # Word access bit already set at this clock?
+                        # Newest entry first -- it matches nearly always.
+                        base = local * entries_per_line
+                        n = cnt[local]
+                        if n and tsa[base] == clk0:
+                            mask = wma[base] if is_write else rma[base]
+                            fast = bool((mask >> word) & 1)
+                        elif n > 1:
+                            for e in range(base + 1, base + n):
+                                if tsa[e] == clk0:
+                                    mask = (
+                                        wma[e] if is_write else rma[e]
+                                    )
+                                    fast = bool((mask >> word) & 1)
+                                    break
+                if fast:
+                    # Dedicated fast-path tail.  No clock change is
+                    # possible here, and the flags byte provably keeps
+                    # its value (data-valid -- and write permission for
+                    # writes -- were preconditions; filters are only
+                    # granted on clean race checks), so all that
+                    # remains of the shared tail is the MRU touch, the
+                    # word bit at clk0, and the sync-write increment.
+                    local_set[line] = local_set.pop(line)  # move to MRU
+                    base = local * entries_per_line
+                    n = cnt[local]
+                    if n and tsa[base] == clk0:
+                        if is_write:
+                            wma[base] |= wbit
+                        else:
+                            rma[base] |= wbit
+                    else:
+                        merged = False
+                        if n > 1:
+                            for e in range(base + 1, base + n):
+                                if tsa[e] == clk0:
+                                    if is_write:
+                                        wma[e] |= wbit
+                                    else:
+                                        rma[e] |= wbit
+                                    merged = True
+                                    break
+                        if not merged:
+                            if n == entries_per_line:
+                                last = base + n - 1
+                                if use_mem:
+                                    memts.fold_raw(
+                                        tsa[last],
+                                        rma[last] != 0,
+                                        wma[last] != 0,
+                                    )
+                                shift_from = base + n - 1
+                            else:
+                                cnt[local] = n + 1
+                                shift_from = base + n
+                            for e in range(shift_from, base, -1):
+                                tsa[e] = tsa[e - 1]
+                                rma[e] = rma[e - 1]
+                                wma[e] = wma[e - 1]
+                            tsa[base] = clk0
+                            if is_write:
+                                rma[base] = 0
+                                wma[base] = wbit
+                            else:
+                                rma[base] = wbit
+                                wma[base] = 0
+                    # Post-retirement increment after sync writes.
+                    if eflags & 3 == 3:
+                        boundary = icount + 1
+                        log_append(
+                            _LogEntry(
+                                frag_clock[thread],
+                                thread,
+                                boundary - frag_start[thread],
+                            )
+                        )
+                        new_clock = clk0 + 1
+                        frag_clock[thread] = new_clock
+                        frag_start[thread] = boundary
+                        clocks[thread] = new_clock
+                        clock_changes += 1
+                    if walkers is not None:
+                        self._run_walker(thread_proc[thread])
+                    continue
+
+            # Race check (the slow path).
+            processor = thread_proc[thread]
+            is_sync = eflags & 2
+            new_clock = clk0
+            race_checks += 1
+            clean_line = True
+            reported = False
+            # Ascending-bit iteration over caches that may hold the
+            # line (same visit order as scanning all processors).
+            sharers = residency.get(line, 0) & remote_masks[processor]
+            while sharers:
+                low = sharers & -sharers
+                sharers ^= low
+                remote = low.bit_length() - 1
+                rslot = cache_sets[remote][set_index].get(line)
+                if rslot is None:
+                    continue  # stale hint (walker drop)
+                n_resident = cnt[rslot]
+                if not n_resident:
+                    continue
+                base = rslot * entries_per_line
+                # One pass gathers both the line-level conflict
+                # verdict (check-filter establishment) and the
+                # per-word candidate timestamps, newest first.
+                candidates = None
+                if is_write:
+                    for e in range(base, base + n_resident):
+                        rm = rma[e]
+                        wm = wma[e]
+                        if rm or wm:
+                            clean_line = False
+                            if (rm | wm) & wbit:
+                                if candidates is None:
+                                    candidates = [tsa[e]]
+                                else:
+                                    candidates.append(tsa[e])
+                else:
+                    for e in range(base, base + n_resident):
+                        wm = wma[e]
+                        if wm:
+                            clean_line = False
+                            if wm & wbit:
+                                if candidates is None:
+                                    candidates = [tsa[e]]
+                                else:
+                                    candidates.append(tsa[e])
+                if is_write:
+                    if use_mem:
+                        for e in range(base, base + n_resident):
+                            memts.fold_raw(
+                                tsa[e], rma[e] != 0, wma[e] != 0
+                            )
+                    cnt[rslot] = 0
+                    flg[rslot] &= 0xF0
+                else:
+                    flg[rslot] &= 0xF5
+                if candidates is None:
+                    continue
+                for ts in candidates:
+                    if is_sync:
+                        if is_write:
+                            if clk0 <= ts and ts + 1 > new_clock:
+                                new_clock = ts + 1
+                        else:
+                            # Sync read: at least D past the write.
+                            if ts + d > new_clock:
+                                new_clock = ts + d
+                    else:
+                        if clk0 <= ts and ts + 1 > new_clock:
+                            new_clock = ts + 1
+                        if clk0 < ts + d and not reported:
+                            reported = True
+                            record_race(
+                                DataRace(
+                                    access=(thread, icount),
+                                    address=address,
+                                    other_thread=None,
+                                    detail="clk=%d ts=%d P%d"
+                                    % (clk0, ts, remote),
+                                )
+                            )
+            if use_mem:
+                if is_write:
+                    mem_ts = memts.read_ts
+                    if memts.write_ts > mem_ts:
+                        mem_ts = memts.write_ts
+                else:
+                    mem_ts = memts.write_ts
+                if is_sync and not is_write:
+                    if mem_ts + d > new_clock:
+                        new_clock = mem_ts + d
+                        memts_orderings += 1
+                elif clk0 <= mem_ts:
+                    if mem_ts + 1 > new_clock:
+                        new_clock = mem_ts + 1
+                        memts_orderings += 1
+
+            if new_clock != clk0:
+                log_append(
+                    _LogEntry(
+                        frag_clock[thread],
+                        thread,
+                        icount - frag_start[thread],
+                    )
+                )
+                frag_clock[thread] = new_clock
+                frag_start[thread] = icount
+                clocks[thread] = new_clock
+                clock_changes += 1
+
+            # Record the access in local metadata (inlined MetadataCache
+            # insert/MRU-touch; dict order doubles as LRU order).
+            if local is None:
+                cache = self.snoop.caches[processor]
+                slot = store.alloc()
+                local_set[line] = slot
+                cache.insertions += 1
+                pbit = 1 << processor
+                residency[line] = residency.get(line, 0) | pbit
+                self._on_line_filled(processor, line)
+                if len(local_set) > cache._capacity:
+                    victim_line = next(iter(local_set))
+                    victim_slot = local_set.pop(victim_line)
+                    cache.evictions += 1
+                    remaining = residency.get(victim_line, 0) & ~pbit
+                    if remaining:
+                        residency[victim_line] = remaining
+                    else:
+                        residency.pop(victim_line, None)
+                    if use_mem:
+                        vbase = victim_slot * entries_per_line
+                        for e in range(vbase, vbase + cnt[victim_slot]):
+                            memts.fold_raw(
+                                tsa[e], rma[e] != 0, wma[e] != 0
+                            )
+                    self._on_line_evicted(processor, victim_line)
+                    store.free(victim_slot)
+            else:
+                slot = local
+                local_set[line] = local_set.pop(line)  # move to MRU
+            clock = new_clock  # == clocks[thread] on both update branches
+            fl = flg[slot] | 4  # data valid
+            if is_write:
+                fl |= 8  # write permission
+            if clean_line:
+                fl |= 3 if is_write else 1
+                fclock[slot] = clock
+            flg[slot] = fl
+            base = slot * entries_per_line
+            n = cnt[slot]
+            if n and tsa[base] == clock:
+                if is_write:
+                    wma[base] |= wbit
+                else:
+                    rma[base] |= wbit
+            else:
+                merged = False
+                if n > 1:
+                    for e in range(base + 1, base + n):
+                        if tsa[e] == clock:
+                            if is_write:
+                                wma[e] |= wbit
+                            else:
+                                rma[e] |= wbit
+                            merged = True
+                            break
+                if not merged:
+                    if n == entries_per_line:
+                        last = base + n - 1
+                        if use_mem:
+                            memts.fold_raw(
+                                tsa[last], rma[last] != 0, wma[last] != 0
+                            )
+                        shift_from = base + n - 1
+                    else:
+                        cnt[slot] = n + 1
+                        shift_from = base + n
+                    for e in range(shift_from, base, -1):
+                        tsa[e] = tsa[e - 1]
+                        rma[e] = rma[e - 1]
+                        wma[e] = wma[e - 1]
+                    tsa[base] = clock
+                    if is_write:
+                        rma[base] = 0
+                        wma[base] = wbit
+                    else:
+                        rma[base] = wbit
+                        wma[base] = 0
+
+            # Post-retirement increment after synchronization writes.
+            if is_sync and is_write:
+                boundary = icount + 1
+                log_append(
+                    _LogEntry(
+                        frag_clock[thread],
+                        thread,
+                        boundary - frag_start[thread],
+                    )
+                )
+                new_clock = clock + 1
+                frag_clock[thread] = new_clock
+                frag_start[thread] = boundary
+                clocks[thread] = new_clock
+                clock_changes += 1
+
+            if walkers is not None:
+                self._run_walker(processor)
+
+        # Every event is either a filter/word-bit hit or a race check.
+        self.fast_hits += len(threads) - race_checks
+        self.race_checks += race_checks
+        self.memts_orderings += memts_orderings
+        self.clock_changes += clock_changes
+
     # -- helpers ---------------------------------------------------------------
 
     def _on_line_evicted(self, processor: int, line: int) -> None:

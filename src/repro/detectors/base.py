@@ -97,14 +97,38 @@ class Detector:
         for event in events:
             process(event)
 
-    def finish(self, trace: Trace) -> DetectionOutcome:
-        """Hook for end-of-trace work; returns the outcome."""
+    def process_packed(self, packed) -> None:
+        """Process a :class:`~repro.trace.packed.PackedTrace`.
+
+        The default feeds lazily materialized event objects through
+        :meth:`process_batch` (correct for every detector); hot detectors
+        override this to iterate the raw columns with no event objects
+        at all.
+        """
+        self.process_batch(packed.iter_events())
+
+    def finish(self, trace) -> DetectionOutcome:
+        """Hook for end-of-trace work; returns the outcome.
+
+        ``trace`` may be a :class:`Trace` or a
+        :class:`~repro.trace.packed.PackedTrace`; implementations only
+        rely on the shared metadata (``final_icounts``).
+        """
         return self.outcome
 
     def run(self, trace: Trace) -> DetectionOutcome:
-        """Process a whole trace."""
+        """Process a whole trace through the per-event-object path."""
         self.process_batch(trace.events)
         return self.finish(trace)
+
+    def run_packed(self, packed) -> DetectionOutcome:
+        """Process a whole packed trace through the columnar path.
+
+        Produces byte-identical outcomes to :meth:`run` on the object
+        view of the same trace (asserted by the equivalence suite).
+        """
+        self.process_packed(packed)
+        return self.finish(packed)
 
 
 def default_thread_to_processor(n_threads: int, n_processors: int):

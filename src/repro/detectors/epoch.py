@@ -69,11 +69,12 @@ class EpochDetector(Detector):
     # -- sync (identical to the Ideal oracle) ------------------------------
 
     def _process_sync(self, event: MemoryEvent) -> None:
-        t = event.thread
-        address = event.address
+        self._sync_access(event.thread, event.address, event.is_write)
+
+    def _sync_access(self, t: int, address: int, is_write: int) -> None:
         vc = self.vcs[t]
         write_hist = self._sync_write_vc.get(address)
-        if event.is_write:
+        if is_write:
             if write_hist is not None:
                 vc = vc.joined(write_hist)
             read_hist = self._sync_read_vc.get(address)
@@ -97,20 +98,28 @@ class EpochDetector(Detector):
     def _own_epoch(self, thread: int) -> Epoch:
         return (self.vcs[thread].component(thread), thread)
 
-    def _report(self, event: MemoryEvent, detail: str) -> None:
+    def _report(
+        self, t: int, icount: int, address: int, detail: str
+    ) -> None:
         self.outcome.record_race(
             DataRace(
-                access=(event.thread, event.icount),
-                address=event.address,
+                access=(t, icount),
+                address=address,
                 other_thread=None,
                 detail=detail,
             )
         )
 
     def _process_data(self, event: MemoryEvent) -> None:
-        t = event.thread
+        self._data_access(
+            event.thread, event.address, event.is_write, event.icount
+        )
+
+    def _data_access(
+        self, t: int, address: int, is_write: int, icount: int
+    ) -> None:
         vc = self.vcs[t]
-        word = self._words.setdefault(event.address, _WordState())
+        word = self._words.setdefault(address, _WordState())
 
         write = word.write
         write_races = (
@@ -119,9 +128,9 @@ class EpochDetector(Detector):
             and not _epoch_leq(write, vc)
         )
 
-        if not event.is_write:
+        if not is_write:
             if write_races:
-                self._report(event, "read-write race")
+                self._report(t, icount, address, "read-write race")
             # Read tracking: same-epoch fast path, else epoch/VC logic.
             my_epoch = self._own_epoch(t)
             if word.read_vc is not None:
@@ -151,11 +160,13 @@ class EpochDetector(Detector):
         raced = False
         if write_races:
             raced = True
-            self._report(event, "write-write race")
+            self._report(t, icount, address, "write-write race")
         if not raced and word.read_vc is not None:
             if not vc.dominates(word.read_vc):
                 raced = True
-                self._report(event, "write after concurrent reads")
+                self._report(
+                    t, icount, address, "write after concurrent reads"
+                )
         if (
             not raced
             and word.read_epoch is not None
@@ -163,7 +174,7 @@ class EpochDetector(Detector):
             and not _epoch_leq(word.read_epoch, vc)
         ):
             raced = True
-            self._report(event, "read-write race")
+            self._report(t, icount, address, "read-write race")
         # Writes demote read state (FastTrack's space saving).
         word.write = self._own_epoch(t)
         word.read_vc = None
@@ -175,3 +186,13 @@ class EpochDetector(Detector):
             self._process_sync(event)
         else:
             self._process_data(event)
+
+    def process_packed(self, packed) -> None:
+        """Columnar dispatch: no event objects, same verdicts."""
+        sync_access = self._sync_access
+        data_access = self._data_access
+        for t, address, eflags, icount in zip(*packed.hot_columns()):
+            if eflags & 2:
+                sync_access(t, address, eflags & 1)
+            else:
+                data_access(t, address, eflags & 1, icount)

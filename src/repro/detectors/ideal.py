@@ -51,12 +51,78 @@ class IdealDetector(Detector):
         else:
             self._process_data(event)
 
+    def process_packed(self, packed) -> None:
+        """Columnar loop: no event objects, same verdicts.
+
+        Data accesses dominate the stream, so their path is inlined with
+        the dominance test open-coded over raw component tuples (the
+        ``a < b`` early-exit idiom).  History tables hold component
+        tuples on this path instead of :class:`VectorClock` wrappers --
+        fine because a detector instance observes exactly one trace
+        through exactly one path.  Synchronization accesses (rare) go
+        through :meth:`_sync_access` unchanged.
+        """
+        sync_access = self._sync_access
+        record_race = self.outcome.record_race
+        vcs = self.vcs
+        last_read = self._last_read
+        last_write = self._last_write
+        comps_by_thread = [vc.components for vc in vcs]
+        threads, addresses, flag_col, icounts = packed.hot_columns()
+        for t, address, eflags, icount in zip(
+            threads, addresses, flag_col, icounts
+        ):
+            if eflags & 2:
+                sync_access(t, address, eflags & 1)
+                comps_by_thread[t] = vcs[t].components
+                continue
+            comps = comps_by_thread[t]
+            is_write = eflags & 1
+            raced_with = None
+            write_hist = last_write.get(address)
+            if write_hist:
+                for u, stamp in write_hist.items():
+                    if u != t:
+                        for a, b in zip(comps, stamp):
+                            if a < b:
+                                raced_with = u
+                                break
+                        if raced_with is not None:
+                            break
+            if raced_with is None and is_write:
+                read_hist = last_read.get(address)
+                if read_hist:
+                    for u, stamp in read_hist.items():
+                        if u != t:
+                            for a, b in zip(comps, stamp):
+                                if a < b:
+                                    raced_with = u
+                                    break
+                            if raced_with is not None:
+                                break
+            if raced_with is not None:
+                record_race(
+                    DataRace(
+                        access=(t, icount),
+                        address=address,
+                        other_thread=raced_with,
+                        detail="hb-unordered",
+                    )
+                )
+            table = last_write if is_write else last_read
+            entry = table.get(address)
+            if entry is None:
+                table[address] = {t: comps}
+            else:
+                entry[t] = comps
+
     def _process_sync(self, event: MemoryEvent) -> None:
-        t = event.thread
-        address = event.address
+        self._sync_access(event.thread, event.address, event.is_write)
+
+    def _sync_access(self, t: int, address: int, is_write: int) -> None:
         vc = self.vcs[t]
         write_hist = self._sync_write_vc.get(address)
-        if event.is_write:
+        if is_write:
             # Ordered after every prior conflicting sync access (both
             # modes), then publish and tick (release).
             if write_hist is not None:
@@ -78,8 +144,13 @@ class IdealDetector(Detector):
             self.vcs[t] = vc
 
     def _process_data(self, event: MemoryEvent) -> None:
-        t = event.thread
-        address = event.address
+        self._data_access(
+            event.thread, event.address, event.is_write, event.icount
+        )
+
+    def _data_access(
+        self, t: int, address: int, is_write: int, icount: int
+    ) -> None:
         vc = self.vcs[t]
 
         write_hist = self._last_write.get(address)
@@ -89,7 +160,7 @@ class IdealDetector(Detector):
                 if u != t and not vc.dominates(stamp):
                     raced_with = u
                     break
-        if raced_with is None and event.is_write:
+        if raced_with is None and is_write:
             read_hist = self._last_read.get(address)
             if read_hist:
                 for u, stamp in read_hist.items():
@@ -99,12 +170,12 @@ class IdealDetector(Detector):
         if raced_with is not None:
             self.outcome.record_race(
                 DataRace(
-                    access=(t, event.icount),
+                    access=(t, icount),
                     address=address,
                     other_thread=raced_with,
                     detail="hb-unordered",
                 )
             )
 
-        table = self._last_write if event.is_write else self._last_read
+        table = self._last_write if is_write else self._last_read
         table.setdefault(address, {})[t] = vc

@@ -35,7 +35,6 @@ from typing import Dict, List, Optional
 
 from repro.common.errors import DeadlockError, SimulationError
 from repro.common.rng import DeterministicRng
-from repro.common.types import AccessClass, AccessMode
 from repro.engine.interceptor import NullInterceptor, SyncInterceptor
 from repro.engine.scheduler import RandomScheduler, Scheduler
 from repro.program.builder import Program
@@ -49,17 +48,19 @@ from repro.program.ops import (
     WriteOp,
 )
 from repro.trace.events import MemoryEvent
+from repro.trace.packed import PackedTrace
 from repro.trace.stream import Trace
 
 #: Step-count safety valve; generously above any workload in this repo.
 DEFAULT_MAX_STEPS = 5_000_000
 
-# Hot-path constants: module-level names load faster than the two
-# attribute lookups an enum access costs, and the engine emits one
-# mode/class pair per event.
-_READ = AccessMode.READ
-_WRITE = AccessMode.WRITE
-_DATA = AccessClass.DATA
+# Packed-trace flag bytes (bit 0 = write, bit 1 = sync).  The engine
+# appends one flags byte per event; recording is five C-level column
+# appends, with no per-event object allocation.
+_F_DATA_RD = 0
+_F_DATA_WR = 1
+_F_SYNC_RD = 2
+_F_SYNC_WR = 3
 
 
 class _AcquireWrite:
@@ -116,7 +117,14 @@ class ExecutionEngine:
         self.interceptor = interceptor or NullInterceptor()
         self.memory: Dict[int, int] = {}
         self.lock_holder: Dict[int, Optional[int]] = {}
-        self.events: List[MemoryEvent] = []
+        #: Columnar event record (struct-of-arrays); the object view is
+        #: materialized lazily via :attr:`events` / :meth:`build_trace`.
+        self.packed = PackedTrace(name=program.name)
+        self._ev_thread = self.packed.thread.append
+        self._ev_address = self.packed.address.append
+        self._ev_flags = self.packed.flags.append
+        self._ev_icount = self.packed.icount.append
+        self._ev_value = self.packed.value.append
         self._threads = [
             _ThreadRuntime(gen) for gen in program.instantiate()
         ]
@@ -127,6 +135,15 @@ class ExecutionEngine:
     @property
     def n_threads(self) -> int:
         return len(self._threads)
+
+    @property
+    def events(self) -> List[MemoryEvent]:
+        """Event-object view of the record so far (diagnostics only).
+
+        Materialized fresh on every access -- the engine's source of
+        truth is the columnar :attr:`packed` record.
+        """
+        return self.packed.materialize_events()
 
     def finished(self, thread: int) -> bool:
         return self._threads[thread].finished
@@ -182,29 +199,19 @@ class ExecutionEngine:
         # Dispatch, hottest ops first, with exact-type tests: the op
         # classes below have no subclasses, and ``is`` beats isinstance()
         # on this path (one dispatch per retired op, millions per
-        # campaign).  Data reads/writes emit their event inline rather
-        # than through _emit -- one call frame per event adds up.
+        # campaign).  run_program() inlines this dispatch *and* the
+        # column appends; step() itself drives only replay and tests.
         cls = op.__class__
         if cls is ReadOp:
             value = self.memory.get(op.address, 0)
-            events = self.events
-            events.append(
-                MemoryEvent(len(events), thread, op.address, _READ,
-                            _DATA, rt.icount, value)
-            )
-            rt.icount += 1
+            self._emit(rt, thread, op.address, _F_DATA_RD, value)
             rt.pending_send = value
             return True
 
         if cls is WriteOp:
             value = op.value
             self.memory[op.address] = value
-            events = self.events
-            events.append(
-                MemoryEvent(len(events), thread, op.address, _WRITE,
-                            _DATA, rt.icount, value)
-            )
-            rt.icount += 1
+            self._emit(rt, thread, op.address, _F_DATA_WR, value)
             return True
 
         if cls is ComputeOp:
@@ -239,8 +246,7 @@ class ExecutionEngine:
             # Successful test-and-set, first half: the sync read.  The
             # lock is reserved now; the write retires on the next step.
             old = self.memory.get(op.address, 0)
-            self._emit(rt, thread, op.address, AccessMode.READ,
-                       AccessClass.SYNC, old)
+            self._emit(rt, thread, op.address, _F_SYNC_RD, old)
             self.lock_holder[op.address] = thread
             rt.pending_op = _AcquireWrite(op.address)
             return True
@@ -248,8 +254,7 @@ class ExecutionEngine:
         if cls is _AcquireWrite:
             rt.pending_op = None
             self.memory[op.address] = 1
-            self._emit(rt, thread, op.address, AccessMode.WRITE,
-                       AccessClass.SYNC, 1)
+            self._emit(rt, thread, op.address, _F_SYNC_WR, 1)
             return True
 
         if cls is UnlockOp:
@@ -264,8 +269,7 @@ class ExecutionEngine:
                     % (thread, op.address)
                 )
             self.memory[op.address] = 0
-            self._emit(rt, thread, op.address, AccessMode.WRITE,
-                       AccessClass.SYNC, 0)
+            self._emit(rt, thread, op.address, _F_SYNC_WR, 0)
             self.lock_holder[op.address] = None
             return True
 
@@ -275,8 +279,7 @@ class ExecutionEngine:
                 rt.pending_op = op
                 return False
             rt.pending_op = None
-            self._emit(rt, thread, op.address, AccessMode.READ,
-                       AccessClass.SYNC, value)
+            self._emit(rt, thread, op.address, _F_SYNC_RD, value)
             return True
 
         if cls is FlagSetOp:
@@ -287,33 +290,29 @@ class ExecutionEngine:
                     % (op.address, current, op.value)
                 )
             self.memory[op.address] = op.value
-            self._emit(rt, thread, op.address, AccessMode.WRITE,
-                       AccessClass.SYNC, op.value)
+            self._emit(rt, thread, op.address, _F_SYNC_WR, op.value)
             return True
 
         raise SimulationError("unknown op %r" % (op,))
 
-    def _emit(self, rt, thread, address, mode, klass, value):
-        self.events.append(
-            MemoryEvent(
-                len(self.events), thread, address, mode, klass,
-                rt.icount, value,
-            )
-        )
+    def _emit(self, rt, thread, address, flags, value):
+        self._ev_thread(thread)
+        self._ev_address(address)
+        self._ev_flags(flags)
+        self._ev_icount(rt.icount)
+        self._ev_value(value)
         rt.icount += 1
 
     # -- trace assembly --------------------------------------------------------
 
     def build_trace(self, hung: bool = False,
                     seed: Optional[int] = None) -> Trace:
-        """Package the events observed so far as a :class:`Trace`."""
-        return Trace(
-            self.events,
-            [t.icount for t in self._threads],
-            name=self.program.name,
-            hung=hung,
-            seed=seed,
-        )
+        """Package the record so far as a packed-backed :class:`Trace`."""
+        packed = self.packed
+        packed.final_icounts = [t.icount for t in self._threads]
+        packed.hung = hung
+        packed.seed = seed
+        return Trace.from_packed(packed)
 
 
 def run_program(
@@ -365,7 +364,11 @@ def run_program(
     threads = engine._threads
     memory = engine.memory
     lock_holder = engine.lock_holder
-    events = engine.events
+    ev_thread = engine._ev_thread
+    ev_address = engine._ev_address
+    ev_flags = engine._ev_flags
+    ev_icount = engine._ev_icount
+    ev_value = engine._ev_value
     interceptor_hook = engine.interceptor.on_sync_instance
     skipped_locks = engine._skipped_locks
     step_sync = engine._step_sync
@@ -454,19 +457,21 @@ def run_program(
                 cls = op.__class__
                 if cls is ReadOp:
                     value = memory.get(op.address, 0)
-                    events.append(
-                        MemoryEvent(len(events), tid, op.address, _READ,
-                                    _DATA, rt.icount, value)
-                    )
+                    ev_thread(tid)
+                    ev_address(op.address)
+                    ev_flags(0)
+                    ev_icount(rt.icount)
+                    ev_value(value)
                     rt.icount += 1
                     rt.pending_send = value
                 elif cls is WriteOp:
                     value = op.value
                     memory[op.address] = value
-                    events.append(
-                        MemoryEvent(len(events), tid, op.address, _WRITE,
-                                    _DATA, rt.icount, value)
-                    )
+                    ev_thread(tid)
+                    ev_address(op.address)
+                    ev_flags(1)
+                    ev_icount(rt.icount)
+                    ev_value(value)
                     rt.icount += 1
                 elif cls is ComputeOp:
                     rt.icount += op.amount

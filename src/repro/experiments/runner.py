@@ -34,6 +34,7 @@ from repro.injection.campaign import (
     CampaignResult,
     run_campaign,
 )
+from repro.trace.store import PackedTraceStore
 from repro.workloads.base import WorkloadParams
 from repro.workloads.registry import all_workloads, get_workload
 
@@ -84,19 +85,37 @@ class SuiteConfig:
         return [spec.name for spec in all_workloads()]
 
 
+def trace_namespace(workload: str, params: WorkloadParams) -> str:
+    """Trace-store namespace for one (workload, parameters) program.
+
+    Every caller that records traces for a workload program must key
+    them this way (workload name plus the full parameter repr), so a
+    sweep, a campaign, and a figure script all hit each other's
+    recordings -- and a parameter change misses cleanly.
+    """
+    return "%s/%r" % (workload, params)
+
+
 #: One unit of pool work: everything a worker needs to rebuild the
-#: campaign (must stay picklable for spawn-based platforms).
-_CampaignTask = Tuple[str, int, int, WorkloadParams]
+#: campaign (must stay picklable for spawn-based platforms).  The last
+#: element is the trace-store directory (or None): workers rebuild the
+#: store from the path because the store itself holds no state worth
+#: shipping.
+_CampaignTask = Tuple[str, int, int, WorkloadParams, Optional[str]]
 
 
 def _run_campaign_task(task: _CampaignTask) -> Tuple[str, CampaignResult]:
     """Pool worker: run one workload's campaign (module-level, picklable)."""
-    name, n_runs, base_seed, params = task
+    name, n_runs, base_seed, params, store_dir = task
     spec = get_workload(name)
     result = run_campaign(
         spec.program_factory(params),
         name,
         CampaignConfig(n_runs=n_runs, base_seed=base_seed),
+        trace_store=(
+            PackedTraceStore(store_dir) if store_dir is not None else None
+        ),
+        trace_namespace=trace_namespace(name, params),
     )
     return name, result
 
@@ -124,6 +143,18 @@ class Suite:
             Path(cache_dir) if cache_dir is not None else default_cache_dir()
         )
         self._campaigns: Dict[str, CampaignResult] = {}
+
+    @property
+    def trace_store_dir(self) -> Optional[Path]:
+        """Recorded-trace store directory (under the campaign cache)."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / "traces"
+
+    def trace_store(self) -> Optional[PackedTraceStore]:
+        """The suite's recorded-trace store, or None (no cache dir)."""
+        root = self.trace_store_dir
+        return PackedTraceStore(root) if root is not None else None
 
     # -- on-disk cache -------------------------------------------------------
 
@@ -171,11 +202,13 @@ class Suite:
     # -- campaign execution --------------------------------------------------
 
     def _task(self, workload: str) -> _CampaignTask:
+        store_dir = self.trace_store_dir
         return (
             workload,
             self.config.runs_per_app,
             self.config.base_seed,
             self.config.params,
+            str(store_dir) if store_dir is not None else None,
         )
 
     def campaign(self, workload: str) -> CampaignResult:
@@ -224,7 +257,18 @@ class Suite:
         else:
             for name in pending:
                 self.campaign(name)
-        return dict(self._campaigns)
+        # Canonical workload order, independent of which entries were
+        # cache hits: figure tables iterate this dict, and their row
+        # order must not depend on cache state.
+        ordered = {
+            name: self._campaigns[name]
+            for name in self.config.workload_names()
+            if name in self._campaigns
+        }
+        for name, result in self._campaigns.items():
+            if name not in ordered:
+                ordered[name] = result
+        return ordered
 
     # -- cross-app aggregates --------------------------------------------------
 

@@ -22,7 +22,13 @@ from repro.common.texttable import format_percent, format_table
 from repro.detectors.base import Detector
 from repro.detectors.ideal import IdealDetector
 from repro.detectors.registry import DetectorSpec
-from repro.injection.campaign import CampaignConfig, run_campaign
+from repro.injection.campaign import (
+    CampaignConfig,
+    run_campaign,
+    run_campaign_per_config,
+)
+from repro.experiments.runner import trace_namespace
+from repro.trace.store import PackedTraceStore
 from repro.workloads.base import WorkloadParams
 from repro.workloads.registry import get_workload
 
@@ -83,29 +89,70 @@ def _run_sweep(
     runs_per_app: int,
     params: WorkloadParams,
     base_seed: int,
+    mode: str = "shared",
+    trace_store: Optional[PackedTraceStore] = None,
 ) -> SweepResult:
-    all_specs = [DetectorSpec("Ideal", lambda n: IdealDetector(n))]
-    all_specs.extend(specs)
+    """Pooled detection rates along one axis, in one of two modes.
+
+    ``"shared"`` (record-once / analyze-many, the default): one campaign
+    per application records each injected run exactly once and every
+    sweep point analyzes the shared packed trace; with a ``trace_store``
+    the recordings also persist across sweeps.  ``"per-config"``: the
+    legacy protocol -- every sweep point gets its own campaign (own
+    dry-run, own simulations, per-event-object detector passes), the
+    cost model the record-once speedup is measured against.  Both modes
+    produce bit-identical results (seeds derive only from the base seed
+    and workload; the record-once suite asserts equality).
+    """
+    if mode not in ("shared", "per-config"):
+        raise ValueError("unknown sweep mode %r" % mode)
+    ideal_spec = DetectorSpec("Ideal", lambda n: IdealDetector(n))
     result = SweepResult(parameter=parameter, points=list(labels))
     problems: Dict[str, int] = {spec.name: 0 for spec in specs}
     races: Dict[str, int] = {spec.name: 0 for spec in specs}
     ideal_problems = 0
     ideal_races = 0
     for app in workloads:
-        campaign = run_campaign(
-            get_workload(app).program_factory(params),
-            app,
-            CampaignConfig(
-                n_runs=runs_per_app,
-                base_seed=base_seed,
-                detectors=all_specs,
-            ),
-        )
-        ideal_problems += campaign.problems_detected("Ideal")
-        ideal_races += campaign.races_detected("Ideal")
-        for spec in specs:
-            problems[spec.name] += campaign.problems_detected(spec.name)
-            races[spec.name] += campaign.races_detected(spec.name)
+        factory = get_workload(app).program_factory(params)
+        if mode == "shared":
+            campaign = run_campaign(
+                factory,
+                app,
+                CampaignConfig(
+                    n_runs=runs_per_app,
+                    base_seed=base_seed,
+                    detectors=[ideal_spec] + specs,
+                ),
+                trace_store=trace_store,
+                trace_namespace=trace_namespace(app, params),
+            )
+            ideal_problems += campaign.problems_detected("Ideal")
+            ideal_races += campaign.races_detected("Ideal")
+            for spec in specs:
+                problems[spec.name] += campaign.problems_detected(
+                    spec.name
+                )
+                races[spec.name] += campaign.races_detected(spec.name)
+        else:
+            for index, spec in enumerate(specs):
+                campaign = run_campaign_per_config(
+                    factory,
+                    app,
+                    CampaignConfig(
+                        n_runs=runs_per_app,
+                        base_seed=base_seed,
+                        detectors=[ideal_spec, spec],
+                    ),
+                )
+                if index == 0:
+                    # Every per-config campaign recomputes the same
+                    # Ideal pass; count the denominators once.
+                    ideal_problems += campaign.problems_detected("Ideal")
+                    ideal_races += campaign.races_detected("Ideal")
+                problems[spec.name] += campaign.problems_detected(
+                    spec.name
+                )
+                races[spec.name] += campaign.races_detected(spec.name)
     for spec in specs:
         result.problem_rates.append(
             problems[spec.name] / ideal_problems if ideal_problems else 0.0
@@ -122,6 +169,8 @@ def d_sensitivity(
     runs_per_app: int = 8,
     params: Optional[WorkloadParams] = None,
     base_seed: int = 2006,
+    mode: str = "shared",
+    trace_store: Optional[PackedTraceStore] = None,
 ) -> SweepResult:
     """Detection rate as a function of the sync-read window ``D``."""
     specs = [
@@ -135,6 +184,8 @@ def d_sensitivity(
         runs_per_app,
         params or WorkloadParams(),
         base_seed,
+        mode=mode,
+        trace_store=trace_store,
     )
 
 
@@ -144,6 +195,8 @@ def cache_sensitivity(
     runs_per_app: int = 8,
     params: Optional[WorkloadParams] = None,
     base_seed: int = 2006,
+    mode: str = "shared",
+    trace_store: Optional[PackedTraceStore] = None,
 ) -> SweepResult:
     """CORD detection as a function of metadata cache capacity."""
     specs = []
@@ -162,4 +215,6 @@ def cache_sensitivity(
         runs_per_app,
         params or WorkloadParams(),
         base_seed,
+        mode=mode,
+        trace_store=trace_store,
     )

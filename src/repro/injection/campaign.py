@@ -40,6 +40,8 @@ from repro.injection.injector import (
     count_sync_instances,
 )
 from repro.program.builder import Program
+from repro.trace.packed import PackedTrace
+from repro.trace.store import PackedTraceStore
 
 #: A program factory: run seed -> fresh Program (workload shapes may be
 #: seed-dependent; most workloads ignore the argument).
@@ -136,6 +138,123 @@ class CampaignResult:
         return self.races_detected(detector) / base
 
 
+@dataclass
+class RecordedRun:
+    """One recorded injected execution, not yet analyzed.
+
+    The record-once / analyze-many split: recording (the functional
+    simulation) happens exactly once per (workload, seed, injection)
+    triple and yields this object; any number of detector
+    configurations then analyze the shared packed trace.  Seeds and
+    targets derive only from ``(base_seed, workload, run_index)``, so
+    the recorded trace -- and therefore every report computed from it --
+    is bit-identical no matter which detector set or sweep mode asked
+    for it.
+    """
+
+    run_index: int
+    seed: int
+    target_index: int
+    injected: bool
+    removed: Optional[InjectionSpec]
+    hung: bool
+    n_threads: int
+    packed: PackedTrace
+
+
+def record_injected_once(
+    factory: ProgramFactory,
+    seed: int,
+    target_index: int,
+    run_index: int = 0,
+    switch_probability: float = 0.1,
+    store: Optional[PackedTraceStore] = None,
+    namespace: str = "run",
+) -> RecordedRun:
+    """Record one injected run (or load it from the trace store).
+
+    With a ``store``, the simulation is keyed by
+    ``(seed, target_index, switch_probability)`` under the caller's
+    ``namespace`` (workload plus parameters); a hit skips the simulation
+    entirely and replays the packed trace from disk.
+    """
+    components = (seed, target_index, switch_probability)
+    if store is not None:
+        hit = store.load_run(namespace, components)
+        if hit is not None:
+            packed, extra = hit
+            return RecordedRun(
+                run_index=run_index,
+                seed=seed,
+                target_index=target_index,
+                injected=extra["injected"],
+                removed=extra["removed"],
+                hung=packed.hung,
+                n_threads=extra["n_threads"],
+                packed=packed,
+            )
+    program = factory(seed)
+    interceptor = InjectionInterceptor(target_index)
+    trace = run_program(
+        program,
+        seed=seed,
+        interceptor=interceptor,
+        switch_probability=switch_probability,
+    )
+    packed = trace.packed
+    recorded = RecordedRun(
+        run_index=run_index,
+        seed=seed,
+        target_index=target_index,
+        injected=interceptor.removed is not None,
+        removed=interceptor.removed,
+        hung=trace.hung,
+        n_threads=program.n_threads,
+        packed=packed,
+    )
+    if store is not None:
+        store.store_run(
+            namespace,
+            components,
+            packed,
+            {
+                "injected": recorded.injected,
+                "removed": recorded.removed,
+                "n_threads": recorded.n_threads,
+            },
+        )
+    return recorded
+
+
+def analyze_recorded(
+    recorded: RecordedRun,
+    detectors: Sequence[DetectorSpec],
+    check_soundness: bool = True,
+) -> RunResult:
+    """Evaluate every detector on one recorded run's packed trace."""
+    result = RunResult(
+        run_index=recorded.run_index,
+        seed=recorded.seed,
+        target_index=recorded.target_index,
+        injected=recorded.injected,
+        removed=recorded.removed,
+        hung=recorded.hung,
+        n_events=len(recorded.packed),
+    )
+    outcomes: Dict[str, DetectionOutcome] = {}
+    for spec in detectors:
+        outcome = spec.build(recorded.n_threads).run_packed(
+            recorded.packed
+        )
+        outcomes[spec.name] = outcome
+        result.flagged[spec.name] = outcome.raw_count
+        result.problem[spec.name] = outcome.problem_detected
+        result.counters[spec.name] = dict(outcome.counters)
+    if check_soundness and "Ideal" in outcomes:
+        _check_soundness(outcomes, result)
+    return result
+
+
 def run_injected_once(
     factory: ProgramFactory,
     seed: int,
@@ -222,13 +341,77 @@ def run_campaign(
     factory: ProgramFactory,
     workload_name: str,
     config: Optional[CampaignConfig] = None,
+    trace_store: Optional[PackedTraceStore] = None,
+    trace_namespace: Optional[str] = None,
 ) -> CampaignResult:
-    """Run a full injection campaign for one workload."""
+    """Run a full injection campaign for one workload.
+
+    Record-once / analyze-many: each run is simulated exactly once (or
+    loaded from ``trace_store``) and its packed trace is shared by every
+    detector.  Because seeds and targets derive only from
+    ``(base_seed, workload, run_index)``, results are bit-identical to
+    per-config simulation (asserted by the record-once test suite).
+
+    Args:
+        trace_store: optional on-disk store of recorded runs; campaigns
+            over the same workload/seed reuse each other's simulations.
+        trace_namespace: store key prefix identifying the program being
+            built (workload name plus parameters); defaults to
+            ``workload_name``.  Callers whose factories take extra
+            parameters MUST fold those into the namespace.
+    """
+    return _run_campaign(
+        factory,
+        workload_name,
+        config,
+        trace_store,
+        trace_namespace,
+        use_recorded=True,
+    )
+
+
+def run_campaign_per_config(
+    factory: ProgramFactory,
+    workload_name: str,
+    config: Optional[CampaignConfig] = None,
+) -> CampaignResult:
+    """The legacy per-configuration protocol: simulate inside each run.
+
+    Every run re-executes the program and feeds each detector the
+    materialized event objects (:func:`run_injected_once`) -- the cost
+    model of giving each configuration its own campaign.  Results are
+    bit-identical to :func:`run_campaign` with the same arguments (the
+    record-once suite asserts it); this path exists as the baseline the
+    record-once speedup is measured against.
+    """
+    return _run_campaign(
+        factory, workload_name, config, None, None, use_recorded=False
+    )
+
+
+def _run_campaign(
+    factory: ProgramFactory,
+    workload_name: str,
+    config: Optional[CampaignConfig],
+    trace_store: Optional[PackedTraceStore],
+    trace_namespace: Optional[str],
+    use_recorded: bool,
+) -> CampaignResult:
     config = config or CampaignConfig()
     detectors = config.detector_suite()
+    namespace = trace_namespace or workload_name
     rng = DeterministicRng(config.base_seed, "campaign/%s" % workload_name)
     sizing_seed = rng.fork("sizing").randint(0, 2**31 - 1)
-    instance_count = count_sync_instances(factory(sizing_seed), sizing_seed)
+    instance_count = None
+    sizing_key = ("sync_instances", sizing_seed)
+    if trace_store is not None:
+        instance_count = trace_store.load_value(namespace, sizing_key)
+    if instance_count is None:
+        instance_count = count_sync_instances(
+            factory(sizing_seed), sizing_seed
+        )
+        if trace_store is not None:
+            trace_store.store_value(namespace, sizing_key, instance_count)
     if instance_count == 0:
         raise SimulationError(
             "workload %r has no injectable sync instances" % workload_name
@@ -242,8 +425,21 @@ def run_campaign(
         run_rng = rng.fork("run%d" % run_index)
         seed = run_rng.randint(0, 2**31 - 1)
         target = run_rng.randrange(instance_count)
-        result.runs.append(
-            run_injected_once(
+        if use_recorded:
+            recorded = record_injected_once(
+                factory,
+                seed,
+                target,
+                run_index=run_index,
+                switch_probability=config.switch_probability,
+                store=trace_store,
+                namespace=namespace,
+            )
+            run = analyze_recorded(
+                recorded, detectors, config.check_soundness
+            )
+        else:
+            run = run_injected_once(
                 factory,
                 seed,
                 target,
@@ -252,5 +448,5 @@ def run_campaign(
                 check_soundness=config.check_soundness,
                 switch_probability=config.switch_probability,
             )
-        )
+        result.runs.append(run)
     return result

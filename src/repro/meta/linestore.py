@@ -1,7 +1,7 @@
 """Flat array-backed per-line CORD metadata (the scalar hot path).
 
 :class:`ScalarLineStore` holds the metadata of *every* line of one snoop
-domain in parallel ``array.array`` columns instead of per-line
+domain in parallel flat integer columns instead of per-line
 :class:`~repro.meta.linemeta.LineMeta` objects with ``TimestampEntry``
 lists.  A cached line is identified by an integer *slot*; the caches map
 line address -> slot, and all metadata operations are flat array reads
@@ -30,7 +30,6 @@ pressure from metadata churn.
 
 from __future__ import annotations
 
-from array import array
 from typing import List, Optional, Tuple
 
 from repro.common.errors import ConfigError
@@ -72,12 +71,17 @@ class ScalarLineStore:
             )
         self.entries_per_line = entries_per_line
         self.words_per_line = words_per_line
-        self.ts = array("q")
-        self.rmask = array("Q")
-        self.wmask = array("Q")
-        self.count = array("B")
-        self.flags = array("B")
-        self.fclock = array("q")
+        # Plain lists, not array.array: the columns are indexed tens of
+        # times per event on the detector hot path, and a list hands
+        # back pre-boxed ints where an array must box on every read.
+        # The compactness argument doesn't apply -- slots are bounded by
+        # cache capacity, not trace length.
+        self.ts: List[int] = []
+        self.rmask: List[int] = []
+        self.wmask: List[int] = []
+        self.count: List[int] = []
+        self.flags: List[int] = []
+        self.fclock: List[int] = []
         self._free: List[int] = []
 
     def __len__(self) -> int:

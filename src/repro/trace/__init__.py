@@ -8,18 +8,29 @@ timing model, and the replay verifier all consume traces.
 """
 
 from repro.trace.events import MemoryEvent
+from repro.trace.packed import PackedTrace
 from repro.trace.stream import Trace
 from repro.trace.stats import TraceStats, compute_stats
 from repro.trace.conflicts import ConflictSummary, summarize_conflicts
-from repro.trace.serialize import decode_trace, encode_trace
+from repro.trace.serialize import (
+    decode_packed_trace,
+    decode_trace,
+    encode_packed_trace,
+    encode_trace,
+)
+from repro.trace.store import PackedTraceStore
 
 __all__ = [
     "ConflictSummary",
     "MemoryEvent",
+    "PackedTrace",
+    "PackedTraceStore",
     "Trace",
     "TraceStats",
     "compute_stats",
+    "decode_packed_trace",
     "decode_trace",
+    "encode_packed_trace",
     "encode_trace",
     "summarize_conflicts",
 ]

@@ -3,73 +3,68 @@
 Campaign traces are expensive to produce (a functional simulation) and
 cheap to re-analyze (a detector pass), so persisting them pays off when
 sweeping detector configurations offline.  The format is a small custom
-binary layout -- 23 bytes per event -- with a versioned header; it is not
-meant for interchange, only for faithful round-trips within this library
-(asserted by unit and property tests).
+binary layout with a versioned magic; it is not meant for interchange,
+only for faithful round-trips within this library (asserted by unit and
+property tests).
 
-Layout::
+Version 2 (current, written by :func:`encode_trace`) is *columnar*: after
+the header, each event column is dumped as one contiguous little-endian
+block, so encoding is five ``array.tobytes`` calls and decoding five
+``array.frombytes`` calls -- no per-event ``struct`` work at all::
 
-    header:  magic 'CORDTRC1' | u16 n_threads | u8 hung | i64 seed
-             u32 n_events | n_threads * u64 final_icounts | u16 name_len
-             | name utf-8
-    events:  u16 thread | u64 address | u8 flags | u32 icount | i64 value
-             (flags bit0 = write, bit1 = sync)
+    header:   magic 'CORDTRC2' | u16 n_threads | u8 hung | i64 seed
+              u32 n_events | n_threads * u64 final_icounts | u16 name_len
+              | name utf-8
+    columns:  thread u16[n] | address u64[n] | flags u8[n]
+              | icount u64[n] | value i64[n]
+              (flags bit0 = write, bit1 = sync)
+
+Version 1 (row-major, 23 bytes per event: ``u16 thread | u64 address |
+u8 flags | u32 icount | i64 value`` after the same header shape) is still
+decoded for old files, in bulk via ``struct.iter_unpack``.
+
+See ``docs/trace-format.md`` for the full layout and the sweep-cache key
+scheme built on top of it.
 """
 
 from __future__ import annotations
 
 import struct
+import sys
+from array import array
 from typing import Union
 
 from repro.common.errors import LogFormatError
-from repro.common.types import AccessClass, AccessMode
-from repro.trace.events import MemoryEvent
+from repro.trace.packed import COLUMN_TYPECODES, PackedTrace
 from repro.trace.stream import Trace
 
-_MAGIC = b"CORDTRC1"
+_MAGIC_V1 = b"CORDTRC1"
+_MAGIC_V2 = b"CORDTRC2"
 _HEADER = struct.Struct("<HBqI")
-_EVENT = struct.Struct("<HQBIq")
+_EVENT_V1 = struct.Struct("<HQBIq")
 _NO_SEED = -(1 << 62)
+_LITTLE = sys.byteorder == "little"
 
 
-def encode_trace(trace: Trace) -> bytes:
-    """Serialize a trace to bytes."""
-    name_bytes = trace.name.encode("utf-8")
-    parts = [
-        _MAGIC,
-        _HEADER.pack(
-            trace.n_threads,
-            1 if trace.hung else 0,
-            _NO_SEED if trace.seed is None else trace.seed,
-            len(trace.events),
-        ),
-        struct.pack(
-            "<%dQ" % trace.n_threads, *trace.final_icounts
-        ),
-        struct.pack("<H", len(name_bytes)),
-        name_bytes,
-    ]
-    for event in trace.events:
-        flags = (1 if event.is_write else 0) | (
-            2 if event.is_sync else 0
-        )
-        parts.append(
-            _EVENT.pack(
-                event.thread,
-                event.address,
-                flags,
-                event.icount,
-                event.value,
-            )
-        )
-    return b"".join(parts)
+def _encode_header(magic: bytes, packed: PackedTrace) -> bytearray:
+    name_bytes = packed.name.encode("utf-8")
+    out = bytearray(magic)
+    out += _HEADER.pack(
+        packed.n_threads,
+        1 if packed.hung else 0,
+        _NO_SEED if packed.seed is None else packed.seed,
+        len(packed),
+    )
+    out += struct.pack(
+        "<%dQ" % packed.n_threads, *packed.final_icounts
+    )
+    out += struct.pack("<H", len(name_bytes))
+    out += name_bytes
+    return out
 
 
-def decode_trace(data: Union[bytes, bytearray]) -> Trace:
-    """Deserialize a trace produced by :func:`encode_trace`."""
-    if data[: len(_MAGIC)] != _MAGIC:
-        raise LogFormatError("not a CORD trace (bad magic)")
-    offset = len(_MAGIC)
+def _decode_header(data, magic_len: int):
+    offset = magic_len
     n_threads, hung, seed, n_events = _HEADER.unpack_from(data, offset)
     offset += _HEADER.size
     final_icounts = list(
@@ -80,35 +75,105 @@ def decode_trace(data: Union[bytes, bytearray]) -> Trace:
     offset += 2
     name = bytes(data[offset:offset + name_len]).decode("utf-8")
     offset += name_len
+    return offset, n_events, final_icounts, name, bool(hung), (
+        None if seed == _NO_SEED else seed
+    )
 
-    expected = offset + n_events * _EVENT.size
+
+def encode_packed_trace(packed: PackedTrace) -> bytes:
+    """Serialize a packed trace (format v2, one block per column)."""
+    out = _encode_header(_MAGIC_V2, packed)
+    for column in packed.columns():
+        if not _LITTLE:
+            column = array(column.typecode, column)
+            column.byteswap()
+        out += column.tobytes()
+    return bytes(out)
+
+
+def decode_packed_trace(
+    data: Union[bytes, bytearray, memoryview]
+) -> PackedTrace:
+    """Deserialize either format version into columnar form."""
+    magic = bytes(data[: len(_MAGIC_V2)])
+    if magic == _MAGIC_V2:
+        return _decode_v2(data)
+    if magic == _MAGIC_V1:
+        return _decode_v1(data)
+    raise LogFormatError("not a CORD trace (bad magic)")
+
+
+def _decode_v2(data) -> PackedTrace:
+    offset, n_events, final_icounts, name, hung, seed = _decode_header(
+        data, len(_MAGIC_V2)
+    )
+    packed = PackedTrace(final_icounts, name=name, hung=hung, seed=seed)
+    expected = offset + n_events * sum(
+        array(code).itemsize for _name, code in COLUMN_TYPECODES
+    )
     if len(data) != expected:
         raise LogFormatError(
             "trace payload is %d bytes, expected %d"
             % (len(data), expected)
         )
+    view = memoryview(data)
+    for column in packed.columns():
+        span = n_events * column.itemsize
+        column.frombytes(view[offset:offset + span])
+        if not _LITTLE:
+            column.byteswap()
+        offset += span
+    return packed
 
-    events = []
-    for index in range(n_events):
-        thread, address, flags, icount, value = _EVENT.unpack_from(
-            data, offset
-        )
-        offset += _EVENT.size
-        events.append(
-            MemoryEvent(
-                index,
-                thread,
-                address,
-                AccessMode.WRITE if flags & 1 else AccessMode.READ,
-                AccessClass.SYNC if flags & 2 else AccessClass.DATA,
-                icount,
-                value,
-            )
-        )
-    return Trace(
-        events,
-        final_icounts,
-        name=name,
-        hung=bool(hung),
-        seed=None if seed == _NO_SEED else seed,
+
+def _decode_v1(data) -> PackedTrace:
+    offset, n_events, final_icounts, name, hung, seed = _decode_header(
+        data, len(_MAGIC_V1)
     )
+    expected = offset + n_events * _EVENT_V1.size
+    if len(data) != expected:
+        raise LogFormatError(
+            "trace payload is %d bytes, expected %d"
+            % (len(data), expected)
+        )
+    packed = PackedTrace(final_icounts, name=name, hung=hung, seed=seed)
+    ta = packed.thread.append
+    aa = packed.address.append
+    fa = packed.flags.append
+    ia = packed.icount.append
+    va = packed.value.append
+    for thread, address, flags, icount, value in _EVENT_V1.iter_unpack(
+        bytes(data[offset:])
+    ):
+        ta(thread)
+        aa(address)
+        fa(flags)
+        ia(icount)
+        va(value)
+    return packed
+
+
+def encode_trace(trace: Union[Trace, PackedTrace]) -> bytes:
+    """Serialize a trace (object- or packed-backed) to bytes (v2)."""
+    if isinstance(trace, PackedTrace):
+        return encode_packed_trace(trace)
+    return encode_packed_trace(PackedTrace.from_trace(trace))
+
+
+def decode_trace(data: Union[bytes, bytearray]) -> Trace:
+    """Deserialize a trace produced by :func:`encode_trace` (any version).
+
+    The returned trace is packed-backed: its event-object list
+    materializes lazily on first ``.events`` access.
+    """
+    return Trace.from_packed(decode_packed_trace(data))
+
+
+def _encode_trace_v1(trace: Trace) -> bytes:
+    """Legacy row-major encoder (kept for migration tests only)."""
+    packed = PackedTrace.from_trace(trace)
+    out = _encode_header(_MAGIC_V1, packed)
+    pack = _EVENT_V1.pack
+    for thread, address, flags, icount, value in zip(*packed.columns()):
+        out += pack(thread, address, flags, icount, value)
+    return bytes(out)

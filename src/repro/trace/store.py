@@ -1,0 +1,127 @@
+"""On-disk store of recorded packed traces (record-once / analyze-many).
+
+The injection campaigns and sensitivity sweeps decouple *recording* (one
+functional simulation per (workload, seed, injection) triple) from
+*analysis* (one cheap detector pass per configuration).  This store
+persists each recorded run so an N-configuration sweep -- or a re-run of
+the same campaign -- performs the simulation exactly once and replays the
+packed trace from disk for every other consumer.
+
+Keying: every entry is addressed by a *namespace* (the caller's identity
+string for the program being run -- workload name plus its parameters)
+plus a tuple of run components (seed, injection target, scheduler knobs).
+The digest also folds in the store schema and the trace-format version,
+so format bumps miss cleanly instead of decoding garbage.  See
+``docs/trace-format.md`` for the full key scheme.
+
+Entries are written atomically (write-then-rename), mirroring the
+campaign cache in :mod:`repro.experiments.runner`, so concurrent sweep
+processes sharing one ``REPRO_CACHE_DIR`` never observe torn files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import re
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.trace.packed import PackedTrace
+from repro.trace.serialize import (
+    decode_packed_trace,
+    encode_packed_trace,
+)
+
+#: Bump when the entry layout changes incompatibly.
+_STORE_SCHEMA = 1
+
+#: Folded into every digest: a v2-format bump must invalidate entries.
+_FORMAT_TAG = "CORDTRC2"
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+class PackedTraceStore:
+    """Directory-backed store of recorded runs.
+
+    A *run entry* is one recorded execution: the packed trace plus a
+    small picklable ``extra`` dict (e.g. which sync instance the injector
+    removed).  A *value entry* is a bare picklable object (e.g. a
+    workload's dynamic sync-instance count) keyed the same way.
+    """
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
+
+    # -- keying ---------------------------------------------------------------
+
+    @staticmethod
+    def _digest(namespace: str, components: Tuple) -> str:
+        ident = repr((_STORE_SCHEMA, _FORMAT_TAG, namespace, components))
+        return hashlib.sha256(ident.encode()).hexdigest()[:20]
+
+    def _path(self, kind: str, namespace: str,
+              components: Tuple) -> Path:
+        # A readable prefix (for humans poking at the cache dir) plus the
+        # collision-resistant digest (the actual key).
+        prefix = _SAFE.sub("-", namespace)[:40].strip("-") or "run"
+        return self.root / (
+            "%s-%s-%s.pkl"
+            % (kind, prefix, self._digest(namespace, components))
+        )
+
+    # -- run entries -----------------------------------------------------------
+
+    def load_run(
+        self, namespace: str, components: Tuple
+    ) -> Optional[Tuple[PackedTrace, Dict[str, Any]]]:
+        """The recorded run for this key, or None (miss/stale/corrupt)."""
+        path = self._path("trace", namespace, components)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+            packed = decode_packed_trace(entry["trace"])
+            extra = entry["extra"]
+        except Exception:
+            return None  # stale or truncated entry: re-record
+        return packed, extra
+
+    def store_run(
+        self,
+        namespace: str,
+        components: Tuple,
+        packed: PackedTrace,
+        extra: Dict[str, Any],
+    ) -> None:
+        entry = {"trace": encode_packed_trace(packed), "extra": extra}
+        self._write(self._path("trace", namespace, components), entry)
+
+    # -- bare value entries ------------------------------------------------------
+
+    def load_value(self, namespace: str, components: Tuple):
+        """A cached picklable value for this key, or None."""
+        path = self._path("value", namespace, components)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            return None
+
+    def store_value(self, namespace: str, components: Tuple,
+                    value) -> None:
+        self._write(self._path("value", namespace, components), value)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _write(self, path: Path, payload) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp.%d" % os.getpid())
+        with tmp.open("wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)

@@ -4,6 +4,12 @@ A trace is the totally-ordered list of :class:`MemoryEvent` objects observed
 in one execution, plus run-level metadata: final per-thread instruction
 counts, whether the run hung (fault injection can deadlock a barrier), and
 the program name.
+
+Since the engine records into columnar :class:`~repro.trace.packed.PackedTrace`
+buffers, a trace may be *packed-backed*: the event-object list then does
+not exist until something asks for it (``.events`` materializes lazily).
+Detectors with a ``process_packed`` path, the serializer, and the
+record-once pipeline never pay for the object view.
 """
 
 from __future__ import annotations
@@ -17,12 +23,20 @@ class Trace:
     """A recorded execution: ordered events plus run metadata.
 
     Attributes:
-        events: global interleaving order of all shared-memory accesses.
+        events: global interleaving order of all shared-memory accesses
+            (materialized lazily when the trace is packed-backed).
+        packed: the columnar backing (:class:`PackedTrace`) when the trace
+            came from the recording engine or the v2 codec, else None.
         final_icounts: per-thread instruction count at termination (indexed
             by thread id); includes compute instructions.
         hung: True when the watchdog stopped a deadlocked run.
         name: program/workload name.
         seed: scheduler seed the run used (diagnostics / reproducibility).
+
+    Args:
+        copy: when False, ``events`` must be an already-owned list and is
+            adopted without the defensive copy (the record hot path and
+            the codec own their lists; everyone else keeps the default).
     """
 
     def __init__(
@@ -32,19 +46,44 @@ class Trace:
         name: str = "trace",
         hung: bool = False,
         seed: Optional[int] = None,
+        copy: bool = True,
     ):
-        self.events: List[MemoryEvent] = list(events)
+        self._events: Optional[List[MemoryEvent]] = (
+            list(events) if copy else events
+        )
+        self.packed = None
         self.final_icounts: List[int] = list(final_icounts)
         self.name = name
         self.hung = hung
         self.seed = seed
+
+    @classmethod
+    def from_packed(cls, packed) -> "Trace":
+        """A trace view over columnar storage; events materialize lazily."""
+        trace = cls.__new__(cls)
+        trace._events = None
+        trace.packed = packed
+        trace.final_icounts = list(packed.final_icounts)
+        trace.name = packed.name
+        trace.hung = packed.hung
+        trace.seed = packed.seed
+        return trace
+
+    @property
+    def events(self) -> List[MemoryEvent]:
+        events = self._events
+        if events is None:
+            events = self._events = self.packed.materialize_events()
+        return events
 
     @property
     def n_threads(self) -> int:
         return len(self.final_icounts)
 
     def __len__(self) -> int:
-        return len(self.events)
+        if self._events is None:
+            return len(self.packed)
+        return len(self._events)
 
     def __iter__(self) -> Iterator[MemoryEvent]:
         return iter(self.events)
@@ -71,12 +110,14 @@ class Trace:
 
     def addresses(self) -> List[int]:
         """Sorted distinct addresses touched."""
-        return sorted({e.address for e in self.events})
+        if self._events is None:
+            return sorted(set(self.packed.address))
+        return sorted({e.address for e in self._events})
 
     def __repr__(self):
         return "Trace(name=%r, events=%d, threads=%d%s)" % (
             self.name,
-            len(self.events),
+            len(self),
             self.n_threads,
             ", HUNG" if self.hung else "",
         )

@@ -1,0 +1,217 @@
+"""Property tests: packed (columnar) traces are equivalent to object traces.
+
+Three layers of the equivalence the record-once pipeline rests on:
+
+1. **Representation** -- packing an event list and materializing it back
+   is the identity (keys, values, indices).
+2. **Codec** -- the v2 columnar codec round-trips packed traces exactly,
+   and decodes v1 (row-major) files to the same content.
+3. **Analysis** -- every detector's ``process_packed`` path produces
+   byte-identical race reports and order logs to its per-event-object
+   path, on hypothesis-generated racy programs and on golden workloads.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim.cache import CacheGeometry
+from repro.common.types import AccessClass, AccessMode
+from repro.cord import CordConfig, CordDetector
+from repro.cord.directory import DirectoryCordDetector
+from repro.detectors import IdealDetector
+from repro.detectors.epoch import EpochDetector
+from repro.detectors.vector_cord import LimitedVectorDetector
+from repro.engine import run_program
+from repro.trace import (
+    MemoryEvent,
+    PackedTrace,
+    Trace,
+    decode_packed_trace,
+    decode_trace,
+    encode_packed_trace,
+    encode_trace,
+)
+from repro.trace.serialize import _encode_trace_v1
+from repro.workloads import WorkloadParams, get_workload
+
+from tests.property.test_prop_serialize import events_strategy
+from tests.property.test_prop_system import build_program, programs, seeds
+
+
+def _build_events(raw_events):
+    return [
+        MemoryEvent(
+            index,
+            thread,
+            address,
+            AccessMode.WRITE if write else AccessMode.READ,
+            AccessClass.SYNC if sync else AccessClass.DATA,
+            icount,
+            value,
+        )
+        for index, (thread, address, write, sync, icount, value)
+        in enumerate(raw_events)
+    ]
+
+
+# -- representation ----------------------------------------------------------
+
+
+@given(events_strategy)
+def test_pack_materialize_is_identity(raw_events):
+    events = _build_events(raw_events)
+    packed = PackedTrace.from_events(events, [2**31] * 4)
+    back = packed.materialize_events()
+    assert len(back) == len(events)
+    for mine, theirs in zip(events, back):
+        assert mine.key() == theirs.key()
+        assert mine.value == theirs.value
+        assert mine.index == theirs.index
+
+
+@given(events_strategy)
+def test_lazy_trace_equals_object_trace(raw_events):
+    events = _build_events(raw_events)
+    object_trace = Trace(events, [2**31] * 4)
+    lazy = Trace.from_packed(
+        PackedTrace.from_events(events, [2**31] * 4)
+    )
+    assert lazy.per_thread_sequences() == object_trace.per_thread_sequences()
+    assert lazy.addresses() == object_trace.addresses()
+
+
+# -- codec -------------------------------------------------------------------
+
+
+@given(
+    events_strategy,
+    st.booleans(),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=2**40)),
+)
+def test_packed_codec_roundtrip(raw_events, hung, seed):
+    packed = PackedTrace.from_events(
+        _build_events(raw_events),
+        [2**31] * 4,
+        name="prop",
+        hung=hung,
+        seed=seed,
+    )
+    restored = decode_packed_trace(encode_packed_trace(packed))
+    assert restored.columns_equal(packed)
+
+
+@given(events_strategy)
+def test_packed_and_object_encode_identically(raw_events):
+    events = _build_events(raw_events)
+    object_trace = Trace(events, [2**31] * 4, name="prop")
+    packed_trace = Trace.from_packed(
+        PackedTrace.from_events(events, [2**31] * 4, name="prop")
+    )
+    assert encode_trace(object_trace) == encode_trace(packed_trace)
+
+
+@given(events_strategy)
+def test_v1_decodes_to_same_content_as_v2(raw_events):
+    events = _build_events(raw_events)
+    trace = Trace(events, [2**31] * 4, name="prop")
+    from_v1 = decode_trace(_encode_trace_v1(trace))
+    from_v2 = decode_trace(encode_trace(trace))
+    assert from_v1.packed.columns_equal(from_v2.packed)
+
+
+# -- analysis ---------------------------------------------------------------
+
+
+def _assert_outcomes_identical(object_outcome, packed_outcome):
+    assert object_outcome.flagged == packed_outcome.flagged
+    assert [
+        (r.access, r.address, r.other_thread, r.detail)
+        for r in object_outcome.races
+    ] == [
+        (r.access, r.address, r.other_thread, r.detail)
+        for r in packed_outcome.races
+    ]
+    object_log = getattr(object_outcome, "log", None)
+    if object_log is not None:
+        assert [
+            (e.clock, e.thread, e.count) for e in object_log
+        ] == [
+            (e.clock, e.thread, e.count) for e in packed_outcome.log
+        ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs, seeds)
+def test_cord_packed_path_equivalent(thread_actions, seed):
+    program = build_program(thread_actions)
+    trace = run_program(program, seed=seed)
+    object_outcome = CordDetector(
+        CordConfig(d=16), program.n_threads
+    ).run(trace)
+    packed_detector = CordDetector(CordConfig(d=16), program.n_threads)
+    packed_outcome = packed_detector.run_packed(trace.packed)
+    _assert_outcomes_identical(object_outcome, packed_outcome)
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs, seeds)
+def test_ideal_and_epoch_packed_paths_equivalent(thread_actions, seed):
+    program = build_program(thread_actions)
+    trace = run_program(program, seed=seed)
+    for build in (IdealDetector, EpochDetector):
+        object_outcome = build(program.n_threads).run(trace)
+        packed_outcome = build(program.n_threads).run_packed(trace.packed)
+        _assert_outcomes_identical(object_outcome, packed_outcome)
+
+
+def _golden_detectors(n_threads):
+    return [
+        CordDetector(CordConfig(d=16), n_threads),
+        CordDetector(CordConfig(d=4, use_window=True), n_threads),
+        DirectoryCordDetector(CordConfig(d=16), n_threads),
+        LimitedVectorDetector(n_threads, CacheGeometry.infinite()),
+        EpochDetector(n_threads),
+        IdealDetector(n_threads),
+    ]
+
+
+def test_golden_workloads_packed_equivalence():
+    # Two golden workloads, every detector family, both paths: race
+    # reports, order logs, and CORD's hot-path counters must all match.
+    for workload in ("fft", "ocean"):
+        program = get_workload(workload).build(WorkloadParams(scale=0.5))
+        trace = run_program(program, seed=7)
+        assert trace.packed is not None
+        for object_detector, packed_detector in zip(
+            _golden_detectors(program.n_threads),
+            _golden_detectors(program.n_threads),
+        ):
+            object_outcome = object_detector.run(trace)
+            packed_outcome = packed_detector.run_packed(trace.packed)
+            _assert_outcomes_identical(object_outcome, packed_outcome)
+            if isinstance(object_detector, CordDetector):
+                assert (
+                    object_detector.fast_hits,
+                    object_detector.race_checks,
+                    object_detector.memts_orderings,
+                    object_detector.clock_changes,
+                ) == (
+                    packed_detector.fast_hits,
+                    packed_detector.race_checks,
+                    packed_detector.memts_orderings,
+                    packed_detector.clock_changes,
+                )
+
+
+def test_golden_workload_codec_roundtrip_preserves_analysis():
+    # Record -> encode -> decode -> analyze must equal direct analysis.
+    program = get_workload("fft").build(WorkloadParams(scale=0.5))
+    trace = run_program(program, seed=7)
+    restored = decode_trace(encode_trace(trace))
+    direct = CordDetector(CordConfig(), program.n_threads).run_packed(
+        trace.packed
+    )
+    roundtripped = CordDetector(
+        CordConfig(), program.n_threads
+    ).run_packed(restored.packed)
+    _assert_outcomes_identical(direct, roundtripped)

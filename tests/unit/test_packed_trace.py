@@ -1,0 +1,230 @@
+"""Unit tests for columnar trace storage and the recorded-trace store."""
+
+import pickle
+
+import pytest
+
+from repro.common.types import AccessClass, AccessMode
+from repro.trace import (
+    MemoryEvent,
+    PackedTrace,
+    PackedTraceStore,
+    Trace,
+    decode_packed_trace,
+    encode_packed_trace,
+)
+from repro.trace.packed import FLAG_SYNC, FLAG_WRITE
+
+
+def _event(index, thread, address, write, sync, icount, value=0):
+    return MemoryEvent(
+        index,
+        thread,
+        address,
+        AccessMode.WRITE if write else AccessMode.READ,
+        AccessClass.SYNC if sync else AccessClass.DATA,
+        icount,
+        value,
+    )
+
+
+_EVENTS = [
+    _event(0, 0, 0x40, False, False, 3, 7),
+    _event(1, 1, 0x44, True, False, 1, -9),
+    _event(2, 0, 0x80, True, True, 5, 1),
+    _event(3, 2, 0x40, False, True, 2, 0),
+]
+
+
+class TestPackedTrace:
+    def test_from_events_roundtrip(self):
+        packed = PackedTrace.from_events(
+            _EVENTS, [10, 4, 3], name="t", hung=True, seed=5
+        )
+        assert len(packed) == len(_EVENTS)
+        assert packed.n_threads == 3
+        back = packed.materialize_events()
+        for mine, theirs in zip(_EVENTS, back):
+            assert mine.key() == theirs.key()
+            assert mine.value == theirs.value
+            assert mine.index == theirs.index
+
+    def test_flag_encoding(self):
+        packed = PackedTrace.from_events(_EVENTS, [10, 4, 3])
+        assert list(packed.flags) == [
+            0,
+            FLAG_WRITE,
+            FLAG_WRITE | FLAG_SYNC,
+            FLAG_SYNC,
+        ]
+
+    def test_append_matches_from_events(self):
+        packed = PackedTrace([10, 4, 3])
+        for e in _EVENTS:
+            packed.append(
+                e.thread,
+                e.address,
+                (FLAG_WRITE if e.is_write else 0)
+                | (FLAG_SYNC if e.is_sync else 0),
+                e.icount,
+                e.value,
+            )
+        assert packed.columns_equal(
+            PackedTrace.from_events(_EVENTS, [10, 4, 3])
+        )
+
+    def test_columns_order(self):
+        packed = PackedTrace.from_events(_EVENTS, [10, 4, 3])
+        thread, address, flags, icount, value = packed.columns()
+        assert thread is packed.thread
+        assert value is packed.value
+
+    def test_from_trace_reuses_packed_backing(self):
+        packed = PackedTrace.from_events(_EVENTS, [10, 4, 3])
+        trace = packed.to_trace()
+        assert PackedTrace.from_trace(trace) is packed
+
+    def test_from_trace_packs_object_backed(self):
+        trace = Trace(_EVENTS, [10, 4, 3], name="obj", seed=9)
+        packed = PackedTrace.from_trace(trace)
+        assert packed.name == "obj"
+        assert packed.seed == 9
+        assert len(packed) == len(_EVENTS)
+
+    def test_columns_equal_detects_difference(self):
+        a = PackedTrace.from_events(_EVENTS, [10, 4, 3])
+        b = PackedTrace.from_events(_EVENTS, [10, 4, 3])
+        assert a.columns_equal(b)
+        b.value[0] += 1
+        assert not a.columns_equal(b)
+
+
+class TestLazyTrace:
+    def test_events_materialize_lazily(self):
+        packed = PackedTrace.from_events(_EVENTS, [10, 4, 3])
+        trace = Trace.from_packed(packed)
+        assert trace._events is None
+        assert len(trace) == len(_EVENTS)  # no materialization needed
+        assert trace._events is None
+        events = trace.events
+        assert trace._events is events  # cached after first access
+        assert [e.key() for e in events] == [e.key() for e in _EVENTS]
+
+    def test_metadata_copied_from_packed(self):
+        packed = PackedTrace.from_events(
+            _EVENTS, [10, 4, 3], name="meta", hung=True, seed=42
+        )
+        trace = Trace.from_packed(packed)
+        assert trace.name == "meta"
+        assert trace.hung is True
+        assert trace.seed == 42
+        assert trace.n_threads == 3
+
+    def test_addresses_without_materialization(self):
+        trace = Trace.from_packed(
+            PackedTrace.from_events(_EVENTS, [10, 4, 3])
+        )
+        assert trace.addresses() == [0x40, 0x44, 0x80]
+        assert trace._events is None
+
+
+class TestTraceCopySemantics:
+    def test_default_copies(self):
+        events = list(_EVENTS)
+        trace = Trace(events, [10, 4, 3])
+        events.append(_EVENTS[0])
+        assert len(trace) == len(_EVENTS)
+
+    def test_nocopy_adopts_list(self):
+        events = list(_EVENTS)
+        trace = Trace(events, [10, 4, 3], copy=False)
+        assert trace.events is events
+
+
+class TestEngineRecordsPacked:
+    def test_run_program_returns_packed_backed_trace(self):
+        from repro.engine import run_program
+        from repro.workloads import WorkloadParams, get_workload
+
+        program = get_workload("fft").build(WorkloadParams(scale=0.25))
+        trace = run_program(program, seed=3)
+        packed = trace.packed
+        assert packed is not None
+        assert len(packed) == len(trace.events)
+        for event, (t, a, f, ic, v) in zip(
+            trace.events,
+            zip(
+                packed.thread,
+                packed.address,
+                packed.flags,
+                packed.icount,
+                packed.value,
+            ),
+        ):
+            assert event.thread == t
+            assert event.address == a
+            assert event.is_write == bool(f & FLAG_WRITE)
+            assert event.is_sync == bool(f & FLAG_SYNC)
+            assert event.icount == ic
+            assert event.value == v
+
+
+class TestPackedTraceStore:
+    def _packed(self):
+        return PackedTrace.from_events(
+            _EVENTS, [10, 4, 3], name="store-me", seed=11
+        )
+
+    def test_run_roundtrip(self, tmp_path):
+        store = PackedTraceStore(tmp_path)
+        store.store_run("fft/params", (3, 1, 0.1), self._packed(),
+                        {"injected": True})
+        hit = store.load_run("fft/params", (3, 1, 0.1))
+        assert hit is not None
+        packed, extra = hit
+        assert packed.columns_equal(self._packed())
+        assert extra == {"injected": True}
+
+    def test_miss_on_different_components(self, tmp_path):
+        store = PackedTraceStore(tmp_path)
+        store.store_run("fft/params", (3, 1, 0.1), self._packed(), {})
+        assert store.load_run("fft/params", (3, 2, 0.1)) is None
+        assert store.load_run("fft/params", (3, 1, 0.2)) is None
+        assert store.load_run("other/params", (3, 1, 0.1)) is None
+
+    def test_value_roundtrip(self, tmp_path):
+        store = PackedTraceStore(tmp_path)
+        assert store.load_value("ns", ("sync_instances", 5)) is None
+        store.store_value("ns", ("sync_instances", 5), 17)
+        assert store.load_value("ns", ("sync_instances", 5)) == 17
+
+    def test_corrupt_entry_misses(self, tmp_path):
+        store = PackedTraceStore(tmp_path)
+        key = ("fft/params", (3, 1, 0.1))
+        store.store_run(*key, self._packed(), {})
+        path = store._path("trace", *key)
+        path.write_bytes(b"garbage")
+        assert store.load_run(*key) is None
+
+    def test_wrong_trace_payload_misses(self, tmp_path):
+        store = PackedTraceStore(tmp_path)
+        key = ("fft/params", (3, 1, 0.1))
+        store.store_run(*key, self._packed(), {})
+        path = store._path("trace", *key)
+        with path.open("wb") as fh:
+            pickle.dump({"trace": b"not a codec blob", "extra": {}}, fh)
+        assert store.load_run(*key) is None
+
+    def test_codec_used_for_trace_payload(self, tmp_path):
+        # The stored blob must be the v2 codec output, so offline tools
+        # can decode entries without importing the store.
+        store = PackedTraceStore(tmp_path)
+        key = ("fft/params", (3, 1, 0.1))
+        store.store_run(*key, self._packed(), {})
+        path = store._path("trace", *key)
+        with path.open("rb") as fh:
+            entry = pickle.load(fh)
+        assert entry["trace"] == encode_packed_trace(self._packed())
+        assert decode_packed_trace(entry["trace"]).columns_equal(
+            self._packed()
+        )

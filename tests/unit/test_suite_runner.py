@@ -86,9 +86,12 @@ class TestDiskCache:
     def test_cold_then_warm(self, tmp_path):
         cold = Suite(_CONFIG, jobs=1, cache_dir=tmp_path)
         baseline = _digest(cold)
-        files = sorted(p.name for p in tmp_path.iterdir())
+        files = sorted(p.name for p in tmp_path.iterdir() if p.is_file())
         assert len(files) == 2
         assert all(name.startswith("campaign-") for name in files)
+        # Recorded traces live in their own subdirectory of the cache.
+        assert (tmp_path / "traces").is_dir()
+        assert any((tmp_path / "traces").iterdir())
 
         # A warm suite must load results instead of recomputing: poison
         # the compute path and verify it is never reached.

@@ -186,6 +186,77 @@ def test_epoch_oracle_throughput(benchmark, trace, bench_log):
     assert outcome.raw_count == 0
 
 
+def test_analysis_kernel_timings(trace, bench_log):
+    """Per-kernel wall time of the plan builders (PR 3's pre-passes).
+
+    Each product is built once per trace and shared by every sweep
+    configuration, so these are per-trace (not per-config) costs.  The
+    builders are called directly -- bypassing the per-trace caches --
+    to time the actual construction.
+    """
+    import time as _time
+
+    from repro.cord.coherence import build_coherence_plan
+    from repro.trace.kernels import (
+        build_line_residual,
+        build_segment_plan,
+        build_word_residual,
+        kernel_backend,
+    )
+
+    packed = trace.packed
+    probe = CordDetector(CordConfig(), trace.n_threads)
+    line_mask = probe._line_mask
+    set_shift = probe._set_shift
+    set_mask = probe._set_mask
+    capacity = probe.snoop.caches[0]._capacity
+
+    def timed(name, fn):
+        start = _time.perf_counter()
+        result = fn()
+        bench_log.record(
+            "components",
+            name,
+            _time.perf_counter() - start,
+            events=len(packed),
+            extra={"backend": kernel_backend()},
+        )
+        return result
+
+    seg_plan = timed(
+        "kernel_segment_plan",
+        lambda: build_segment_plan(packed, line_mask),
+    )
+    assert seg_plan is not None and seg_plan.n_segments > 0
+    residual = timed("kernel_word_residual",
+                     lambda: build_word_residual(packed))
+    assert residual is not None and len(residual) <= len(packed)
+    timed("kernel_line_residual",
+          lambda: build_line_residual(packed, line_mask))
+    u64 = 0xFFFFFFFFFFFFFFFF
+    packed._views.pop(
+        ("geom", line_mask & u64, set_shift, set_mask & u64), None
+    )
+    timed(
+        "kernel_geometry_columns",
+        lambda: packed.geometry_columns(line_mask, set_shift, set_mask),
+    )
+    coh = timed(
+        "kernel_coherence_plan",
+        lambda: build_coherence_plan(
+            packed,
+            seg_plan,
+            line_mask,
+            set_shift,
+            set_mask,
+            capacity,
+            probe.config.n_processors,
+            probe.thread_proc,
+        ),
+    )
+    assert coh.n_slots > 0
+
+
 def test_lockset_throughput(benchmark, trace, bench_log):
     from repro.detectors import LocksetDetector
 

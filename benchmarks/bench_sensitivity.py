@@ -69,6 +69,68 @@ def test_cache_sensitivity_curve(benchmark, bench_log):
     assert sweep.problem_rates[-2] == sweep.problem_rates[-1]
 
 
+def test_kernel_speedup(bench_log):
+    """Vectorized kernels vs the pure-python packed loops: >= 1.5x.
+
+    Both arms use record-once mode on the same 8-point D sweep; the
+    scalar arm runs under ``REPRO_NO_NUMPY=1``, which also disables the
+    interval-fused sweep pass (it interprets the same plans).  Reports
+    must be bit-identical -- the kernels are accelerators, not
+    approximations.  Threshold ``CORD_KERNEL_SPEEDUP_MIN`` (default
+    1.5).
+    """
+    from repro.trace.kernels import NO_NUMPY_ENV, kernels_enabled
+
+    assert kernels_enabled(), (
+        "kernel speedup gate needs numpy; do not run this benchmark "
+        "in the no-numpy environment"
+    )
+    kwargs = dict(
+        workloads=_SWEEP_WORKLOADS,
+        d_values=D_SWEEP,
+        runs_per_app=4,
+        params=PARAMS,
+    )
+    start = time.perf_counter()
+    kernel = d_sensitivity(**kwargs)
+    kernel_s = time.perf_counter() - start
+
+    saved = os.environ.get(NO_NUMPY_ENV)
+    os.environ[NO_NUMPY_ENV] = "1"
+    try:
+        start = time.perf_counter()
+        scalar = d_sensitivity(**kwargs)
+        scalar_s = time.perf_counter() - start
+    finally:
+        if saved is None:
+            os.environ.pop(NO_NUMPY_ENV, None)
+        else:
+            os.environ[NO_NUMPY_ENV] = saved
+
+    # Same sweep, same reports -- the kernels change cost only.
+    assert kernel.points == scalar.points
+    assert kernel.problem_rates == scalar.problem_rates
+    assert kernel.raw_rates == scalar.raw_rates
+
+    speedup = scalar_s / kernel_s
+    bench_log.record(
+        "sweeps",
+        "d_sweep_4run_kernels",
+        kernel_s,
+        extra={"speedup_vs_python": round(speedup, 2)},
+    )
+    bench_log.record("sweeps", "d_sweep_4run_python", scalar_s)
+    print()
+    print(
+        "kernels %.2fs vs pure python %.2fs: %.2fx"
+        % (kernel_s, scalar_s, speedup)
+    )
+    minimum = float(os.environ.get("CORD_KERNEL_SPEEDUP_MIN", "1.5"))
+    assert speedup >= minimum, (
+        "kernel speedup %.2fx below required %.1fx" % (speedup, minimum)
+    )
+
+
 def test_record_once_speedup(bench_log):
     """Record-once vs per-config on the 8-point D sweep: >= 3x, identical."""
     kwargs = dict(

@@ -90,12 +90,15 @@ class BenchLog:
         for kind, results in self._results.items():
             if not results:
                 continue
+            from repro.trace.kernels import kernel_backend
+
             _append_entry(
                 _BENCH_DIR / ("BENCH_%s.json" % kind),
                 {
                     "label": label,
                     "date": time.strftime("%Y-%m-%d"),
                     "runs_per_app": RUNS_PER_APP,
+                    "backend": kernel_backend(),
                     "results": results,
                 },
             )
@@ -117,6 +120,18 @@ def _append_entry(path, entry):
         if existing.get("label") != entry["label"]
     ] + [entry]
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def announce_analysis_backend():
+    """Say once which analysis paths this benchmark session exercises."""
+    from repro.cord.fused import fusion_enabled
+    from repro.trace.kernels import kernel_backend
+
+    print(
+        "\n[repro] analysis kernels: %s; interval-fused sweeps: %s"
+        % (kernel_backend(), "on" if fusion_enabled() else "off")
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,318 @@
+"""Config-independent coherence replay plans for the CORD packed kernel.
+
+The observation that makes the analyze-many side of the sweep pipeline
+cheap: everything *coherence-shaped* in a CORD simulation is a pure
+function of the access sequence and the cache geometry -- it does not
+depend on ``D``, the initial clock, or any timestamp value.  Concretely,
+for a fixed trace and geometry the following evolve identically in every
+detector configuration of a D sweep:
+
+* cache contents, metadata slot assignments, MRU order, eviction
+  victims, and the residency hint bits (every access -- fast-path hit or
+  race check -- moves its line to MRU, and insertions/evictions depend
+  only on hits and misses);
+* the data-valid and write-permission flag bits.  A write holding the
+  write permission snoops no remote copy that still has entries (the
+  permission was granted by a write race check that invalidated every
+  remote copy, and any later remote access would have revoked it before
+  creating new entries), so *effective* invalidations happen only at
+  accesses that are ineligible for the fast path -- and ineligible
+  accesses race-check in every configuration;
+* therefore also each slot's has-entries state (every timestamp entry is
+  born with at least one access bit, so "some entry has a nonzero mask"
+  is exactly "accessed since the last invalidation"), which is what the
+  race check's ``clean_line`` verdict and its candidate set are made of.
+
+:func:`build_coherence_plan` runs that coherence machine once per
+(trace, geometry) and records, per event: the local metadata slot, a hit
+flag, fast-path eligibility, the resolved remote candidate slots (with
+their processors, in snoop order), and the eviction victims.  The
+per-configuration interpreter (``CordDetector._process_packed_kernel``)
+then touches only configuration-dependent state -- clocks, timestamp
+entries, check filters, memory timestamps, the order log -- with no
+dictionary operations, MRU bookkeeping, or residency math on its hot
+path.  Byte-identical outcomes against the scalar loop are pinned by the
+kernel equivalence suite.
+
+The plan builder is deliberately pure Python: the coherence machine is
+inherently sequential (each step reads the cache state the previous step
+wrote), but it runs *once* per recorded trace and is shared by every
+configuration that analyzes it, while the parts that do vectorize live
+in the numpy kernels (:mod:`repro.trace.kernels`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: ``evb`` bits (per-event classification byte).
+EV_ELIGIBLE = 1  #: line cached, data valid, access mode allowed
+EV_HIT = 2       #: a local metadata slot existed before the access
+
+
+class CoherencePlan:
+    """One trace's coherence trajectory, shared across configurations.
+
+    Attributes:
+        slots: per-event local metadata slot (post-insertion on misses).
+        evb: per-event classification byte (``EV_*`` bits).
+        cands: per-event tuple of ``(remote_slot, remote_processor)``
+            pairs the race check must scan, in snoop (ascending
+            processor) order; ``None`` when no remote copy has entries
+            -- which is also exactly the scalar loop's ``clean_line``.
+        evicts: event index -> victim slot whose entries retire when the
+            event's insertion evicts its line.
+        collapse_end: per-event segment end when every event from here
+            to the end of its run is fast-path eligible, else 0 (the
+            segment kernel's collapse precondition).
+        n_slots: total slots ever allocated (per-config array sizing).
+        insertions / evictions: per-processor fill and eviction counts
+            (config-independent; copied onto the caches after a pass).
+    """
+
+    __slots__ = (
+        "slots",
+        "evb",
+        "cands",
+        "evicts",
+        "collapse_end",
+        "n_slots",
+        "insertions",
+        "evictions",
+    )
+
+    def __init__(
+        self,
+        slots: List[int],
+        evb: bytearray,
+        cands: List[Optional[Tuple[Tuple[int, int], ...]]],
+        evicts: Dict[int, int],
+        collapse_end: List[int],
+        n_slots: int,
+        insertions: List[int],
+        evictions: List[int],
+    ):
+        self.slots = slots
+        self.evb = evb
+        self.cands = cands
+        self.evicts = evicts
+        self.collapse_end = collapse_end
+        self.n_slots = n_slots
+        self.insertions = insertions
+        self.evictions = evictions
+
+
+def build_coherence_plan(
+    packed,
+    seg_plan,
+    line_mask: int,
+    set_shift: int,
+    set_mask: int,
+    capacity: int,
+    n_processors: int,
+    thread_proc: List[int],
+) -> CoherencePlan:
+    """Replay the coherence machine once for ``packed``.
+
+    Mirrors the scalar loop's cache and flag transitions exactly -- the
+    same MRU movement, the same LIFO slot reuse, the same residency-hint
+    sharer resolution -- but applies remote side effects only at
+    ineligible accesses (see the module docstring for why eligible ones
+    have none).
+
+    The replay walks the stream segment by segment (the segment plan's
+    same-thread/same-line data runs).  Only a segment's *head* event can
+    move cache state: the events after it hit the same already-MRU line
+    with no intervening access from any other processor, so their
+    residency, MRU order, and candidate sets are the head's -- except
+    across the segment's first write upgrade (a write without the
+    permission race-checks once, invalidating every remote candidate).
+    The per-event outputs are identical to a plain per-event replay;
+    only the redundant dictionary and residency work is skipped.
+    """
+    threads, _addresses, flag_col, _icounts = packed.hot_columns()
+    lines, _words, _wbits, set_indexes = packed.geometry_columns(
+        line_mask, set_shift, set_mask
+    )
+    n = len(threads)
+    remote_masks = [
+        ((1 << n_processors) - 1) ^ (1 << p) for p in range(n_processors)
+    ]
+    sets_by_proc = [
+        [dict() for _ in range(set_mask + 1)] for _ in range(n_processors)
+    ]
+    sets_by_thread = [sets_by_proc[p] for p in thread_proc]
+    remote_by_thread = [remote_masks[p] for p in thread_proc]
+    residency: Dict[int, int] = {}
+    valid = bytearray()
+    perm = bytearray()
+    has_entries = bytearray()
+    free: List[int] = []
+    n_slots = 0
+    slots_col = [0] * n
+    evb = bytearray(n)
+    cands_col: List[Optional[Tuple[Tuple[int, int], ...]]] = [None] * n
+    evicts: Dict[int, int] = {}
+    insertions = [0] * n_processors
+    evictions = [0] * n_processors
+
+    starts = seg_plan.starts
+    seg_sync = seg_plan.sync
+    for k in range(len(starts) - 1):
+        head = starts[k]
+        seg_end = starts[k + 1]
+        if seg_sync[k]:
+            # Synchronization run: take the per-event path (sync reads
+            # are never eligible; sync writes follow the write rules).
+            lo, hi = head, seg_end
+            per_event = True
+        else:
+            lo, hi = head, head + 1
+            per_event = False
+        for i in range(lo, hi):
+            thread = threads[i]
+            eflags = flag_col[i]
+            line = lines[i]
+            set_index = set_indexes[i]
+            local_set = sets_by_thread[thread][set_index]
+            local = local_set.get(line)
+            is_write = eflags & 1
+            if local is None:
+                eligible = False
+            elif is_write:
+                eligible = valid[local] and perm[local]
+            else:
+                eligible = valid[local] and not eflags & 2
+
+            cand = None
+            sharers = residency.get(line, 0) & remote_by_thread[thread]
+            while sharers:
+                low = sharers & -sharers
+                sharers ^= low
+                remote = low.bit_length() - 1
+                rslot = sets_by_proc[remote][set_index].get(line)
+                if rslot is None or not has_entries[rslot]:
+                    continue
+                if cand is None:
+                    cand = [(rslot, remote)]
+                else:
+                    cand.append((rslot, remote))
+            if cand is not None:
+                cand = tuple(cand)
+                cands_col[i] = cand
+
+            if eligible:
+                # Fast in some configurations, a race check in others --
+                # either way no shared state changes: any remote
+                # permission or write filter is already gone while the
+                # local copy is valid, and an eligible write implies no
+                # remote copy has entries at all.
+                evb[i] = EV_ELIGIBLE | EV_HIT
+                local_set[line] = local_set.pop(line)  # MRU
+                slots_col[i] = local
+                continue
+
+            # Ineligible: a race check in every configuration, so its
+            # coherence side effects are configuration-independent.
+            if cand is not None:
+                if is_write:
+                    for rslot, _remote in cand:
+                        valid[rslot] = 0
+                        perm[rslot] = 0
+                        has_entries[rslot] = 0
+                else:
+                    for rslot, _remote in cand:
+                        perm[rslot] = 0
+            if local is None:
+                processor = thread_proc[thread]
+                if free:
+                    local = free.pop()
+                else:
+                    local = n_slots
+                    n_slots += 1
+                    valid.append(0)
+                    perm.append(0)
+                    has_entries.append(0)
+                local_set[line] = local
+                insertions[processor] += 1
+                pbit = 1 << processor
+                residency[line] = residency.get(line, 0) | pbit
+                if len(local_set) > capacity:
+                    victim_line = next(iter(local_set))
+                    victim_slot = local_set.pop(victim_line)
+                    evictions[processor] += 1
+                    remaining = residency.get(victim_line, 0) & ~pbit
+                    if remaining:
+                        residency[victim_line] = remaining
+                    else:
+                        residency.pop(victim_line, None)
+                    evicts[i] = victim_slot
+                    free.append(victim_slot)
+                    valid[victim_slot] = 0
+                    perm[victim_slot] = 0
+                    has_entries[victim_slot] = 0
+            else:
+                evb[i] = EV_HIT
+                local_set[line] = local_set.pop(line)  # MRU
+            valid[local] = 1
+            if is_write:
+                perm[local] = 1
+            has_entries[local] = 1
+            slots_col[i] = local
+
+        if per_event or seg_end - head < 2:
+            continue
+        # Tail of a data run: the head left the line local, valid, and
+        # MRU, and nothing else runs between these events, so residency,
+        # the MRU order, and every remote slot are exactly as the head
+        # left them.  Reads (valid line) and permitted writes are
+        # eligible with the head's candidate tuple; the run's first
+        # write *without* the permission race-checks in every
+        # configuration, invalidates every remote candidate (after which
+        # the candidate set is empty), and takes the permission, making
+        # the rest of the run eligible.
+        sl = slots_col[head]
+        seg_cand = None if (flag_col[head] & 1 and not evb[head] & 1) \
+            else cands_col[head]
+        for i in range(head + 1, seg_end):
+            slots_col[i] = sl
+            cands_col[i] = seg_cand
+            if flag_col[i] & 1 and not perm[sl]:
+                evb[i] = EV_HIT
+                if seg_cand is not None:
+                    for rslot, _remote in seg_cand:
+                        valid[rslot] = 0
+                        perm[rslot] = 0
+                        has_entries[rslot] = 0
+                    seg_cand = None
+                perm[sl] = 1
+            else:
+                evb[i] = EV_ELIGIBLE | EV_HIT
+
+    # Collapse precondition per event: every event from here to the end
+    # of its run is eligible.  (The per-config pass still checks that
+    # the filter or the recorded word bits cover the run's masks.)
+    collapse_end = [0] * n
+    starts = seg_plan.starts
+    sync = seg_plan.sync
+    for k in range(len(starts) - 1):
+        if sync[k]:
+            continue
+        end = starts[k + 1]
+        ok = True
+        for i in range(end - 1, starts[k] - 1, -1):
+            if ok and evb[i] & EV_ELIGIBLE:
+                collapse_end[i] = end
+            else:
+                ok = False
+
+    return CoherencePlan(
+        slots_col,
+        evb,
+        cands_col,
+        evicts,
+        collapse_end,
+        n_slots,
+        insertions,
+        evictions,
+    )

@@ -44,6 +44,7 @@ from typing import List, Optional
 from repro.cachesim.snoop import SnoopDomain
 from repro.clocks.window import SlidingWindowComparator
 from repro.common.errors import ConfigError
+from repro.cord.coherence import build_coherence_plan
 from repro.cord.config import CordConfig
 from repro.cord.log import OrderLog
 from repro.cord.log import LogEntry as _LogEntry
@@ -141,6 +142,15 @@ class CordDetector(Detector):
         self.fast_hits = 0
         self.memts_orderings = 0
         self.clock_changes = 0
+        # The plan-driven packed kernel runs from a cold cache model and
+        # leaves metadata in pass-local arrays; once spent, later calls
+        # fall back to the scalar loop (nothing reuses a detector across
+        # traces, but fail safe rather than replay from a wrong state).
+        self._kernel_spent = False
+        # Sweep drivers that know this config's geometry is unique in
+        # the sweep clear this; the kernel path then requires an
+        # already-cached coherence plan (see process_packed).
+        self._plan_amortized = True
         self._walkers: Optional[List[CacheWalker]] = None
         self._window: Optional[SlidingWindowComparator] = None
         if config.use_window:
@@ -542,6 +552,104 @@ class CordDetector(Detector):
     def process_packed(self, packed) -> None:
         """The :meth:`process_batch` pipeline over raw trace columns.
 
+        Dispatches to the plan-driven kernel when the trace's analysis
+        plans are available (numpy present, plain-geometry line masks,
+        no cache walker) and this detector starts cold (no metadata from
+        earlier events -- the coherence plan replays the trace from an
+        empty cache model), else to the scalar columnar loop.  Both
+        paths produce byte-identical outcomes -- reports, order log, and
+        counters -- to :meth:`process_batch` on the object view (locked
+        in by the packed- and kernel-equivalence suites).
+        """
+        if self.__class__.process_batch is not CordDetector.process_batch:
+            # Subclasses that wrap process() per event (the directory
+            # detector's traffic accounting) must keep their hooks:
+            # feed them lazily materialized events instead.
+            self.process_batch(packed.iter_events())
+            return
+        plan = None
+        if (
+            self._walkers is None
+            # The walker ticks once per interpreted event; collapsing a
+            # run would starve it, so window mode stays on the scalar
+            # per-event loop.
+            and not self.store.count
+            and not self._kernel_spent
+            # The kernel keeps per-slot metadata in pass-local arrays
+            # (finish() only reads counters, clocks, and the recorder),
+            # so it requires -- and does not leave behind -- a live
+            # cache model; warm detectors take the scalar loop.
+            and self.__class__._on_line_filled
+            is CordDetector._on_line_filled
+            and self.__class__._on_line_evicted
+            is CordDetector._on_line_evicted
+        ):
+            plan = packed.segment_plan(self._line_mask)
+        if plan is None or self._kernel_unsafe(packed):
+            self._process_packed_scalar(packed)
+            return
+        coh_key = self._coherence_key()
+        coh = packed.derived_cached(coh_key)
+        if coh is None and not self._plan_amortized:
+            # Building a coherence plan nobody else will reuse costs
+            # about as much as the scalar pass it would accelerate; a
+            # sweep driver that knows this geometry appears once (see
+            # injection.campaign) clears the hint and we stay scalar.
+            self._process_packed_scalar(packed)
+            return
+        if coh is None:
+            line_mask = self._line_mask
+            set_shift = self._set_shift
+            set_mask = self._set_mask
+            capacity = self.snoop.caches[0]._capacity
+            coh = packed.derived(
+                coh_key,
+                lambda: build_coherence_plan(
+                    packed,
+                    plan,
+                    line_mask,
+                    set_shift,
+                    set_mask,
+                    capacity,
+                    self.config.n_processors,
+                    self.thread_proc,
+                ),
+            )
+        self._process_packed_kernel(packed, plan, coh)
+        self._kernel_spent = True
+
+    def _coherence_key(self):
+        """The per-trace cache key of this config's coherence plan.
+
+        Everything the replay depends on: geometry, capacity, processor
+        count, and the thread placement -- and nothing clock- or
+        D-shaped.  Must stay in sync across every builder call site
+        (kernel dispatch, the fused sweep pass, the campaign's sharing
+        marker); they share it by calling this.
+        """
+        return (
+            "coh",
+            self._line_mask & 0xFFFFFFFFFFFFFFFF,
+            self._set_shift,
+            self._set_mask,
+            self.snoop.caches[0]._capacity,
+            self.config.n_processors,
+            tuple(self.thread_proc),
+        )
+
+    def _kernel_unsafe(self, packed) -> bool:
+        """Traces the segment kernel must not collapse.
+
+        The instruction-count overflow guard (Section 2.7.1) has to be
+        evaluated before every event; such traces (counts at 2^32 and
+        beyond) take the scalar loop, which carries the guard inline.
+        """
+        icounts = packed.hot_columns()[3]
+        return bool(icounts) and max(icounts) >= 0xFFFFFFFF
+
+    def _process_packed_scalar(self, packed) -> None:
+        """The scalar columnar loop (the kernel path's reference).
+
         Iterates pre-boxed column lists plus the trace's cached derived
         geometry columns -- no :class:`MemoryEvent` objects exist on
         this path.  The pipeline is :meth:`process_batch`'s, with the
@@ -550,12 +658,6 @@ class CordDetector(Detector):
         outcomes are byte-identical (locked in by the packed-equivalence
         property and golden-workload tests, counters included).
         """
-        if self.__class__.process_batch is not CordDetector.process_batch:
-            # Subclasses that wrap process() per event (the directory
-            # detector's traffic accounting) must keep their hooks:
-            # feed them lazily materialized events instead.
-            self.process_batch(packed.iter_events())
-            return
         d = self._d
         use_mem = self._use_mem
         store = self.store
@@ -920,6 +1022,518 @@ class CordDetector(Detector):
 
         # Every event is either a filter/word-bit hit or a race check.
         self.fast_hits += len(threads) - race_checks
+        self.race_checks += race_checks
+        self.memts_orderings += memts_orderings
+        self.clock_changes += clock_changes
+
+    def _process_packed_kernel(self, packed, plan, coh) -> None:
+        """Plan-driven interpretation: coherence precomputed, only the
+        configuration-dependent state simulated.
+
+        Two plans, both cached on the trace and shared by every
+        configuration of a sweep, strip the per-pass loop down to what
+        actually varies with the configuration:
+
+        * the segment plan (:meth:`PackedTrace.segment_plan`) cuts the
+          stream into maximal same-thread/same-line data runs with
+          their read/write word masks pre-ORed;
+        * the coherence plan (:mod:`repro.cord.coherence`) replays the
+          cache machine once and hands the pass, per event: the local
+          metadata slot, hit and fast-path-eligibility flags, the
+          resolved remote candidate slots in snoop order, and the
+          eviction victims.
+
+        The pass therefore performs no cache-dictionary operations, no
+        MRU bookkeeping, and no residency math; per-slot metadata
+        (timestamp entries, check filters) lives in pass-local arrays
+        indexed by plan slots, and the memory-timestamp pair is carried
+        in locals and written back at the end.  Runs whose events are
+        all eligible collapse to two mask ORs when a filter or a
+        recorded entry at the current clock covers their masks -- the
+        net effect of the scalar fast-path tail replayed ``len(run)``
+        times; a run that fails interprets events until a clean race
+        check grants the filter, then retries the remainder.
+
+        Never entered in window mode (the walker must tick per event),
+        near instruction-count overflow (:meth:`_kernel_unsafe`), or on
+        a warm detector (the coherence plan assumes a cold cache
+        model); outputs are byte-identical to the scalar paths,
+        counters included (kernel-equivalence suite).
+        """
+        d = self._d
+        use_mem = self._use_mem
+        entries_per_line = self._entries_per_line
+        clocks = self.clocks
+        frag_start = self._frag_start
+        frag_clock = self.recorder._fragment_clock
+        log_append = self.recorder.log.entries.append
+        memts = self.memory_ts
+        record_race = self.outcome.record_race
+        fast_hits = 0
+        race_checks = 0
+        memts_orderings = 0
+        clock_changes = 0
+
+        threads, addresses, flag_col, icounts = packed.hot_columns()
+        wbits = packed.geometry_columns(
+            self._line_mask, self._set_shift, self._set_mask
+        )[2]
+        starts = plan.starts
+        seg_rmasks = plan.read_masks
+        seg_wmasks = plan.write_masks
+        slots = coh.slots
+        cands_col = coh.cands
+        evicts = coh.evicts
+        collapse_end = coh.collapse_end
+
+        # Pass-local metadata, indexed by plan slots: the flat-store
+        # layout (entries_per_line entries per slot, newest first) with
+        # the flags byte reduced to its per-configuration part -- the
+        # check-filter bits (1 = read, 2 = write).  Data-valid and
+        # write-permission live in the plan's eligibility bits.
+        n_entries = coh.n_slots * entries_per_line
+        tsa = [0] * n_entries
+        rma = [0] * n_entries
+        wma = [0] * n_entries
+        cnt = [0] * coh.n_slots
+        filters = bytearray(coh.n_slots)
+        fclockp = [0] * coh.n_slots
+
+        # The memory-timestamp pair in locals (fold_raw inlined; folds
+        # and update_broadcasts must match the scalar loop exactly).
+        mem_read = memts.read_ts
+        mem_write = memts.write_ts
+        mem_folds = memts.folds
+        mem_bcasts = memts.update_broadcasts
+
+        evbs = coh.evb
+        for k in range(len(starts) - 1):
+            i = starts[k]
+            j = starts[k + 1]
+            thread = threads[i]
+            # The slot is segment-constant: the first access makes the
+            # line MRU, so it cannot be evicted by the run's own misses
+            # (there are none after the first event).
+            sl = slots[i]
+            idx = i
+            # Attempt collapse only while the remainder plausibly *is*
+            # all-fast: on segment entry when the plan marks every
+            # event eligible, and again after an interpreted event
+            # whose clean race check just granted the check filter.
+            attempt = j - i >= 2 and collapse_end[i] == j
+            while idx < j:
+                if attempt:
+                    attempt = False
+                    # Collapse attempt for [idx, j).  On the first try
+                    # the plan's pre-ORed masks apply; after an
+                    # interpreted event the remainder's masks are
+                    # re-ORed (the interpreted bits may now live under
+                    # a different clock and must not be re-recorded).
+                    if idx == i:
+                        rmask_seg = seg_rmasks[k]
+                        wmask_seg = seg_wmasks[k]
+                    else:
+                        rmask_seg = 0
+                        wmask_seg = 0
+                        for r in range(idx, j):
+                            if flag_col[r] & 1:
+                                wmask_seg |= wbits[r]
+                            else:
+                                rmask_seg |= wbits[r]
+                    # Every event in [idx, j) is eligible (plan
+                    # precondition); the run is all-fast when a filter
+                    # bit at the current clock or an entry recorded
+                    # under it covers each access mode's mask.
+                    clk0 = clocks[thread]
+                    fl = filters[sl]
+                    base = sl * entries_per_line
+                    n_ent = cnt[sl]
+                    e_at = -1
+                    if n_ent:
+                        if tsa[base] == clk0:
+                            e_at = base
+                        else:
+                            for e in range(base + 1, base + n_ent):
+                                if tsa[e] == clk0:
+                                    e_at = e
+                                    break
+                    filters_now = fclockp[sl] == clk0
+                    if (
+                        not wmask_seg
+                        or (filters_now and fl & 2)
+                        or (e_at >= 0 and not wmask_seg & ~wma[e_at])
+                    ) and (
+                        not rmask_seg
+                        or (filters_now and fl & 1)
+                        or (e_at >= 0 and not rmask_seg & ~rma[e_at])
+                    ):
+                        # Whole remainder is fast: OR the masks under
+                        # clk0 (the net effect of the scalar fast tail
+                        # replayed per event), done.
+                        fast_hits += j - idx
+                        if e_at < 0:
+                            if n_ent == entries_per_line:
+                                last = base + n_ent - 1
+                                if use_mem:
+                                    mem_folds += 1
+                                    changed = False
+                                    ts = tsa[last]
+                                    if rma[last] and ts > mem_read:
+                                        mem_read = ts
+                                        changed = True
+                                    if wma[last] and ts > mem_write:
+                                        mem_write = ts
+                                        changed = True
+                                    if changed:
+                                        mem_bcasts += 1
+                                shift_from = last
+                            else:
+                                cnt[sl] = n_ent + 1
+                                shift_from = base + n_ent
+                            for e in range(shift_from, base, -1):
+                                tsa[e] = tsa[e - 1]
+                                rma[e] = rma[e - 1]
+                                wma[e] = wma[e - 1]
+                            tsa[base] = clk0
+                            rma[base] = rmask_seg
+                            wma[base] = wmask_seg
+                        else:
+                            rma[e_at] |= rmask_seg
+                            wma[e_at] |= wmask_seg
+                        break
+
+                # Interpret one event (the scalar pipeline body, with
+                # the cache model replaced by plan lookups; no overflow
+                # guard -- _kernel_unsafe excluded it -- and no
+                # walker).
+                cur = idx
+                idx += 1
+                eflags = flag_col[cur]
+                evb = evbs[cur]
+                wbit = wbits[cur]
+                clk0 = clocks[thread]
+                is_write = eflags & 1
+                if evb & 1:  # eligible: valid line, mode allowed
+                    fast = False
+                    fl = filters[sl]
+                    if fl & (2 if is_write else 1) \
+                            and fclockp[sl] == clk0:
+                        fast = True
+                    else:
+                        # Word access bit already set at this clock?
+                        # Newest entry first -- it matches nearly
+                        # always.
+                        base = sl * entries_per_line
+                        n = cnt[sl]
+                        if n and tsa[base] == clk0:
+                            mask = wma[base] if is_write else rma[base]
+                            fast = bool(mask & wbit)
+                        elif n > 1:
+                            for e in range(base + 1, base + n):
+                                if tsa[e] == clk0:
+                                    mask = (
+                                        wma[e] if is_write else rma[e]
+                                    )
+                                    fast = bool(mask & wbit)
+                                    break
+                    if fast:
+                        fast_hits += 1
+                        base = sl * entries_per_line
+                        n = cnt[sl]
+                        if n and tsa[base] == clk0:
+                            if is_write:
+                                wma[base] |= wbit
+                            else:
+                                rma[base] |= wbit
+                        else:
+                            merged = False
+                            if n > 1:
+                                for e in range(base + 1, base + n):
+                                    if tsa[e] == clk0:
+                                        if is_write:
+                                            wma[e] |= wbit
+                                        else:
+                                            rma[e] |= wbit
+                                        merged = True
+                                        break
+                            if not merged:
+                                if n == entries_per_line:
+                                    last = base + n - 1
+                                    if use_mem:
+                                        mem_folds += 1
+                                        changed = False
+                                        ts = tsa[last]
+                                        if rma[last] and ts > mem_read:
+                                            mem_read = ts
+                                            changed = True
+                                        if wma[last] \
+                                                and ts > mem_write:
+                                            mem_write = ts
+                                            changed = True
+                                        if changed:
+                                            mem_bcasts += 1
+                                    shift_from = base + n - 1
+                                else:
+                                    cnt[sl] = n + 1
+                                    shift_from = base + n
+                                for e in range(shift_from, base, -1):
+                                    tsa[e] = tsa[e - 1]
+                                    rma[e] = rma[e - 1]
+                                    wma[e] = wma[e - 1]
+                                tsa[base] = clk0
+                                if is_write:
+                                    rma[base] = 0
+                                    wma[base] = wbit
+                                else:
+                                    rma[base] = wbit
+                                    wma[base] = 0
+                        # Post-retirement increment after sync writes.
+                        if eflags & 3 == 3:
+                            boundary = icounts[cur] + 1
+                            log_append(
+                                _LogEntry(
+                                    frag_clock[thread],
+                                    thread,
+                                    boundary - frag_start[thread],
+                                )
+                            )
+                            new_clock = clk0 + 1
+                            frag_clock[thread] = new_clock
+                            frag_start[thread] = boundary
+                            clocks[thread] = new_clock
+                            clock_changes += 1
+                        continue
+
+                # Race check (the slow path).  Remote candidates come
+                # resolved from the plan, in snoop (ascending
+                # processor) order; remote coherence flags are plan
+                # state, so only the per-configuration effects remain:
+                # entry invalidation, filter revocation, and the
+                # timestamp comparisons.
+                is_sync = eflags & 2
+                new_clock = clk0
+                race_checks += 1
+                clean_line = True
+                reported = False
+                cand = cands_col[cur]
+                if cand is not None:
+                    for rslot, remote in cand:
+                        n_resident = cnt[rslot]
+                        base = rslot * entries_per_line
+                        candidates = None
+                        if is_write:
+                            for e in range(base, base + n_resident):
+                                rm = rma[e]
+                                wm = wma[e]
+                                if rm or wm:
+                                    clean_line = False
+                                    if (rm | wm) & wbit:
+                                        if candidates is None:
+                                            candidates = [tsa[e]]
+                                        else:
+                                            candidates.append(tsa[e])
+                            if use_mem:
+                                for e in range(
+                                    base, base + n_resident
+                                ):
+                                    mem_folds += 1
+                                    changed = False
+                                    ts = tsa[e]
+                                    if rma[e] and ts > mem_read:
+                                        mem_read = ts
+                                        changed = True
+                                    if wma[e] and ts > mem_write:
+                                        mem_write = ts
+                                        changed = True
+                                    if changed:
+                                        mem_bcasts += 1
+                            cnt[rslot] = 0
+                            filters[rslot] = 0
+                        else:
+                            for e in range(base, base + n_resident):
+                                wm = wma[e]
+                                if wm:
+                                    clean_line = False
+                                    if wm & wbit:
+                                        if candidates is None:
+                                            candidates = [tsa[e]]
+                                        else:
+                                            candidates.append(tsa[e])
+                            # Revoke the remote write filter.
+                            filters[rslot] &= 1
+                        if candidates is None:
+                            continue
+                        for ts in candidates:
+                            if is_sync:
+                                if is_write:
+                                    if clk0 <= ts \
+                                            and ts + 1 > new_clock:
+                                        new_clock = ts + 1
+                                else:
+                                    # Sync read: at least D past the
+                                    # write.
+                                    if ts + d > new_clock:
+                                        new_clock = ts + d
+                            else:
+                                if clk0 <= ts and ts + 1 > new_clock:
+                                    new_clock = ts + 1
+                                if clk0 < ts + d and not reported:
+                                    reported = True
+                                    record_race(
+                                        DataRace(
+                                            access=(
+                                                thread, icounts[cur]
+                                            ),
+                                            address=addresses[cur],
+                                            other_thread=None,
+                                            detail="clk=%d ts=%d P%d"
+                                            % (clk0, ts, remote),
+                                        )
+                                    )
+                if use_mem:
+                    if is_write:
+                        mem_ts = mem_read
+                        if mem_write > mem_ts:
+                            mem_ts = mem_write
+                    else:
+                        mem_ts = mem_write
+                    if is_sync and not is_write:
+                        if mem_ts + d > new_clock:
+                            new_clock = mem_ts + d
+                            memts_orderings += 1
+                    elif clk0 <= mem_ts:
+                        if mem_ts + 1 > new_clock:
+                            new_clock = mem_ts + 1
+                            memts_orderings += 1
+
+                if new_clock != clk0:
+                    icount = icounts[cur]
+                    log_append(
+                        _LogEntry(
+                            frag_clock[thread],
+                            thread,
+                            icount - frag_start[thread],
+                        )
+                    )
+                    frag_clock[thread] = new_clock
+                    frag_start[thread] = icount
+                    clocks[thread] = new_clock
+                    clock_changes += 1
+
+                # Record the access in local metadata.  On a miss the
+                # plan already assigned the slot (insertion, MRU, and
+                # residency are its business); reset the slot's
+                # per-configuration state -- store.alloc() zeroes count
+                # and flags -- and retire the eviction victim's
+                # entries.
+                if not evb & 2:
+                    victim = evicts.get(cur)
+                    if victim is not None:
+                        if use_mem:
+                            vbase = victim * entries_per_line
+                            for e in range(
+                                vbase, vbase + cnt[victim]
+                            ):
+                                mem_folds += 1
+                                changed = False
+                                ts = tsa[e]
+                                if rma[e] and ts > mem_read:
+                                    mem_read = ts
+                                    changed = True
+                                if wma[e] and ts > mem_write:
+                                    mem_write = ts
+                                    changed = True
+                                if changed:
+                                    mem_bcasts += 1
+                        cnt[victim] = 0
+                        filters[victim] = 0
+                    cnt[sl] = 0
+                    filters[sl] = 0
+                clock = new_clock  # == clocks[thread] on both branches
+                if clean_line:
+                    filters[sl] |= 3 if is_write else 1
+                    fclockp[sl] = clock
+                base = sl * entries_per_line
+                n = cnt[sl]
+                if n and tsa[base] == clock:
+                    if is_write:
+                        wma[base] |= wbit
+                    else:
+                        rma[base] |= wbit
+                else:
+                    merged = False
+                    if n > 1:
+                        for e in range(base + 1, base + n):
+                            if tsa[e] == clock:
+                                if is_write:
+                                    wma[e] |= wbit
+                                else:
+                                    rma[e] |= wbit
+                                merged = True
+                                break
+                    if not merged:
+                        if n == entries_per_line:
+                            last = base + n - 1
+                            if use_mem:
+                                mem_folds += 1
+                                changed = False
+                                ts = tsa[last]
+                                if rma[last] and ts > mem_read:
+                                    mem_read = ts
+                                    changed = True
+                                if wma[last] and ts > mem_write:
+                                    mem_write = ts
+                                    changed = True
+                                if changed:
+                                    mem_bcasts += 1
+                            shift_from = base + n - 1
+                        else:
+                            cnt[sl] = n + 1
+                            shift_from = base + n
+                        for e in range(shift_from, base, -1):
+                            tsa[e] = tsa[e - 1]
+                            rma[e] = rma[e - 1]
+                            wma[e] = wma[e - 1]
+                        tsa[base] = clock
+                        if is_write:
+                            rma[base] = 0
+                            wma[base] = wbit
+                        else:
+                            rma[base] = wbit
+                            wma[base] = 0
+
+                # Post-retirement increment after synchronization
+                # writes.
+                if is_sync and is_write:
+                    boundary = icounts[cur] + 1
+                    log_append(
+                        _LogEntry(
+                            frag_clock[thread],
+                            thread,
+                            boundary - frag_start[thread],
+                        )
+                    )
+                    new_clock = clock + 1
+                    frag_clock[thread] = new_clock
+                    frag_start[thread] = boundary
+                    clocks[thread] = new_clock
+                    clock_changes += 1
+                elif clean_line and j - idx >= 2 \
+                        and collapse_end[idx] == j:
+                    # A clean race check granted the check filter at
+                    # the thread's (possibly updated) clock: retry the
+                    # collapse on the remainder.
+                    attempt = True
+
+        memts.read_ts = mem_read
+        memts.write_ts = mem_write
+        memts.folds = mem_folds
+        memts.update_broadcasts = mem_bcasts
+        caches = self.snoop.caches
+        for p in range(len(caches)):
+            caches[p].insertions += coh.insertions[p]
+            caches[p].evictions += coh.evictions[p]
+        self.fast_hits += fast_hits
         self.race_checks += race_checks
         self.memts_orderings += memts_orderings
         self.clock_changes += clock_changes

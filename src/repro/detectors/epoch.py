@@ -188,10 +188,37 @@ class EpochDetector(Detector):
             self._process_data(event)
 
     def process_packed(self, packed) -> None:
-        """Columnar dispatch: no event objects, same verdicts."""
+        """Columnar dispatch: no event objects, same verdicts.
+
+        On a cold detector, interprets only the trace's word residual
+        when the kernels provide one (same argument as the Ideal
+        oracle: single-thread words cannot race and their history is
+        never consulted across threads).  Every dropped access is a
+        data access; each dropped *read* would have taken the epoch
+        fast path exactly once -- a single-thread word never promotes
+        to a read vector -- so the representation statistics are
+        reconstituted from the residual's drop counts.
+        """
         sync_access = self._sync_access
         data_access = self._data_access
-        for t, address, eflags, icount in zip(*packed.hot_columns()):
+        cols = None
+        if (
+            not self._sync_write_vc
+            and not self._sync_read_vc
+            and not self._words
+        ):
+            residual = packed.word_residual()
+            if residual is not None:
+                cols = (
+                    residual.threads,
+                    residual.addresses,
+                    residual.flags,
+                    residual.icounts,
+                )
+                self.epoch_reads += residual.skipped_reads
+        if cols is None:
+            cols = packed.hot_columns()
+        for t, address, eflags, icount in zip(*cols):
             if eflags & 2:
                 sync_access(t, address, eflags & 1)
             else:

@@ -61,20 +61,82 @@ class IdealDetector(Detector):
         fine because a detector instance observes exactly one trace
         through exactly one path.  Synchronization accesses (rare) go
         through :meth:`_sync_access` unchanged.
+
+        On a cold detector the pass interprets only the trace's word
+        residual (:meth:`PackedTrace.word_residual`) when the kernels
+        provide one: a data access to a word no other thread ever
+        touches in data mode cannot race (every conflicting stamp is the
+        thread's own) and leaves history only its own thread would
+        consult, so dropping it changes no verdict.  Sync tables are
+        keyed separately, so a word used as data by one thread and sync
+        by another stays exact.  The residual is config-independent and
+        cached on the trace -- every oracle pass of a sweep shares one
+        classification.
         """
-        sync_access = self._sync_access
         record_race = self.outcome.record_race
         vcs = self.vcs
         last_read = self._last_read
         last_write = self._last_write
         comps_by_thread = [vc.components for vc in vcs]
-        threads, addresses, flag_col, icounts = packed.hot_columns()
+        # Sync joins run on raw component tuples (``map(max, ...)``)
+        # instead of VectorClock allocations; the wrapped state tables
+        # and ``vcs`` are rebuilt at the end of the pass.
+        swv = {
+            a: vc.components for a, vc in self._sync_write_vc.items()
+        }
+        srv = {
+            a: vc.components for a, vc in self._sync_read_vc.items()
+        }
+        cols = None
+        if (
+            not self._sync_write_vc
+            and not self._sync_read_vc
+            and not last_read
+            and not last_write
+        ):
+            # Cold start: prior history could order (or race with) the
+            # accesses the residual drops, so warm detectors take the
+            # full stream.
+            residual = packed.word_residual()
+            if residual is not None:
+                cols = (
+                    residual.threads,
+                    residual.addresses,
+                    residual.flags,
+                    residual.icounts,
+                )
+        if cols is None:
+            cols = packed.hot_columns()
+        threads, addresses, flag_col, icounts = cols
         for t, address, eflags, icount in zip(
             threads, addresses, flag_col, icounts
         ):
             if eflags & 2:
-                sync_access(t, address, eflags & 1)
-                comps_by_thread[t] = vcs[t].components
+                # _sync_access over raw tuples: join the accumulated
+                # histories, publish, and (for writes) tick.  The
+                # published write history equals the joined vector --
+                # the join already dominates the prior history -- so
+                # only the read table needs an explicit merge.
+                comps = comps_by_thread[t]
+                wh = swv.get(address)
+                if wh is not None:
+                    comps = tuple(map(max, comps, wh))
+                if eflags & 1:
+                    rh = srv.get(address)
+                    if rh is not None:
+                        comps = tuple(map(max, comps, rh))
+                    swv[address] = comps
+                    ticked = list(comps)
+                    ticked[t] += 1
+                    comps_by_thread[t] = tuple(ticked)
+                else:
+                    rh = srv.get(address)
+                    srv[address] = (
+                        tuple(map(max, rh, comps))
+                        if rh is not None
+                        else comps
+                    )
+                    comps_by_thread[t] = comps
                 continue
             comps = comps_by_thread[t]
             is_write = eflags & 1
@@ -115,6 +177,14 @@ class IdealDetector(Detector):
                 table[address] = {t: comps}
             else:
                 entry[t] = comps
+        for t in range(len(vcs)):
+            vcs[t] = VectorClock(comps_by_thread[t])
+        self._sync_write_vc = {
+            a: VectorClock(c) for a, c in swv.items()
+        }
+        self._sync_read_vc = {
+            a: VectorClock(c) for a, c in srv.items()
+        }
 
     def _process_sync(self, event: MemoryEvent) -> None:
         self._sync_access(event.thread, event.address, event.is_write)

@@ -202,6 +202,14 @@ class LimitedVectorDetector(Detector):
         the packed trace's ``thread``/``address``/``flags``/``icount``
         arrays.  Verdicts are identical to the object paths (asserted
         by the packed-equivalence suite).
+
+        With an **infinite** geometry and a cold detector, the pass
+        interprets only the trace's line residual
+        (:meth:`PackedTrace.line_residual`): a line no other thread
+        touches never appears in a remote cache, so its accesses can
+        neither report nor influence a verdict.  Finite geometries must
+        take the full stream -- a private line still competes for
+        capacity, and the evictions it causes are observable.
         """
         vcs = self.vcs
         thread_proc = self._thread_proc
@@ -214,7 +222,24 @@ class LimitedVectorDetector(Detector):
         entries_per_line = self._entries_per_line
         record_race = self.outcome.record_race
         sync_access = self._sync_access
-        for t, address, eflags, icount in zip(*packed.hot_columns()):
+        cols = None
+        if (
+            self.geometry.is_infinite
+            and not self._sync_write_vc
+            and not self._sync_read_vc
+            and not any(cache.insertions for cache in caches)
+        ):
+            residual = packed.line_residual(line_mask)
+            if residual is not None:
+                cols = (
+                    residual.threads,
+                    residual.addresses,
+                    residual.flags,
+                    residual.icounts,
+                )
+        if cols is None:
+            cols = packed.hot_columns()
+        for t, address, eflags, icount in zip(*cols):
             is_write = eflags & 1
             if eflags & 2:
                 sync_access(t, address, is_write)

@@ -8,6 +8,12 @@ timing model, and the replay verifier all consume traces.
 """
 
 from repro.trace.events import MemoryEvent
+from repro.trace.kernels import (
+    ResidualView,
+    SegmentPlan,
+    kernel_backend,
+    kernels_enabled,
+)
 from repro.trace.packed import PackedTrace
 from repro.trace.stream import Trace
 from repro.trace.stats import TraceStats, compute_stats
@@ -25,8 +31,12 @@ __all__ = [
     "MemoryEvent",
     "PackedTrace",
     "PackedTraceStore",
+    "ResidualView",
+    "SegmentPlan",
     "Trace",
     "TraceStats",
+    "kernel_backend",
+    "kernels_enabled",
     "compute_stats",
     "decode_packed_trace",
     "decode_trace",

@@ -24,6 +24,7 @@ from typing import Iterator, List, Optional, Sequence
 
 from repro.common.types import AccessClass, AccessMode
 from repro.trace.events import MemoryEvent
+from repro.trace import kernels as _kernels
 
 try:  # optional: vectorizes the derived-column computation
     import numpy as _np
@@ -205,14 +206,23 @@ class PackedTrace:
         a sweep that shares the geometry -- e.g. the whole D axis --
         reuses them instead of recomputing four shift/mask ops per
         event per pass.
+
+        The cache key is the *normalized* geometry triple under a
+        ``"geom"`` tag: masks are reduced to their unsigned-64 value, so
+        a caller passing ``~(line_size - 1)`` as a negative Python int
+        and one passing the two's-complement u64 share one entry, and
+        tagged keys cannot collide with the trace's other cached views
+        (hot columns, analysis plans, residuals) no matter what
+        geometry values a config produces.
         """
         n = len(self.thread)
-        key = (line_mask, set_shift, set_mask)
+        key = ("geom", line_mask & _U64, set_shift, set_mask & _U64)
         cached = self._views.get(key)
         if cached is not None and cached[0] == n:
             return cached[1]
         offset_mask = ~line_mask & _U64  # line_size - 1
-        if _np is not None and offset_mask >> 2 < 64:
+        if _np is not None and _kernels.kernels_enabled() \
+                and offset_mask >> 2 < 64:
             addr = _np.frombuffer(self.address, dtype=_np.uint64)
             line = addr & _np.uint64(line_mask & _U64)
             word = (addr & _np.uint64(offset_mask)) >> _np.uint64(2)
@@ -235,6 +245,98 @@ class PackedTrace:
             )
         self._views[key] = (n, derived)
         return derived
+
+    # -- analysis plans (config-independent numpy pre-passes) -----------------
+    #
+    # All three products below are pure functions of the recorded
+    # columns (plus, where noted, a line mask), so they are computed at
+    # most once per trace and shared by every detector configuration of
+    # a sweep.  Caches hold only kernel-built (numpy) results: when the
+    # kernels are disabled -- numpy absent or ``REPRO_NO_NUMPY=1`` --
+    # every accessor returns ``None`` *without* touching the cache, so
+    # flipping the escape hatch mid-process can never serve a stale
+    # plan in place of the fallback path (or vice versa).
+
+    def segment_plan(self, line_mask: int):
+        """The cached :class:`~repro.trace.kernels.SegmentPlan` for
+        ``line_mask``, or ``None`` when the kernels are unavailable (or
+        the geometry does not fit 64-bit word masks)."""
+        if not _kernels.kernels_enabled():
+            return None
+        key = ("plan", line_mask & _U64)
+        n = len(self.thread)
+        cached = self._views.get(key)
+        if cached is not None and cached[0] == n:
+            return cached[1]
+        plan = _kernels.build_segment_plan(self, line_mask)
+        self._views[key] = (n, plan)
+        return plan
+
+    def word_residual(self):
+        """The cached word-granularity residual view (sync events plus
+        data accesses to words touched by more than one thread), or
+        ``None`` when the kernels are unavailable."""
+        if not _kernels.kernels_enabled():
+            return None
+        key = ("wordres",)
+        n = len(self.thread)
+        cached = self._views.get(key)
+        if cached is not None and cached[0] == n:
+            return cached[1]
+        residual = _kernels.build_word_residual(self)
+        self._views[key] = (n, residual)
+        return residual
+
+    def line_residual(self, line_mask: int):
+        """The cached line-granularity residual view for ``line_mask``
+        (sync events plus data accesses to lines touched by more than
+        one thread), or ``None`` when the kernels are unavailable.
+
+        Sound only for detectors whose metadata capacity is unlimited;
+        see :func:`repro.trace.kernels.build_line_residual`.
+        """
+        if not _kernels.kernels_enabled():
+            return None
+        key = ("lineres", line_mask & _U64)
+        n = len(self.thread)
+        cached = self._views.get(key)
+        if cached is not None and cached[0] == n:
+            return cached[1]
+        residual = _kernels.build_line_residual(self, line_mask)
+        self._views[key] = (n, residual)
+        return residual
+
+    def derived(self, key, build):
+        """Generic per-trace cache for derived analysis products.
+
+        Higher layers (e.g. the CORD detector's coherence replay plan,
+        :mod:`repro.cord.coherence`) cache trace-derived, config-shared
+        structures here without :mod:`repro.trace` having to know their
+        types.  ``key`` must be a hashable tuple whose first element
+        tags the product (tagged keys cannot collide with the built-in
+        views); ``build`` is invoked once and the result is memoized
+        until the trace grows.
+        """
+        n = len(self.thread)
+        cached = self._views.get(key)
+        if cached is not None and cached[0] == n:
+            return cached[1]
+        value = build()
+        self._views[key] = (n, value)
+        return value
+
+    def derived_cached(self, key):
+        """The cached :meth:`derived` product for ``key``, or ``None``.
+
+        A lookup that never builds: callers use it to decide whether a
+        plan is already paid for (e.g. the CORD kernel dispatch falls
+        back to the scalar loop when a coherence plan is neither cached
+        nor going to be shared by another configuration).
+        """
+        cached = self._views.get(key)
+        if cached is not None and cached[0] == len(self.thread):
+            return cached[1]
+        return None
 
     def iter_events(self) -> Iterator[MemoryEvent]:
         """Lazily yield event objects (for per-event detector paths)."""

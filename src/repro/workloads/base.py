@@ -15,7 +15,7 @@ scheduler, so record and replay see identical programs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Generator, Optional
+from typing import Callable, Generator, List, Optional
 
 from repro.common.errors import ConfigError
 from repro.common.rng import DeterministicRng
@@ -92,11 +92,18 @@ class WorkloadSpec:
 
         The seed is ignored: workload shapes are fixed (one binary, one
         input), and run-to-run variation comes from the scheduler.
+        Because of that -- and because programs are restartable
+        (:meth:`Program.instantiate` creates fresh generators per run) --
+        the factory builds the program once and hands every run the same
+        object, so an N-run campaign pays for one build instead of N.
         """
         resolved = params or WorkloadParams()
+        built: List[Program] = []
 
         def factory(_seed: int) -> Program:
-            return self.build(resolved)
+            if not built:
+                built.append(self.build(resolved))
+            return built[0]
 
         return factory
 

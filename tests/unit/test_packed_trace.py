@@ -13,6 +13,7 @@ from repro.trace import (
     decode_packed_trace,
     encode_packed_trace,
 )
+from repro.trace import kernels as _kernels
 from repro.trace.packed import FLAG_SYNC, FLAG_WRITE
 
 
@@ -167,6 +168,96 @@ class TestEngineRecordsPacked:
             assert event.is_sync == bool(f & FLAG_SYNC)
             assert event.icount == ic
             assert event.value == v
+
+
+class TestDerivedViews:
+    """The per-trace caches behind the analysis plans (PR 3)."""
+
+    _GEOM = (~0x3F, 6, 0x7)  # 64-byte lines, 8 sets
+
+    def _packed(self):
+        return PackedTrace.from_events(_EVENTS, [10, 4, 3])
+
+    def test_geometry_columns_values(self):
+        packed = self._packed()
+        lines, words, wbits, sets = packed.geometry_columns(*self._GEOM)
+        assert lines == [a & ~0x3F for a in packed.address]
+        assert words == [(a & 0x3F) >> 2 for a in packed.address]
+        assert wbits == [1 << w for w in words]
+        assert sets == [(l >> 6) & 0x7 for l in lines]
+
+    def test_geometry_columns_cached_per_key(self):
+        packed = self._packed()
+        first = packed.geometry_columns(*self._GEOM)
+        assert packed.geometry_columns(*self._GEOM) is first
+        other = packed.geometry_columns(~0x1F, 5, 0x7)
+        assert other is not first
+        assert packed.geometry_columns(~0x1F, 5, 0x7) is other
+        assert packed.geometry_columns(*self._GEOM) is first
+
+    def test_geometry_key_normalizes_mask_sign(self):
+        # A negative Python mask and its two's-complement u64 twin must
+        # share one cache entry (both spellings occur in configs).
+        packed = self._packed()
+        negative = packed.geometry_columns(~0x3F, 6, 0x7)
+        unsigned = packed.geometry_columns(
+            ~0x3F & 0xFFFFFFFFFFFFFFFF, 6, 0x7
+        )
+        assert unsigned is negative
+
+    def test_geometry_cache_invalidated_by_growth(self):
+        packed = self._packed()
+        stale = packed.geometry_columns(*self._GEOM)
+        packed.append(1, 0x1C0, FLAG_WRITE, 9, 0)
+        fresh = packed.geometry_columns(*self._GEOM)
+        assert fresh is not stale
+        assert len(fresh[0]) == len(packed.thread)
+
+    def test_geometry_columns_match_scalar_fallback(self, monkeypatch):
+        with_kernels = self._packed().geometry_columns(*self._GEOM)
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        scalar = self._packed().geometry_columns(*self._GEOM)
+        assert scalar == with_kernels
+
+    def test_plan_accessors_none_when_kernels_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        packed = self._packed()
+        assert packed.segment_plan(~0x3F) is None
+        assert packed.word_residual() is None
+        assert packed.line_residual(~0x3F) is None
+
+    @pytest.mark.skipif(
+        _kernels._np is None,
+        reason="needs numpy for the enabled half of the toggle",
+    )
+    def test_disabled_kernels_never_poison_plan_cache(self, monkeypatch):
+        # Toggling the escape hatch mid-process must not serve a stale
+        # None (or a stale plan) for the other mode.
+        packed = self._packed()
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        assert packed.segment_plan(~0x3F) is None
+        monkeypatch.delenv("REPRO_NO_NUMPY")
+        plan = packed.segment_plan(~0x3F)
+        assert plan is not None
+        assert plan.starts[-1] == len(packed.thread)
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        assert packed.segment_plan(~0x3F) is None
+
+    def test_derived_generic_cache_builds_once(self):
+        packed = self._packed()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"x": 1}
+
+        first = packed.derived(("mytag", 7), build)
+        assert packed.derived(("mytag", 7), build) is first
+        assert len(calls) == 1
+        assert packed.derived(("mytag", 8), build) is not first
+        packed.append(1, 0x200, 0, 12, 0)
+        rebuilt = packed.derived(("mytag", 7), build)
+        assert rebuilt is not first
 
 
 class TestPackedTraceStore:

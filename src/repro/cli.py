@@ -16,6 +16,14 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.common.errors import (
+    ConfigError,
+    CordError,
+    DegradedPathError,
+    PipelineError,
+    StoreCorruptError,
+    WorkerTimeoutError,
+)
 from repro.cord.config import CordConfig
 from repro.cord.detector import CordDetector
 from repro.cord.replay import replay_trace, verify_replay
@@ -230,9 +238,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Library failure domain -> process exit code, most specific first.
+#: 2 follows argparse's usage-error convention; the resilience taxonomy
+#: gets the 66+ range (inspired by BSD sysexits) so scripts driving long
+#: campaigns can tell "your cache is damaged" (66) from "a worker hung"
+#: (67) from "even the scalar path failed" (68) without parsing stderr.
+EXIT_CODES = (
+    (ConfigError, 2),
+    (StoreCorruptError, 66),
+    (WorkerTimeoutError, 67),
+    (DegradedPathError, 68),
+    (PipelineError, 69),
+    (CordError, 70),
+)
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The exit code for a library exception (see :data:`EXIT_CODES`)."""
+    for exc_type, code in EXIT_CODES:
+        if isinstance(exc, exc_type):
+            return code
+    return 1
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CordError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

@@ -43,6 +43,55 @@ class LogFormatError(CordError, ValueError):
     """An order-recording log is malformed or truncated."""
 
 
+class PipelineError(CordError, RuntimeError):
+    """The analysis *pipeline* (not the simulated hardware) failed.
+
+    Base class of the resilience taxonomy: everything under it marks a
+    fault in our own record/analyze machinery -- a dead worker, a
+    corrupted cache entry, an accelerated path that had to be abandoned.
+    The simulated CORD hardware never raises these; the supervisor,
+    trace store, and degradation ladder do (see ``docs/resilience.md``).
+    """
+
+
+class WorkerTimeoutError(PipelineError):
+    """A supervised campaign worker missed its deadline (or died).
+
+    Raised (or recorded in a :class:`~repro.resilience.supervisor.RunReport`)
+    when a fan-out task exhausts its retry budget; a single timeout only
+    triggers a backoff-and-retry, never this error.
+    """
+
+    def __init__(self, task, attempts, message=None):
+        self.task = task
+        self.attempts = attempts
+        if message is None:
+            message = "task %r missed its deadline %d time(s)" % (
+                task, attempts,
+            )
+        super().__init__(message)
+
+
+class StoreCorruptError(PipelineError):
+    """An on-disk cache entry failed its integrity check.
+
+    Covers torn, truncated, and bit-flipped files: bad frame magic,
+    length mismatches, and payload checksum failures.  The store reacts
+    by quarantining the file and re-recording -- this error is how the
+    corruption is *named*, not a fatal condition on the read path.
+    """
+
+
+class DegradedPathError(PipelineError):
+    """Every rung of the degradation ladder failed for one configuration.
+
+    The guard re-runs a configuration on the next-slower path
+    (fused -> kernel -> pure-python scalar) when an accelerated pass
+    raises; this error means even the scalar reference path failed, so
+    there is no correct result to return.
+    """
+
+
 class ReplayDivergenceError(CordError, RuntimeError):
     """Deterministic replay observed an execution that differs from the log.
 

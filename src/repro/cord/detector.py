@@ -1059,7 +1059,18 @@ class CordDetector(Detector):
         a warm detector (the coherence plan assumes a cold cache
         model); outputs are byte-identical to the scalar paths,
         counters included (kernel-equivalence suite).
+
+        Exceptions raised here (the ``kernel_raise`` chaos fault, or a
+        real kernel bug) are caught by the degradation ladder
+        (:mod:`repro.resilience.guard`), which rebuilds the detector and
+        re-runs the configuration on a slower tier.
         """
+        from repro.resilience import faults
+
+        if faults.active() and faults.fire("kernel_raise"):
+            raise RuntimeError(
+                "chaos: injected kernel-path fault (kernel_raise)"
+            )
         d = self._d
         use_mem = self._use_mem
         entries_per_line = self._entries_per_line

@@ -147,9 +147,18 @@ def fuse_cord_detectors(detectors, packed) -> frozenset:
     from repro.cord.coherence import build_coherence_plan
     from repro.cord.detector import CordDetector
 
+    from repro.resilience import faults
+
     fused: set = set()
     if not fusion_enabled():
         return frozenset()
+    if faults.active() and faults.fire("fused_raise"):
+        # Chaos harness: an unexpected crash in the fused tier.  The
+        # degradation ladder (repro.resilience.guard) must catch it,
+        # rebuild the group, and re-run on the kernel tier.
+        raise RuntimeError(
+            "chaos: injected fused-path fault (fused_raise)"
+        )
     groups: Dict[tuple, List[CordDetector]] = {}
     for det in detectors:
         if type(det) is not CordDetector:

@@ -17,30 +17,56 @@ An optional on-disk cache (``cache_dir`` argument, or ``REPRO_CACHE_DIR``)
 persists finished campaigns keyed by the full parameter tuple, so
 re-running a figure script after an interruption -- or a second script
 over the same configuration -- skips straight to the views.
+
+Resilience: the fan-out runs under the supervisor
+(:mod:`repro.resilience.supervisor`) -- per-task deadlines
+(``REPRO_TASK_TIMEOUT``), retries with backoff (``REPRO_MAX_RETRIES``),
+and an in-process serial fallback when the pool is poisoned -- and every
+cache entry is wrapped in the checksummed frame from
+:mod:`repro.trace.store`, so a torn or bit-flipped pickle is detected,
+quarantined under ``<cache>/quarantine/``, counted in
+:attr:`Suite.warnings`, and recomputed.  Results stay bit-identical no
+matter which path (first try, retry, or serial fallback) computed them;
+see ``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
+import logging
 import os
 import pickle
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.common.errors import StoreCorruptError
 from repro.injection.campaign import (
     CampaignConfig,
     CampaignResult,
     run_campaign,
 )
-from repro.trace.store import PackedTraceStore
+from repro.resilience.supervisor import RunReport, Supervisor
+from repro.trace.store import (
+    PackedTraceStore,
+    frame_payload,
+    unframe_payload,
+)
 from repro.workloads.base import WorkloadParams
 from repro.workloads.registry import all_workloads, get_workload
 
+logger = logging.getLogger("repro.experiments.runner")
+
 #: Bump when CampaignResult's pickle layout changes incompatibly; stale
-#: cache entries then miss instead of unpickling garbage.
-_CACHE_SCHEMA = 1
+#: cache entries then miss instead of unpickling garbage.  2 = entries
+#: carry the checksummed store frame.
+_CACHE_SCHEMA = 2
+
+#: Unpickle failures that mean version skew (stale code), not damage:
+#: the frame already vouched for the bytes.
+_STALE_ERRORS = (AttributeError, ImportError, TypeError, ValueError,
+                 pickle.UnpicklingError, EOFError, IndexError)
 
 
 def default_jobs() -> int:
@@ -143,6 +169,12 @@ class Suite:
             Path(cache_dir) if cache_dir is not None else default_cache_dir()
         )
         self._campaigns: Dict[str, CampaignResult] = {}
+        #: Cache-health counters (``corrupt``, ``io_errors``, ``stale``):
+        #: every swallowed cache problem is counted here, never silent.
+        self.warnings: Counter = Counter()
+        #: The supervisor's :class:`RunReport` from the most recent
+        #: pooled :meth:`campaigns` call (None when nothing fanned out).
+        self.last_report: Optional[RunReport] = None
 
     @property
     def trace_store_dir(self) -> Optional[Path]:
@@ -176,16 +208,67 @@ class Suite:
             "campaign-%s-%s.pkl" % (workload, self._cache_key(workload))
         )
 
+    def _quarantine(self, path: Path, exc: Exception) -> None:
+        """Move a corrupt cache entry to ``<cache>/quarantine/`` + reason."""
+        qdir = self.cache_dir / "quarantine"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+            (qdir / (path.name + ".reason.txt")).write_text(
+                "quarantined campaign-cache entry\n"
+                "original path: %s\n"
+                "reason: %s: %s\n" % (path, type(exc).__name__, exc)
+            )
+        except OSError as move_exc:
+            logger.warning(
+                "could not quarantine corrupt cache entry %s: %s",
+                path, move_exc,
+            )
+        logger.warning(
+            "quarantined corrupt campaign-cache entry %s: %s", path, exc
+        )
+
     def _cache_load(self, workload: str) -> Optional[CampaignResult]:
+        """A cached campaign, or None -- counting every swallowed reason.
+
+        Only the *expected* failure set is caught: unreadable files
+        (``OSError``), frame/checksum violations
+        (:class:`StoreCorruptError`, quarantined), and version-skewed
+        pickles (stale).  Anything else is a real bug and propagates.
+        """
         path = self._cache_path(workload)
-        if path is None or not path.exists():
+        if path is None:
             return None
         try:
-            with path.open("rb") as fh:
-                result = pickle.load(fh)
-        except Exception:
-            return None  # stale or truncated entry: recompute
-        return result if isinstance(result, CampaignResult) else None
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            self.warnings["io_errors"] += 1
+            logger.warning("unreadable cache entry %s: %s", path, exc)
+            return None
+        try:
+            result = pickle.loads(
+                unframe_payload(raw, "cache entry %s" % path.name)
+            )
+        except StoreCorruptError as exc:
+            self.warnings["corrupt"] += 1
+            self._quarantine(path, exc)
+            return None
+        except _STALE_ERRORS:
+            self.warnings["stale"] += 1
+            return None
+        if not isinstance(result, CampaignResult):
+            self.warnings["corrupt"] += 1
+            self._quarantine(
+                path,
+                StoreCorruptError(
+                    "cache entry holds %r, not a CampaignResult"
+                    % type(result).__name__
+                ),
+            )
+            return None
+        return result
 
     def _cache_store(self, workload: str, result: CampaignResult) -> None:
         path = self._cache_path(workload)
@@ -193,10 +276,14 @@ class Suite:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
         # Write-then-rename so a concurrent reader (or a crash) never
-        # sees a half-written pickle.
+        # sees a half-written pickle; the checksummed frame catches the
+        # remaining torn-write windows (power loss mid-rename target).
+        payload = frame_payload(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        )
         tmp = path.with_suffix(".tmp.%d" % os.getpid())
         with tmp.open("wb") as fh:
-            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.write(payload)
         os.replace(tmp, path)
 
     # -- campaign execution --------------------------------------------------
@@ -224,8 +311,15 @@ class Suite:
     def campaigns(self) -> Dict[str, CampaignResult]:
         """All campaigns (running any that have not run yet).
 
-        Missing campaigns run on a process pool when ``jobs > 1``; disk
-        cache hits never occupy a worker.
+        Missing campaigns run under the supervisor when ``jobs > 1``:
+        each task gets a deadline, dead or hung workers are detected and
+        retried with backoff, and a poisoned pool falls back to
+        in-process serial execution (``self.last_report`` holds the
+        per-task outcomes).  Disk cache hits never occupy a worker, and
+        results land in ``self._campaigns`` -- and in the on-disk cache
+        -- in canonical workload order regardless of completion order,
+        retries, or fallbacks, so two identical runs leave identical
+        state behind.
         """
         missing = [
             name
@@ -240,18 +334,23 @@ class Suite:
             else:
                 pending.append(name)
         if len(pending) > 1 and self.jobs > 1:
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # platforms without fork
-                context = multiprocessing.get_context()
-            n_workers = min(self.jobs, len(pending))
-            with context.Pool(n_workers) as pool:
-                finished = pool.map(
-                    _run_campaign_task,
-                    [self._task(name) for name in pending],
-                    chunksize=1,
-                )
-            for name, result in finished:
+            supervisor = Supervisor(
+                jobs=min(self.jobs, len(pending)),
+                seed=self.config.base_seed,
+            )
+            finished, report = supervisor.run(
+                _run_campaign_task,
+                [(name, self._task(name)) for name in pending],
+            )
+            self.last_report = report
+            if report.degraded:
+                logger.warning("campaign fan-out: %s", report.summary())
+            # Deterministic submission order for memoization and cache
+            # writes -- never the order tasks happened to finish in
+            # (retried and serial-fallback results are cached the same
+            # as clean pool results).
+            for name in pending:
+                _task_name, result = finished[name]
                 self._campaigns[name] = result
                 self._cache_store(name, result)
         else:

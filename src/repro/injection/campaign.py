@@ -26,14 +26,13 @@ run: no detector may flag an access the Ideal oracle does not flag
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.common.errors import SimulationError
 from repro.common.rng import DeterministicRng
-from repro.cord.fused import fuse_cord_detectors
 from repro.detectors.base import DetectionOutcome
+from repro.resilience.guard import guarded_outcomes, mark_plan_sharing
 from repro.detectors.registry import DetectorSpec, standard_suite
 from repro.engine.executor import run_program
 from repro.injection.injector import (
@@ -228,27 +227,9 @@ def record_injected_once(
     return recorded
 
 
-def _mark_plan_sharing(dets) -> None:
-    """Tell each CORD detector whether its coherence plan amortizes.
-
-    The plan (repro.cord.coherence) is keyed by cache geometry and
-    shared across a sweep's configurations; building one that no other
-    configuration reuses costs about as much as the scalar pass it
-    replaces (a cache-capacity sweep is all unique geometries).  The
-    campaign sees the whole detector list, so it can say which
-    geometries appear at least twice; singletons keep the scalar loop.
-    """
-    from repro.cord.detector import CordDetector
-
-    keys = {}
-    for det in dets:
-        if type(det) is CordDetector and det._walkers is None:
-            keys[id(det)] = det._coherence_key()
-    counts = Counter(keys.values())
-    for det in dets:
-        key = keys.get(id(det))
-        if key is not None:
-            det._plan_amortized = counts[key] >= 2
+#: Kept under its historical name: the sharing heuristic now lives with
+#: the degradation ladder (the other consumer of the whole-suite view).
+_mark_plan_sharing = mark_plan_sharing
 
 
 def analyze_recorded(
@@ -256,7 +237,18 @@ def analyze_recorded(
     detectors: Sequence[DetectorSpec],
     check_soundness: bool = True,
 ) -> RunResult:
-    """Evaluate every detector on one recorded run's packed trace."""
+    """Evaluate every detector on one recorded run's packed trace.
+
+    Analysis runs behind the degradation ladder
+    (:mod:`repro.resilience.guard`): CORD detectors differing only in D
+    share one interval-fused pass when possible (see
+    :mod:`repro.cord.fused`), every other configuration takes its packed
+    kernel/columnar pass, and any exception in an accelerated path
+    re-runs the affected configuration on the next-slower tier -- down
+    to the pure-python scalar reference -- instead of failing the run.
+    With ``REPRO_CROSS_CHECK=1`` the lower tiers are also run eagerly
+    and asserted byte-identical.
+    """
     result = RunResult(
         run_index=recorded.run_index,
         seed=recorded.seed,
@@ -266,24 +258,11 @@ def analyze_recorded(
         hung=recorded.hung,
         n_events=len(recorded.packed),
     )
-    outcomes: Dict[str, DetectionOutcome] = {}
-    built = [(spec, spec.build(recorded.n_threads)) for spec in detectors]
-    _mark_plan_sharing([det for _spec, det in built])
-    # CORD detectors differing only in D may share one interval-fused
-    # pass over the packed trace (exact by affine interpolation; see
-    # repro.cord.fused).  Fused detectors skip process_packed; their
-    # finish() below reads the materialized state.
-    fused_ids: frozenset = frozenset()
-    if len(built) > 1:
-        fused_ids = fuse_cord_detectors(
-            [det for _spec, det in built], recorded.packed
-        )
-    for spec, det in built:
-        if id(det) in fused_ids:
-            outcome = det.finish(recorded.packed)
-        else:
-            outcome = det.run_packed(recorded.packed)
-        outcomes[spec.name] = outcome
+    outcomes: Dict[str, DetectionOutcome] = guarded_outcomes(
+        detectors, recorded.n_threads, recorded.packed
+    )
+    for spec in detectors:
+        outcome = outcomes[spec.name]
         result.flagged[spec.name] = outcome.raw_count
         result.problem[spec.name] = outcome.problem_detected
         result.counters[spec.name] = dict(outcome.counters)

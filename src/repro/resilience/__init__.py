@@ -1,0 +1,50 @@
+"""Pipeline resilience: supervision, self-healing storage, degradation.
+
+The paper's promise is reliability of the record/detect pipeline itself
+-- no false positives, always a replayable log.  This package gives our
+*analysis* pipeline the same discipline: long campaigns survive dead or
+hung workers (:mod:`~repro.resilience.supervisor`), corrupted on-disk
+trace entries are detected, quarantined, and re-recorded
+(:mod:`repro.trace.store`), and any failure in an accelerated analysis
+path degrades to the next-slower byte-identical tier instead of taking
+the sweep down (:mod:`~repro.resilience.guard`).  The fault points that
+prove all of it live in :mod:`~repro.resilience.faults`.
+
+See ``docs/resilience.md`` for the operator-facing overview and the
+``REPRO_TASK_TIMEOUT`` / ``REPRO_MAX_RETRIES`` / ``REPRO_CROSS_CHECK``
+/ ``REPRO_FAULTS`` environment knobs.
+"""
+
+from repro.resilience.guard import (
+    GUARD_LOG,
+    DegradationEvent,
+    GuardLog,
+    compute_outcomes,
+    cross_check_enabled,
+    guarded_outcomes,
+    verify_ladder_equivalence,
+)
+from repro.resilience.supervisor import (
+    RunReport,
+    Supervisor,
+    TaskOutcome,
+    default_max_retries,
+    default_task_timeout,
+    run_supervised,
+)
+
+__all__ = [
+    "GUARD_LOG",
+    "DegradationEvent",
+    "GuardLog",
+    "RunReport",
+    "Supervisor",
+    "TaskOutcome",
+    "compute_outcomes",
+    "cross_check_enabled",
+    "default_max_retries",
+    "default_task_timeout",
+    "guarded_outcomes",
+    "run_supervised",
+    "verify_ladder_equivalence",
+]

@@ -1,0 +1,162 @@
+"""Chaos-harness fault points.
+
+The resilience stack (supervisor, trace store, degradation ladder) is
+only trustworthy if its failure paths actually run, so the pipeline
+carries a handful of *fault points* -- named sites where a test (or an
+operator hunting a heisenbug) can inject the failure the path exists to
+survive.  With no faults armed every hook is a single cheap boolean
+check, so production runs pay nothing.
+
+Faults are armed through the ``REPRO_FAULTS`` environment variable (or
+programmatically via :func:`arm`), as a comma-separated list of
+``name[:charges]`` entries::
+
+    REPRO_FAULTS="fused_raise:2,store_truncate"
+
+Each armed fault carries a *charge budget* (default 1).  In-process
+faults (:func:`fire`) consume one charge per firing and go quiet when
+the budget is spent -- so a retry or a re-record after the injected
+failure succeeds, which is exactly the recovery the chaos tests assert.
+Worker-level faults (:func:`should_fire`) are evaluated in freshly
+spawned supervisor children, where a per-process budget would reset on
+every attempt; they are gated on the *attempt number* instead
+(``attempt < charges``), which is deterministic across processes: a
+``worker_kill:1`` kills every task's first attempt and no retry.
+
+Fault points wired into the pipeline:
+
+=================  =========================================================
+``worker_kill``    supervisor child exits hard (``os._exit``) before working
+``worker_stall``   supervisor child sleeps ``REPRO_FAULT_STALL_SECONDS``
+                   (default 30) before working, tripping the task deadline
+``store_truncate`` :class:`~repro.trace.store.PackedTraceStore` writes only
+                   half of an entry's frame (a torn write)
+``fused_raise``    the interval-fused sweep pass raises at entry
+``kernel_raise``   ``CordDetector._process_packed_kernel`` raises at entry
+=================  =========================================================
+
+This module must stay import-light (stdlib only): it is imported by the
+trace store and the CORD hot paths, and must never create an import
+cycle with them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+_ENV = "REPRO_FAULTS"
+_STALL_ENV = "REPRO_FAULT_STALL_SECONDS"
+
+#: Exit status a ``worker_kill`` child dies with (distinguishable from a
+#: crash in the campaign itself, which reports through the result pipe).
+KILL_EXIT_CODE = 86
+
+#: Per-process armed faults: name -> remaining charges.  ``None`` means
+#: the environment has not been parsed yet (lazily, so tests can set the
+#: variable after import).
+_armed: Optional[Dict[str, int]] = None
+
+
+def _parse(spec: str) -> Dict[str, int]:
+    plan: Dict[str, int] = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, _, charges = item.partition(":")
+        name = name.strip()
+        if not name:
+            continue
+        try:
+            count = int(charges) if charges.strip() else 1
+        except ValueError:
+            count = 1
+        if count > 0:
+            plan[name] = count
+    return plan
+
+
+def _plan() -> Dict[str, int]:
+    global _armed
+    if _armed is None:
+        _armed = _parse(os.environ.get(_ENV, ""))
+    return _armed
+
+
+def arm(spec: Optional[str] = None) -> None:
+    """(Re)arm faults from ``spec``, or re-read ``REPRO_FAULTS``.
+
+    Tests call this after ``monkeypatch.setenv`` so the per-process
+    charge budgets reset; ``arm("")`` disarms everything.
+    """
+    global _armed
+    _armed = _parse(os.environ.get(_ENV, "") if spec is None else spec)
+
+
+def reset() -> None:
+    """Forget all parsed state; the next check re-reads the environment."""
+    global _armed
+    _armed = None
+
+
+def active() -> bool:
+    """Is any fault armed at all?  (The hot paths' one-boolean gate.)"""
+    return bool(_plan())
+
+
+def fire(name: str) -> bool:
+    """Consume one charge of ``name`` if armed; True when the fault fires.
+
+    In-process fault points call this exactly where the failure should
+    originate, e.g. ``if faults.fire("fused_raise"): raise ...``.
+    """
+    plan = _plan()
+    if not plan:
+        return False
+    left = plan.get(name, 0)
+    if left <= 0:
+        return False
+    plan[name] = left - 1
+    return True
+
+
+def should_fire(name: str, attempt: int) -> bool:
+    """Non-consuming, attempt-gated check for cross-process fault points.
+
+    Fires while ``attempt < charges``: deterministic no matter how many
+    fresh worker processes evaluate it, so a retried task heals once its
+    attempt number climbs past the budget.
+    """
+    plan = _plan()
+    if not plan:
+        return False
+    return attempt < plan.get(name, 0)
+
+
+def stall_seconds() -> float:
+    """How long a ``worker_stall`` fault sleeps (``REPRO_FAULT_STALL_SECONDS``)."""
+    raw = os.environ.get(_STALL_ENV, "").strip()
+    if raw:
+        try:
+            return max(0.0, float(raw))
+        except ValueError:
+            pass
+    return 30.0
+
+
+def worker_entry(attempt: int) -> None:
+    """The supervisor child's fault hook, called before the task body.
+
+    ``worker_kill`` exits the process without a word (the parent sees a
+    dead worker with no result -- the crash it must survive);
+    ``worker_stall`` sleeps long enough to trip the task deadline.
+    """
+    if not active():
+        return
+    if should_fire("worker_kill", attempt):
+        os._exit(KILL_EXIT_CODE)
+    if should_fire("worker_stall", attempt):
+        import time
+
+        time.sleep(stall_seconds())

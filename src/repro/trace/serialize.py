@@ -23,6 +23,15 @@ Version 1 (row-major, 23 bytes per event: ``u16 thread | u64 address |
 u8 flags | u32 icount | i64 value`` after the same header shape) is still
 decoded for old files, in bulk via ``struct.iter_unpack``.
 
+Robustness contract: decoding arbitrary bytes either returns a faithful
+trace or raises :class:`~repro.common.errors.LogFormatError` -- never a
+raw ``struct.error``/``UnicodeDecodeError`` and never a huge allocation
+driven by a corrupt length field (the payload-length check runs before
+any column is materialized).  The codec itself carries no checksum, so a
+bit flip *inside* a column payload of the right length is undetectable
+here; the on-disk store (:mod:`repro.trace.store`) layers a SHA-256
+checksummed frame on top for exactly that case.
+
 See ``docs/trace-format.md`` for the full layout and the sweep-cache key
 scheme built on top of it.
 """
@@ -64,16 +73,42 @@ def _encode_header(magic: bytes, packed: PackedTrace) -> bytearray:
 
 
 def _decode_header(data, magic_len: int):
+    """Decode the shared header, validating as it goes.
+
+    Any way a truncated or bit-flipped buffer can break the header --
+    cut-off fixed fields, an icount table or name extending past the end
+    of the data, a name that is not UTF-8 -- raises
+    :class:`LogFormatError` with a reason, never ``struct.error`` or
+    ``UnicodeDecodeError`` (and never an attempt to decode garbage).
+    """
     offset = magic_len
-    n_threads, hung, seed, n_events = _HEADER.unpack_from(data, offset)
-    offset += _HEADER.size
-    final_icounts = list(
-        struct.unpack_from("<%dQ" % n_threads, data, offset)
-    )
-    offset += 8 * n_threads
-    (name_len,) = struct.unpack_from("<H", data, offset)
-    offset += 2
-    name = bytes(data[offset:offset + name_len]).decode("utf-8")
+    try:
+        n_threads, hung, seed, n_events = _HEADER.unpack_from(
+            data, offset
+        )
+        offset += _HEADER.size
+        final_icounts = list(
+            struct.unpack_from("<%dQ" % n_threads, data, offset)
+        )
+        offset += 8 * n_threads
+        (name_len,) = struct.unpack_from("<H", data, offset)
+        offset += 2
+    except struct.error as exc:
+        raise LogFormatError(
+            "truncated trace header: %s" % exc
+        ) from exc
+    if offset + name_len > len(data):
+        raise LogFormatError(
+            "trace name extends past the end of the data "
+            "(need %d bytes at offset %d of %d)"
+            % (name_len, offset, len(data))
+        )
+    try:
+        name = bytes(data[offset:offset + name_len]).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise LogFormatError(
+            "trace name is not valid UTF-8: %s" % exc
+        ) from exc
     offset += name_len
     return offset, n_events, final_icounts, name, bool(hung), (
         None if seed == _NO_SEED else seed

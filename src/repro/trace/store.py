@@ -14,6 +14,17 @@ The digest also folds in the store schema and the trace-format version,
 so format bumps miss cleanly instead of decoding garbage.  See
 ``docs/trace-format.md`` for the full key scheme.
 
+Integrity: every entry is wrapped in a checksummed frame
+(:func:`frame_payload`) -- magic, payload length, SHA-256 digest -- so a
+torn, truncated, or bit-flipped file is *detected*
+(:class:`~repro.common.errors.StoreCorruptError`), never decoded into
+garbage.  A corrupt entry is moved to ``<root>/quarantine/`` next to a
+``*.reason.txt`` note and the read reports a miss, which makes the
+caller transparently re-record through
+:func:`repro.injection.campaign.record_injected_once`; per-store
+counters (:attr:`PackedTraceStore.stats`) surface how often that
+happened instead of staying silent.  See ``docs/resilience.md``.
+
 Entries are written atomically (write-then-rename), mirroring the
 campaign cache in :mod:`repro.experiments.runner`, so concurrent sweep
 processes sharing one ``REPRO_CACHE_DIR`` never observe torn files.
@@ -22,25 +33,88 @@ processes sharing one ``REPRO_CACHE_DIR`` never observe torn files.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import re
+import struct
+from collections import Counter
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
+from repro.common.errors import LogFormatError, StoreCorruptError
+from repro.resilience import faults
 from repro.trace.packed import PackedTrace
 from repro.trace.serialize import (
     decode_packed_trace,
     encode_packed_trace,
 )
 
-#: Bump when the entry layout changes incompatibly.
-_STORE_SCHEMA = 1
+logger = logging.getLogger("repro.trace.store")
+
+#: Bump when the entry layout changes incompatibly.  2 = checksummed
+#: framing (bumping also renames every key, so pre-frame files are
+#: simply never looked up again).
+_STORE_SCHEMA = 2
 
 #: Folded into every digest: a v2-format bump must invalidate entries.
 _FORMAT_TAG = "CORDTRC2"
 
 _SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+#: Entry frame: magic | u64 payload length | sha256(payload) | payload.
+FRAME_MAGIC = b"CORDSTOR1"
+_FRAME_LEN = struct.Struct("<Q")
+_DIGEST_SIZE = hashlib.sha256().digest_size
+_FRAME_HEADER = len(FRAME_MAGIC) + _FRAME_LEN.size + _DIGEST_SIZE
+
+#: Unpickling errors that mean *version skew*, not file corruption: the
+#: frame already proved the bytes are exactly what some past process
+#: wrote, so a class that no longer unpickles is stale, not damaged.
+_STALE_ERRORS = (AttributeError, ImportError, TypeError, ValueError,
+                 pickle.UnpicklingError, EOFError, IndexError)
+
+
+def frame_payload(payload: bytes) -> bytes:
+    """Wrap ``payload`` in the store's checksummed frame."""
+    return b"".join((
+        FRAME_MAGIC,
+        _FRAME_LEN.pack(len(payload)),
+        hashlib.sha256(payload).digest(),
+        payload,
+    ))
+
+
+def unframe_payload(data: bytes, what: str = "store entry") -> bytes:
+    """Validate and strip the frame; raises :class:`StoreCorruptError`.
+
+    Every failure mode of a damaged file maps to a distinct reason:
+    short header, wrong magic, length mismatch (torn/truncated write),
+    and digest mismatch (bit rot).
+    """
+    if len(data) < _FRAME_HEADER:
+        raise StoreCorruptError(
+            "%s is %d bytes, shorter than the %d-byte frame header"
+            % (what, len(data), _FRAME_HEADER)
+        )
+    if data[: len(FRAME_MAGIC)] != FRAME_MAGIC:
+        raise StoreCorruptError(
+            "%s has bad frame magic %r" % (what, bytes(data[:8]))
+        )
+    (length,) = _FRAME_LEN.unpack_from(data, len(FRAME_MAGIC))
+    payload = data[_FRAME_HEADER:]
+    if len(payload) != length:
+        raise StoreCorruptError(
+            "%s payload is %d bytes, frame promises %d (torn write?)"
+            % (what, len(payload), length)
+        )
+    digest = data[len(FRAME_MAGIC) + _FRAME_LEN.size: _FRAME_HEADER]
+    if hashlib.sha256(payload).digest() != digest:
+        raise StoreCorruptError(
+            "%s failed its payload checksum (bit rot or tampering)"
+            % what
+        )
+    return payload
 
 
 class PackedTraceStore:
@@ -50,10 +124,18 @@ class PackedTraceStore:
     small picklable ``extra`` dict (e.g. which sync instance the injector
     removed).  A *value entry* is a bare picklable object (e.g. a
     workload's dynamic sync-instance count) keyed the same way.
+
+    Attributes:
+        stats: per-instance warning counters -- ``quarantined`` (corrupt
+            entries detected and moved aside), ``io_errors`` (unreadable
+            files), ``stale`` (healthy frames whose pickled classes no
+            longer load).  Reads never raise for any of these; the
+            counters are how the healing stops being silent.
     """
 
     def __init__(self, root: os.PathLike):
         self.root = Path(root)
+        self.stats: Counter = Counter()
 
     # -- keying ---------------------------------------------------------------
 
@@ -72,22 +154,90 @@ class PackedTraceStore:
             % (kind, prefix, self._digest(namespace, components))
         )
 
+    # -- corruption handling ---------------------------------------------------
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def _quarantine(self, path: Path, exc: Exception) -> None:
+        """Move a corrupt entry aside with a human-readable reason file.
+
+        The entry keeps its name under ``<root>/quarantine/`` so the
+        damaged bytes stay available for a post-mortem; the read path
+        then reports a miss and the caller re-records.
+        """
+        self.stats["quarantined"] += 1
+        qdir = self.quarantine_dir
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+            reason = qdir / (path.name + ".reason.txt")
+            reason.write_text(
+                "quarantined store entry\n"
+                "original path: %s\n"
+                "reason: %s: %s\n" % (path, type(exc).__name__, exc)
+            )
+        except OSError as move_exc:
+            # Quarantining is best-effort: a read-only cache directory
+            # must not turn a recoverable corrupt entry into a crash.
+            self.stats["quarantine_failed"] += 1
+            logger.warning(
+                "could not quarantine corrupt entry %s: %s",
+                path, move_exc,
+            )
+        logger.warning("quarantined corrupt store entry %s: %s", path, exc)
+
+    def _read_payload(self, path: Path, what: str) -> Optional[bytes]:
+        """The checked read path shared by runs and values.
+
+        Returns the verified payload bytes, or ``None`` for a miss --
+        which covers unreadable files (counted in ``io_errors``) and
+        corrupt ones (quarantined and counted in ``quarantined``).
+        """
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            self.stats["io_errors"] += 1
+            logger.warning("unreadable store entry %s: %s", path, exc)
+            return None
+        try:
+            return unframe_payload(raw, what)
+        except StoreCorruptError as exc:
+            self._quarantine(path, exc)
+            return None
+
     # -- run entries -----------------------------------------------------------
 
     def load_run(
         self, namespace: str, components: Tuple
     ) -> Optional[Tuple[PackedTrace, Dict[str, Any]]]:
-        """The recorded run for this key, or None (miss/stale/corrupt)."""
+        """The recorded run for this key, or None (miss/stale/corrupt).
+
+        Corruption anywhere -- frame, pickle layer, or the CORDTRC2
+        trace bytes inside -- quarantines the entry and reports a miss,
+        so the caller re-records instead of crashing or, worse,
+        analyzing garbage.
+        """
         path = self._path("trace", namespace, components)
-        if not path.exists():
+        payload = self._read_payload(path, "trace entry %s" % path.name)
+        if payload is None:
             return None
         try:
-            with path.open("rb") as fh:
-                entry = pickle.load(fh)
+            entry = pickle.loads(payload)
             packed = decode_packed_trace(entry["trace"])
             extra = entry["extra"]
-        except Exception:
-            return None  # stale or truncated entry: re-record
+        except (LogFormatError, KeyError) as exc:
+            # The frame checksum passed, yet the contents are not a
+            # valid entry: the *writer* was broken.  Quarantine -- this
+            # is corruption, just minted earlier.
+            self._quarantine(path, exc)
+            return None
+        except _STALE_ERRORS:
+            self.stats["stale"] += 1
+            return None
         return packed, extra
 
     def store_run(
@@ -98,30 +248,42 @@ class PackedTraceStore:
         extra: Dict[str, Any],
     ) -> None:
         entry = {"trace": encode_packed_trace(packed), "extra": extra}
-        self._write(self._path("trace", namespace, components), entry)
+        self._write(
+            self._path("trace", namespace, components),
+            pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL),
+        )
 
     # -- bare value entries ------------------------------------------------------
 
     def load_value(self, namespace: str, components: Tuple):
         """A cached picklable value for this key, or None."""
         path = self._path("value", namespace, components)
-        if not path.exists():
+        payload = self._read_payload(path, "value entry %s" % path.name)
+        if payload is None:
             return None
         try:
-            with path.open("rb") as fh:
-                return pickle.load(fh)
-        except Exception:
+            return pickle.loads(payload)
+        except _STALE_ERRORS:
+            self.stats["stale"] += 1
             return None
 
     def store_value(self, namespace: str, components: Tuple,
                     value) -> None:
-        self._write(self._path("value", namespace, components), value)
+        self._write(
+            self._path("value", namespace, components),
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
+        )
 
     # -- plumbing ----------------------------------------------------------------
 
-    def _write(self, path: Path, payload) -> None:
+    def _write(self, path: Path, payload: bytes) -> None:
+        framed = frame_payload(payload)
+        if faults.active() and faults.fire("store_truncate"):
+            # Chaos harness: model a torn write by persisting only half
+            # the frame.  The next read must detect and quarantine it.
+            framed = framed[: max(1, len(framed) // 2)]
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(".tmp.%d" % os.getpid())
         with tmp.open("wb") as fh:
-            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.write(framed)
         os.replace(tmp, path)

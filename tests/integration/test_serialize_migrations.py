@@ -2,11 +2,12 @@
 
 import pytest
 
-from repro.common.errors import LogFormatError
+from repro.common.errors import LogFormatError, StoreCorruptError
 from repro.cord import CordConfig, CordDetector, replay_trace, verify_replay
 from repro.detectors import IdealDetector
 from repro.engine import run_program
-from repro.trace import decode_trace, encode_trace
+from repro.trace import decode_packed_trace, decode_trace, encode_trace
+from repro.trace.store import frame_payload, unframe_payload
 
 from tests.conftest import build_counter_program
 
@@ -56,6 +57,58 @@ class TestTraceSerialization:
         assert restored.hung
         assert restored.seed is None
         assert len(restored.events) == 0
+
+
+class TestByteMutationRobustness:
+    """Corrupt bytes decode faithfully or raise -- never garbage.
+
+    Two layers share the contract.  The bare codec
+    (:func:`decode_packed_trace`) must map *any* single-byte mutation or
+    truncation to either a structurally sound trace or
+    :class:`LogFormatError` -- never a raw ``struct.error``, a
+    ``UnicodeDecodeError``, or a corrupt-length-driven allocation.  The
+    store frame (:func:`frame_payload`) then closes the remaining hole
+    (payload flips the codec cannot see): under the frame, *every*
+    mutation raises :class:`StoreCorruptError`.
+    """
+
+    @pytest.fixture(scope="class")
+    def blob(self):
+        return encode_trace(run_program(build_counter_program(), seed=9))
+
+    def test_codec_mutations_decode_or_raise(self, blob):
+        n_events = len(decode_packed_trace(blob))
+        for offset in range(len(blob)):
+            mutated = bytearray(blob)
+            mutated[offset] ^= 0xFF
+            try:
+                packed = decode_packed_trace(bytes(mutated))
+            except LogFormatError:
+                continue
+            # The mutation survived decoding (a payload flip the codec
+            # cannot detect): the result must still be structurally
+            # sound -- right length, consistent columns.
+            assert len(packed) == n_events
+            assert all(
+                len(column) == n_events for column in packed.columns()
+            )
+
+    def test_codec_truncations_always_raise(self, blob):
+        for cut in range(len(blob)):
+            with pytest.raises(LogFormatError):
+                decode_packed_trace(blob[:cut])
+
+    def test_framed_mutations_always_raise(self, blob):
+        framed = frame_payload(blob)
+        for offset in range(len(framed)):
+            mutated = bytearray(framed)
+            mutated[offset] ^= 0xFF
+            with pytest.raises(StoreCorruptError):
+                unframe_payload(bytes(mutated))
+
+    def test_framed_roundtrip_is_exact(self, blob):
+        restored = decode_packed_trace(unframe_payload(frame_payload(blob)))
+        assert restored.columns_equal(decode_packed_trace(blob))
 
 
 class TestScheduledMigrations:

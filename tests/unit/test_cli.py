@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, exit_code_for, main
+from repro.common.errors import (
+    ConfigError,
+    CordError,
+    DegradedPathError,
+    PipelineError,
+    StoreCorruptError,
+    WorkerTimeoutError,
+)
 
 
 class TestParser:
@@ -54,3 +62,46 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "sync instances" in out
         assert "CORD-D16" in out
+
+
+class TestExitCodes:
+    """Each failure domain maps to a distinct, stable exit code."""
+
+    def test_taxonomy_mapping(self):
+        assert exit_code_for(ConfigError("bad knob")) == 2
+        assert exit_code_for(StoreCorruptError("torn")) == 66
+        assert exit_code_for(WorkerTimeoutError("fft", 3)) == 67
+        assert exit_code_for(DegradedPathError("all tiers")) == 68
+        assert exit_code_for(PipelineError("fan-out")) == 69
+        assert exit_code_for(CordError("generic")) == 70
+        assert exit_code_for(RuntimeError("unrelated")) == 1
+
+    def test_specific_beats_general(self):
+        # WorkerTimeoutError is a PipelineError is a CordError: the most
+        # specific code must win.
+        exc = WorkerTimeoutError("lu", 2)
+        assert isinstance(exc, PipelineError)
+        assert isinstance(exc, CordError)
+        assert exit_code_for(exc) == 67
+
+    def test_main_maps_library_errors(self, monkeypatch, capsys):
+        import repro.cli as cli_mod
+
+        def corrupt():
+            raise StoreCorruptError("cache entry failed its checksum")
+
+        monkeypatch.setattr(cli_mod, "table1", corrupt)
+        assert main(["list"]) == 66
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "checksum" in err
+
+    def test_main_lets_foreign_errors_propagate(self, monkeypatch):
+        import repro.cli as cli_mod
+
+        def boom():
+            raise RuntimeError("a genuine bug")
+
+        monkeypatch.setattr(cli_mod, "table1", boom)
+        with pytest.raises(RuntimeError):
+            main(["list"])

@@ -298,23 +298,31 @@ class TestPackedTraceStore:
         assert store.load_run(*key) is None
 
     def test_wrong_trace_payload_misses(self, tmp_path):
+        # A healthy frame around a broken entry (the writer was buggy)
+        # must still miss -- and be quarantined, not analyzed.
+        from repro.trace.store import frame_payload
+
         store = PackedTraceStore(tmp_path)
         key = ("fft/params", (3, 1, 0.1))
         store.store_run(*key, self._packed(), {})
         path = store._path("trace", *key)
-        with path.open("wb") as fh:
-            pickle.dump({"trace": b"not a codec blob", "extra": {}}, fh)
+        path.write_bytes(frame_payload(
+            pickle.dumps({"trace": b"not a codec blob", "extra": {}})
+        ))
         assert store.load_run(*key) is None
+        assert store.stats["quarantined"] == 1
 
     def test_codec_used_for_trace_payload(self, tmp_path):
-        # The stored blob must be the v2 codec output, so offline tools
-        # can decode entries without importing the store.
+        # The stored blob must be the store frame around a plain pickle
+        # whose trace is the v2 codec output, so offline tools can
+        # decode entries with just the frame helper.
+        from repro.trace.store import unframe_payload
+
         store = PackedTraceStore(tmp_path)
         key = ("fft/params", (3, 1, 0.1))
         store.store_run(*key, self._packed(), {})
         path = store._path("trace", *key)
-        with path.open("rb") as fh:
-            entry = pickle.load(fh)
+        entry = pickle.loads(unframe_payload(path.read_bytes()))
         assert entry["trace"] == encode_packed_trace(self._packed())
         assert decode_packed_trace(entry["trace"]).columns_equal(
             self._packed()

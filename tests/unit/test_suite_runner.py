@@ -15,6 +15,7 @@ from repro.experiments.runner import (
     default_cache_dir,
     default_jobs,
 )
+from repro.resilience import faults
 from repro.workloads import WorkloadParams
 
 # Two small apps keep the pooled path (len(pending) > 1) exercised while
@@ -142,6 +143,86 @@ class TestDiskCache:
         suite = Suite(_CONFIG, jobs=1)
         suite.campaign("fft")
         assert list(tmp_path.iterdir()) == []
+
+
+class TestResilientFanOut:
+    """Retries and serial fallback change *where* a campaign computes,
+    never what lands in memory or in the on-disk cache."""
+
+    @pytest.fixture(autouse=True)
+    def _fault_hygiene(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        monkeypatch.delenv("REPRO_MAX_RETRIES", raising=False)
+        faults.reset()
+        yield
+        faults.reset()
+
+    def _cache_bytes(self, cache_dir):
+        return {
+            p.name: p.read_bytes()
+            for p in cache_dir.iterdir()
+            if p.is_file()
+        }
+
+    def test_retried_run_leaves_identical_state(self, tmp_path,
+                                                monkeypatch):
+        clean_dir = tmp_path / "clean"
+        clean = _digest(Suite(_CONFIG, jobs=2, cache_dir=clean_dir))
+
+        monkeypatch.setenv("REPRO_FAULTS", "worker_kill:1")
+        faults.arm()
+        faulted_dir = tmp_path / "faulted"
+        suite = Suite(_CONFIG, jobs=2, cache_dir=faulted_dir)
+        assert _digest(suite) == clean
+        assert suite.last_report.degraded
+        # The cache written under retry is byte-identical to the one a
+        # fault-free run writes.
+        assert self._cache_bytes(faulted_dir) == self._cache_bytes(
+            clean_dir
+        )
+
+    def test_serial_fallback_keeps_order_and_cache(self, tmp_path,
+                                                   monkeypatch):
+        baseline = _digest(Suite(_CONFIG, jobs=1))
+
+        # Kill every pool attempt with no retries: both tasks must land
+        # on the in-process serial rung.
+        monkeypatch.setenv("REPRO_FAULTS", "worker_kill:99")
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "0")
+        faults.arm()
+        suite = Suite(_CONFIG, jobs=2, cache_dir=tmp_path)
+        digest = _digest(suite)
+        assert digest == baseline
+        report = suite.last_report
+        assert report.ok and report.degraded
+        assert [out.path for out in report.outcomes] == ["serial"] * 2
+        # Results memoize and render in canonical workload order, not
+        # completion or fallback order.
+        assert list(suite.campaigns().keys()) == ["fft", "lu"]
+        # And the serial-fallback results were cached: a warm suite
+        # serves them without recomputing.
+        faults.arm("")
+        warm = Suite(_CONFIG, jobs=1, cache_dir=tmp_path)
+        import repro.experiments.runner as runner_mod
+
+        def explode(task):
+            raise AssertionError("cache miss recomputed %r" % (task,))
+
+        monkeypatch.setattr(runner_mod, "_run_campaign_task", explode)
+        assert _digest(warm) == baseline
+
+    def test_corrupt_cache_entry_is_counted_and_quarantined(
+        self, tmp_path
+    ):
+        suite = Suite(_CONFIG, jobs=1, cache_dir=tmp_path)
+        path = suite._cache_path("fft")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a framed pickle")
+        assert _digest(suite)  # recomputes
+        assert suite.warnings["corrupt"] == 1
+        qdir = tmp_path / "quarantine"
+        assert (qdir / path.name).exists()
+        assert (qdir / (path.name + ".reason.txt")).exists()
 
 
 class TestPickleRoundTrip:

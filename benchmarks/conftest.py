@@ -27,6 +27,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import Suite, SuiteConfig
+from repro.resilience.checkpoint import atomic_write_json
 from repro.workloads import WorkloadParams
 
 RUNS_PER_APP = int(os.environ.get("CORD_BENCH_RUNS", "8"))
@@ -119,7 +120,9 @@ def _append_entry(path, entry):
         for existing in payload["entries"]
         if existing.get("label") != entry["label"]
     ] + [entry]
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    # Atomic (tmp -> fsync -> rename): a benchmark session killed
+    # mid-flush must not tear the committed trajectory history.
+    atomic_write_json(path, payload, indent=2, sort_keys=True)
 
 
 @pytest.fixture(scope="session", autouse=True)

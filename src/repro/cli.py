@@ -9,6 +9,12 @@ Usage (also available as ``python -m repro.cli``):
     cord-repro inject volrend -n 12      # Section 3.4 campaign, one app
     cord-repro figures --quick           # regenerate the paper's figures
     cord-repro replay cholesky           # record + replay verification
+    cord-repro sweep --cache DIR         # checkpointed D-sensitivity sweep
+
+A checkpointed ``sweep`` survives its own death: every journal
+transition is durable, SIGTERM drains to exit code 71 ("interrupted,
+resumable"), and re-running with the same ``--cache`` directory (or an
+explicit ``--resume <run-id>``) completes bit-identically.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from repro.common.errors import (
     ConfigError,
     CordError,
     DegradedPathError,
+    InterruptedRunError,
     PipelineError,
     StoreCorruptError,
     WorkerTimeoutError,
@@ -158,6 +165,75 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    """Checkpointed D-sensitivity sweep (the resumable campaign driver).
+
+    The report goes to stdout and is byte-identical no matter how many
+    interruptions and resumes preceded it; progress/accounting lines go
+    to stderr so byte-comparing stdout (as the kill-anywhere CI step
+    does) stays meaningful.
+    """
+    from pathlib import Path
+
+    from repro.experiments.sensitivity import D_VALUES, d_sensitivity
+    from repro.resilience.checkpoint import GracefulShutdown
+    from repro.resilience.journal import RunCheckpoint
+    from repro.trace.store import PackedTraceStore
+
+    workloads = tuple(args.apps)
+    params = WorkloadParams(scale=args.scale)
+    identity = (
+        "sweep-d", workloads, tuple(D_VALUES), args.runs, repr(params),
+        args.seed,
+    )
+    store = None
+    ckpt = None
+    if args.cache:
+        root = Path(args.cache)
+        store = PackedTraceStore(root / "traces")
+        ckpt = RunCheckpoint.open(
+            root,
+            identity=identity,
+            kind="sweep",
+            resume=args.resume,
+            quarantine_dirs=((root / "traces" / "quarantine"),),
+        )
+        for key in ("tmp_pruned", "journals_pruned",
+                    "quarantine_pruned"):
+            if ckpt.stats.get(key):
+                print("startup gc: %s=%d" % (key, ckpt.stats[key]),
+                      file=sys.stderr)
+        print("run id: %s%s" % (
+            ckpt.run_id, " (resumed)" if ckpt.resumed else "",
+        ), file=sys.stderr)
+    try:
+        with GracefulShutdown():
+            sweep = d_sensitivity(
+                workloads=workloads,
+                runs_per_app=args.runs,
+                params=params,
+                base_seed=args.seed,
+                trace_store=store,
+                checkpoint=ckpt,
+            )
+        if ckpt is not None:
+            ckpt.finish()
+    except InterruptedRunError:
+        if ckpt is not None:
+            ckpt.interrupt()
+        raise
+    finally:
+        if ckpt is not None:
+            ckpt.close()
+    print(sweep.render())
+    if store is not None:
+        # Resume accounting (stderr: not part of the comparable report).
+        print("recording: %d simulated, %d replayed from store" % (
+            store.stats["run_misses"], store.stats["run_hits"],
+        ), file=sys.stderr)
+    return 0
+
+
 def _cmd_replay(args) -> int:
     spec = get_workload(args.workload)
     program = spec.build(WorkloadParams(scale=args.scale))
@@ -217,6 +293,32 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_options(rep_p)
     rep_p.set_defaults(func=_cmd_replay)
 
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="checkpointed D-sensitivity sweep (resumable: exit 71 "
+             "means re-run with the same --cache to continue)",
+    )
+    sweep_p.add_argument(
+        "--apps", nargs="+", choices=workload_names(),
+        default=["fft", "ocean", "fmm"],
+    )
+    sweep_p.add_argument("-n", "--runs", type=int, default=8,
+                         help="injection runs per application")
+    sweep_p.add_argument("--scale", type=float, default=1.0)
+    sweep_p.add_argument("--seed", type=int, default=2006)
+    sweep_p.add_argument(
+        "--cache", metavar="DIR",
+        help="cache directory (enables recording store, journal, and "
+             "crash-consistent resume)",
+    )
+    sweep_p.add_argument(
+        "--resume", default="auto", metavar="RUN_ID",
+        help="journal to resume: 'auto' (latest matching, the "
+             "default), 'fresh' (ignore existing journals), or an "
+             "explicit run id",
+    )
+    sweep_p.set_defaults(func=_cmd_sweep)
+
     char_p = sub.add_parser(
         "characterize",
         help="validate race-freedom and profile the workloads",
@@ -243,11 +345,14 @@ def build_parser() -> argparse.ArgumentParser:
 #: gets the 66+ range (inspired by BSD sysexits) so scripts driving long
 #: campaigns can tell "your cache is damaged" (66) from "a worker hung"
 #: (67) from "even the scalar path failed" (68) without parsing stderr.
+#: 71 is special: "interrupted, resumable" -- nothing failed, re-run
+#: with the same cache/--resume to continue where the drain stopped.
 EXIT_CODES = (
     (ConfigError, 2),
     (StoreCorruptError, 66),
     (WorkerTimeoutError, 67),
     (DegradedPathError, 68),
+    (InterruptedRunError, 71),
     (PipelineError, 69),
     (CordError, 70),
 )

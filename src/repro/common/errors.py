@@ -82,6 +82,31 @@ class StoreCorruptError(PipelineError):
     """
 
 
+class InterruptedRunError(PipelineError):
+    """A campaign or sweep was interrupted at a resumable point.
+
+    Raised when a graceful-shutdown request (SIGTERM/SIGINT, or the
+    chaos ``sigterm_drain`` fault) drains the pipeline mid-run: workers
+    are reaped, the write-ahead journal is flushed, and every finished
+    unit of work is already durable, so re-running with ``--resume``
+    (or the same cache directory) completes the run bit-identically.
+    The CLI maps this to exit code 71 -- "interrupted, resumable".
+    """
+
+    def __init__(self, run_id=None, message=None):
+        self.run_id = run_id
+        if message is None:
+            if run_id is None:
+                message = "run interrupted at a resumable point"
+            else:
+                message = (
+                    "run %s interrupted at a resumable point; re-run "
+                    "with --resume %s (or the same cache directory) to "
+                    "continue" % (run_id, run_id)
+                )
+        super().__init__(message)
+
+
 class DegradedPathError(PipelineError):
     """Every rung of the degradation ladder failed for one configuration.
 

@@ -28,6 +28,19 @@ quarantined under ``<cache>/quarantine/``, counted in
 :attr:`Suite.warnings`, and recomputed.  Results stay bit-identical no
 matter which path (first try, retry, or serial fallback) computed them;
 see ``docs/resilience.md``.
+
+Crash consistency: with a cache directory the suite is *checkpointed*
+(:mod:`repro.resilience.journal`): every campaign's lifecycle is logged
+to a per-run write-ahead journal under ``<cache>/journal/``, all cache
+writes are atomic (tmp -> fsync -> rename), SIGTERM/SIGINT drain the
+fan-out and raise :class:`~repro.common.errors.InterruptedRunError`
+(exit code 71 at the CLI -- "interrupted, resumable"), and a re-run over
+the same cache directory resumes to bit-identical results.  Startup
+garbage-collects the litter a killed process leaves behind (orphaned
+``*.tmp.*`` files, stale journals, oversized quarantines), counted in
+:attr:`Suite.warnings`.  Journaling is per-workload here; the serial
+sweep path journals at per-run/per-config granularity (see
+:func:`repro.injection.campaign.run_campaign`).
 """
 
 from __future__ import annotations
@@ -41,13 +54,19 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import StoreCorruptError
+from repro.common.errors import InterruptedRunError, StoreCorruptError
 from repro.injection.campaign import (
     CampaignConfig,
     CampaignResult,
     run_campaign,
 )
-from repro.resilience.supervisor import RunReport, Supervisor
+from repro.resilience.checkpoint import (
+    GracefulShutdown,
+    atomic_write_bytes,
+    canonicalize,
+)
+from repro.resilience.journal import RunCheckpoint
+from repro.resilience.supervisor import RunReport, Supervisor, TaskOutcome
 from repro.trace.store import (
     PackedTraceStore,
     frame_payload,
@@ -274,17 +293,18 @@ class Suite:
         path = self._cache_path(workload)
         if path is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Write-then-rename so a concurrent reader (or a crash) never
-        # sees a half-written pickle; the checksummed frame catches the
-        # remaining torn-write windows (power loss mid-rename target).
+        # Atomic (tmp -> fsync -> rename) so a concurrent reader or a
+        # killed writer never leaves a half-written pickle; the
+        # checksummed frame catches the remaining torn-write windows
+        # (power loss after the rename).  Canonicalized so a resumed
+        # run -- whose results are partly rebuilt from durable slices --
+        # writes bytes identical to an uninterrupted run's.
         payload = frame_payload(
-            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            pickle.dumps(
+                canonicalize(result), protocol=pickle.HIGHEST_PROTOCOL
+            )
         )
-        tmp = path.with_suffix(".tmp.%d" % os.getpid())
-        with tmp.open("wb") as fh:
-            fh.write(payload)
-        os.replace(tmp, path)
+        atomic_write_bytes(path, payload)
 
     # -- campaign execution --------------------------------------------------
 
@@ -320,6 +340,14 @@ class Suite:
         -- in canonical workload order regardless of completion order,
         retries, or fallbacks, so two identical runs leave identical
         state behind.
+
+        With a cache directory the run is *checkpointed*: campaign
+        lifecycles are journaled, SIGTERM/SIGINT (or the chaos
+        ``sigterm_drain`` fault) drain the workers, commit every
+        finished campaign, flush the journal, and raise
+        :class:`InterruptedRunError` -- after which re-running over the
+        same cache directory resumes and produces bit-identical caches
+        and reports.
         """
         missing = [
             name
@@ -327,35 +355,16 @@ class Suite:
             if name not in self._campaigns
         ]
         pending: List[str] = []
+        cache_hits: List[str] = []
         for name in missing:
             cached = self._cache_load(name)
             if cached is not None:
                 self._campaigns[name] = cached
+                cache_hits.append(name)
             else:
                 pending.append(name)
-        if len(pending) > 1 and self.jobs > 1:
-            supervisor = Supervisor(
-                jobs=min(self.jobs, len(pending)),
-                seed=self.config.base_seed,
-            )
-            finished, report = supervisor.run(
-                _run_campaign_task,
-                [(name, self._task(name)) for name in pending],
-            )
-            self.last_report = report
-            if report.degraded:
-                logger.warning("campaign fan-out: %s", report.summary())
-            # Deterministic submission order for memoization and cache
-            # writes -- never the order tasks happened to finish in
-            # (retried and serial-fallback results are cached the same
-            # as clean pool results).
-            for name in pending:
-                _task_name, result = finished[name]
-                self._campaigns[name] = result
-                self._cache_store(name, result)
-        else:
-            for name in pending:
-                self.campaign(name)
+        if pending:
+            self._run_pending(pending, cache_hits)
         # Canonical workload order, independent of which entries were
         # cache hits: figure tables iterate this dict, and their row
         # order must not depend on cache state.
@@ -368,6 +377,186 @@ class Suite:
             if name not in ordered:
                 ordered[name] = result
         return ordered
+
+    # -- checkpointed execution ------------------------------------------------
+
+    def _identity(self) -> tuple:
+        """Everything that pins this suite's results (journal identity)."""
+        return (
+            "suite",
+            _CACHE_SCHEMA,
+            self.config.runs_per_app,
+            self.config.base_seed,
+            tuple(self.config.workload_names()),
+            repr(self.config.params),
+        )
+
+    def _open_checkpoint(self) -> Optional[RunCheckpoint]:
+        """The suite's run checkpoint, or None without a cache dir.
+
+        Opening also performs the startup housekeeping -- orphaned
+        ``*.tmp.*`` collection, stale-journal pruning, and quarantine
+        GC for both the campaign cache and the trace store -- whose
+        counts land in :attr:`warnings` (``tmp_pruned``,
+        ``journals_pruned``, ``quarantine_pruned``, ``resumed``).
+        """
+        if self.cache_dir is None:
+            return None
+        quarantine_dirs = [self.cache_dir / "quarantine"]
+        store_dir = self.trace_store_dir
+        if store_dir is not None:
+            quarantine_dirs.append(store_dir / "quarantine")
+        ckpt = RunCheckpoint.open(
+            self.cache_dir,
+            identity=self._identity(),
+            kind="suite",
+            quarantine_dirs=tuple(quarantine_dirs),
+        )
+        self.warnings.update(ckpt.stats)
+        return ckpt
+
+    def _run_pending(
+        self, pending: List[str], cache_hits: List[str]
+    ) -> None:
+        """Run the campaigns no cache could serve (checkpointed if any)."""
+        ckpt = self._open_checkpoint()
+        if ckpt is None:
+            if len(pending) > 1 and self.jobs > 1:
+                self._run_pool(pending, cache_hits, None, None)
+            else:
+                for name in pending:
+                    self.campaign(name)
+            return
+        try:
+            with GracefulShutdown() as shutdown:
+                if len(pending) > 1 and self.jobs > 1:
+                    self._run_pool(pending, cache_hits, ckpt, shutdown)
+                else:
+                    self._run_serial_checkpointed(pending, ckpt)
+            ckpt.finish()
+        except InterruptedRunError:
+            ckpt.interrupt()
+            raise
+        finally:
+            ckpt.close()
+
+    def _run_pool(
+        self,
+        pending: List[str],
+        cache_hits: List[str],
+        ckpt: Optional[RunCheckpoint],
+        shutdown: Optional[GracefulShutdown],
+    ) -> None:
+        """Supervised fan-out over the pending campaigns.
+
+        Journaling here is per-workload: pooled workers cannot safely
+        append to the shared journal, so the per-run/per-config
+        granularity lives in the serial paths -- but every trace a
+        worker records is durable in the trace store, so even a drained
+        pool's partial progress speeds the resume.
+        """
+        tasks = {}
+        if ckpt is not None:
+            for name in pending:
+                tasks[name] = ckpt.task(name)
+                tasks[name].scheduled()
+        supervisor = Supervisor(
+            jobs=min(self.jobs, len(pending)),
+            seed=self.config.base_seed,
+        )
+        finished, report = supervisor.run(
+            _run_campaign_task,
+            [(name, self._task(name)) for name in pending],
+            should_stop=(
+                (lambda: shutdown.requested)
+                if shutdown is not None else None
+            ),
+        )
+        self.last_report = self._account(report, pending, cache_hits,
+                                         ckpt is not None)
+        if report.degraded:
+            logger.warning("campaign fan-out: %s", report.summary())
+        # Deterministic submission order for memoization and cache
+        # writes -- never the order tasks happened to finish in
+        # (retried and serial-fallback results are cached the same
+        # as clean pool results).  On a drain, whatever DID finish is
+        # committed before the interruption surfaces, so the resumed
+        # run starts from it.
+        for name in pending:
+            if name not in finished:
+                continue
+            _task_name, result = finished[name]
+            self._campaigns[name] = result
+            self._cache_store(name, result)
+            if name in tasks:
+                tasks[name].committed()
+        if report.interrupted:
+            raise InterruptedRunError(
+                ckpt.run_id if ckpt is not None else None
+            )
+
+    def _run_serial_checkpointed(
+        self, pending: List[str], ckpt: RunCheckpoint
+    ) -> None:
+        """In-process campaigns with full per-run/per-config journaling."""
+        store = self.trace_store()
+        for name in pending:
+            task = ckpt.task(name)
+            task.scheduled()
+            if task.was_committed:
+                cached = self._cache_load(name)
+                if cached is not None:
+                    self._campaigns[name] = cached
+                    continue
+            spec = get_workload(name)
+            result = run_campaign(
+                spec.program_factory(self.config.params),
+                name,
+                CampaignConfig(
+                    n_runs=self.config.runs_per_app,
+                    base_seed=self.config.base_seed,
+                ),
+                trace_store=store,
+                trace_namespace=trace_namespace(name, self.config.params),
+                checkpoint=ckpt,
+            )
+            self._campaigns[name] = result
+            self._cache_store(name, result)
+            task.committed()
+
+    def _account(
+        self,
+        report: RunReport,
+        pending: List[str],
+        cache_hits: List[str],
+        checkpointed: bool,
+    ) -> RunReport:
+        """The fan-out report, with cache hits accounted when journaled.
+
+        A checkpointed resume serves committed campaigns from the cache,
+        so its pool runs fewer tasks; folding the hits in (status
+        ``"ok"``, path ``"cache"``, zero attempts) keeps the per-task
+        accounting complete: every workload of the call appears exactly
+        once whether it was computed or replayed, in canonical workload
+        order either way.
+        """
+        if not checkpointed or not cache_hits:
+            return report
+        merged = RunReport(
+            pool_poisoned=report.pool_poisoned,
+            interrupted=report.interrupted,
+        )
+        by_name = {out.name: out for out in report.outcomes}
+        for name in cache_hits:
+            by_name[name] = TaskOutcome(
+                name, status="ok", attempts=0, path="cache"
+            )
+        merged.outcomes = [
+            by_name[name]
+            for name in self.config.workload_names()
+            if name in by_name
+        ]
+        return merged
 
     # -- cross-app aggregates --------------------------------------------------
 

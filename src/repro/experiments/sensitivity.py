@@ -91,6 +91,7 @@ def _run_sweep(
     base_seed: int,
     mode: str = "shared",
     trace_store: Optional[PackedTraceStore] = None,
+    checkpoint=None,
 ) -> SweepResult:
     """Pooled detection rates along one axis, in one of two modes.
 
@@ -103,6 +104,12 @@ def _run_sweep(
     cost model the record-once speedup is measured against.  Both modes
     produce bit-identical results (seeds derive only from the base seed
     and workload; the record-once suite asserts equality).
+
+    With a ``checkpoint`` (a
+    :class:`~repro.resilience.journal.RunCheckpoint`; shared mode with a
+    ``trace_store`` only), every campaign run's lifecycle is journaled
+    at per-config granularity, so an interrupted sweep resumes
+    bit-identically, skipping completed configurations.
     """
     if mode not in ("shared", "per-config"):
         raise ValueError("unknown sweep mode %r" % mode)
@@ -125,6 +132,7 @@ def _run_sweep(
                 ),
                 trace_store=trace_store,
                 trace_namespace=trace_namespace(app, params),
+                checkpoint=checkpoint,
             )
             ideal_problems += campaign.problems_detected("Ideal")
             ideal_races += campaign.races_detected("Ideal")
@@ -171,6 +179,7 @@ def d_sensitivity(
     base_seed: int = 2006,
     mode: str = "shared",
     trace_store: Optional[PackedTraceStore] = None,
+    checkpoint=None,
 ) -> SweepResult:
     """Detection rate as a function of the sync-read window ``D``."""
     specs = [
@@ -186,6 +195,7 @@ def d_sensitivity(
         base_seed,
         mode=mode,
         trace_store=trace_store,
+        checkpoint=checkpoint,
     )
 
 
@@ -197,6 +207,7 @@ def cache_sensitivity(
     base_seed: int = 2006,
     mode: str = "shared",
     trace_store: Optional[PackedTraceStore] = None,
+    checkpoint=None,
 ) -> SweepResult:
     """CORD detection as a function of metadata cache capacity."""
     specs = []
@@ -217,4 +228,5 @@ def cache_sensitivity(
         base_seed,
         mode=mode,
         trace_store=trace_store,
+        checkpoint=checkpoint,
     )

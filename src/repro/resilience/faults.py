@@ -33,7 +33,18 @@ Fault points wired into the pipeline:
                    half of an entry's frame (a torn write)
 ``fused_raise``    the interval-fused sweep pass raises at entry
 ``kernel_raise``   ``CordDetector._process_packed_kernel`` raises at entry
+``driver_kill``    the *driver* process exits hard (``os._exit``) right
+                   after flushing a journal transition (a ``kill -9``)
+``power_cut``      the driver exits hard with the journal tail still in
+                   the write buffer (a power loss: the record is torn off)
+``sigterm_drain``  a graceful-shutdown request is injected at a journal
+                   transition, as if SIGTERM had just arrived
 =================  =========================================================
+
+The three driver-level faults use *tick* semantics (:func:`tick`)
+rather than charge budgets: ``driver_kill:5`` fires at exactly the
+fifth journal transition of the process, which is what lets the resume
+test matrix kill the driver at *every* transition point in turn.
 
 This module must stay import-light (stdlib only): it is imported by the
 trace store and the CORD hot paths, and must never create an import
@@ -52,10 +63,19 @@ _STALL_ENV = "REPRO_FAULT_STALL_SECONDS"
 #: crash in the campaign itself, which reports through the result pipe).
 KILL_EXIT_CODE = 86
 
+#: Exit status of a ``driver_kill`` fault (the driver's ``kill -9``).
+DRIVER_KILL_EXIT_CODE = 87
+
+#: Exit status of a ``power_cut`` fault (exit with unflushed journal).
+POWER_CUT_EXIT_CODE = 88
+
 #: Per-process armed faults: name -> remaining charges.  ``None`` means
 #: the environment has not been parsed yet (lazily, so tests can set the
 #: variable after import).
 _armed: Optional[Dict[str, int]] = None
+
+#: Per-process tick counters for :func:`tick`-gated faults.
+_ticks: Dict[str, int] = {}
 
 
 def _parse(spec: str) -> Dict[str, int]:
@@ -92,12 +112,14 @@ def arm(spec: Optional[str] = None) -> None:
     """
     global _armed
     _armed = _parse(os.environ.get(_ENV, "") if spec is None else spec)
+    _ticks.clear()
 
 
 def reset() -> None:
     """Forget all parsed state; the next check re-reads the environment."""
     global _armed
     _armed = None
+    _ticks.clear()
 
 
 def active() -> bool:
@@ -119,6 +141,22 @@ def fire(name: str) -> bool:
         return False
     plan[name] = left - 1
     return True
+
+
+def tick(name: str) -> bool:
+    """Advance ``name``'s tick counter; True exactly at the armed tick.
+
+    Tick-gated fault points (the driver-level faults) call this once per
+    transition: ``driver_kill:5`` fires at exactly the fifth call and
+    never again.  Unlike :func:`fire` the armed value is a *position*,
+    not a budget, which lets a test matrix place one fault at each
+    successive transition of a run.
+    """
+    plan = _plan()
+    if not plan or name not in plan:
+        return False
+    _ticks[name] = _ticks.get(name, 0) + 1
+    return _ticks[name] == plan[name]
 
 
 def should_fire(name: str, attempt: int) -> bool:

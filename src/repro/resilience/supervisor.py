@@ -80,10 +80,13 @@ class TaskOutcome:
 
     Attributes:
         name: the task's key (campaign workload name).
-        status: ``"ok"`` or ``"failed"``.
+        status: ``"ok"``, ``"failed"``, or ``"interrupted"`` (a graceful
+            drain stopped the run before this task could finish; it is
+            not a failure -- a resumed run picks it up).
         attempts: total attempts, pool and serial together.
         path: where the winning attempt ran -- ``"pool"`` (first try),
-            ``"pool-retry"``, or ``"serial"`` (the fallback rung).
+            ``"pool-retry"``, ``"serial"`` (the fallback rung), or
+            ``"cache"`` (served durably, no worker occupied).
         errors: one human-readable line per failed attempt.
     """
 
@@ -114,6 +117,9 @@ class RunReport:
 
     outcomes: List[TaskOutcome] = field(default_factory=list)
     pool_poisoned: bool = False
+    #: True when a graceful drain (``should_stop``) ended the run early;
+    #: unfinished tasks carry status ``"interrupted"``, not ``"failed"``.
+    interrupted: bool = False
 
     @property
     def ok(self) -> bool:
@@ -123,22 +129,29 @@ class RunReport:
     def degraded(self) -> bool:
         """Did anything stray from the happy path (retry/serial/poison)?"""
         return self.pool_poisoned or any(
-            not out.clean for out in self.outcomes
+            not out.clean and out.path != "cache" for out in self.outcomes
         )
 
     def failed(self) -> List[TaskOutcome]:
-        return [out for out in self.outcomes if not out.ok]
+        """Tasks that genuinely failed -- interrupted ones are resumable."""
+        return [out for out in self.outcomes if out.status == "failed"]
 
     def summary(self) -> str:
         ok = sum(1 for out in self.outcomes if out.ok)
         retried = sum(
-            1 for out in self.outcomes if out.ok and not out.clean
+            1 for out in self.outcomes
+            if out.ok and not out.clean and out.path != "cache"
         )
         line = "%d/%d task(s) ok (%d via retry/serial)" % (
             ok, len(self.outcomes), retried,
         )
         if self.pool_poisoned:
             line += "; pool poisoned, remainder ran serial"
+        if self.interrupted:
+            cut = sum(
+                1 for out in self.outcomes if out.status == "interrupted"
+            )
+            line += "; drained early, %d task(s) interrupted" % cut
         return line
 
     def raise_if_failed(self) -> None:
@@ -280,12 +293,21 @@ class Supervisor:
         self,
         fn: Callable[[Any], Any],
         tasks: Sequence[Tuple[str, Any]],
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> Tuple[Dict[str, Any], RunReport]:
         """Run every task; returns ``(results_by_name, report)``.
 
         Raises :class:`PipelineError` (carrying the report as
         ``exc.report``) only when a task failed on the pool *and* in
         the in-process serial fallback.
+
+        ``should_stop`` is polled every loop iteration (the graceful
+        shutdown hook): when it turns true the run *drains* -- no new
+        attempts spawn, every in-flight worker is reaped immediately,
+        unfinished tasks are marked ``"interrupted"`` (not failed, and
+        they skip the serial rung), ``report.interrupted`` is set, and
+        the finished results are returned so the caller can commit them
+        before exiting resumably.
         """
         self._fn = fn
         order = [name for name, _ in tasks]
@@ -333,6 +355,9 @@ class Supervisor:
 
         try:
             while queue or running:
+                if should_stop is not None and should_stop():
+                    report.interrupted = True
+                    break
                 now = time.monotonic()
                 # Spawn every ready task while worker slots are free.
                 if pool_ok:
@@ -429,6 +454,18 @@ class Supervisor:
         finally:
             for att in running:
                 self._reap(att)
+
+        if report.interrupted:
+            # Drained: whatever did not finish is interrupted, not
+            # failed -- the journal/cache layer above resumes it.  The
+            # serial rung is skipped on purpose (a drain means "stop
+            # doing work", not "finish it more slowly").
+            for out in outcomes.values():
+                if out.status not in ("ok", "failed"):
+                    out.status = "interrupted"
+            logger.warning("supervised run drained: %s", report.summary())
+            report.raise_if_failed()
+            return results, report
 
         # The bottom rung: in-process serial execution, original task
         # order (not failure order) so reruns are deterministic.

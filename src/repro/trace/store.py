@@ -25,9 +25,12 @@ caller transparently re-record through
 counters (:attr:`PackedTraceStore.stats`) surface how often that
 happened instead of staying silent.  See ``docs/resilience.md``.
 
-Entries are written atomically (write-then-rename), mirroring the
-campaign cache in :mod:`repro.experiments.runner`, so concurrent sweep
-processes sharing one ``REPRO_CACHE_DIR`` never observe torn files.
+Entries are written atomically through the shared crash-consistency
+helper (:func:`repro.resilience.checkpoint.atomic_write_bytes`: same-dir
+temp file, optional fsync, rename), so concurrent sweep processes
+sharing one ``REPRO_CACHE_DIR`` never observe torn files and a killed
+writer leaves at worst an orphaned ``*.tmp.<pid>`` file for the next
+startup's litter collection.
 """
 
 from __future__ import annotations
@@ -44,6 +47,11 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.common.errors import LogFormatError, StoreCorruptError
 from repro.resilience import faults
+from repro.resilience.checkpoint import (
+    atomic_write_bytes,
+    canonicalize,
+    prune_quarantine,
+)
 from repro.trace.packed import PackedTrace
 from repro.trace.serialize import (
     decode_packed_trace,
@@ -129,7 +137,10 @@ class PackedTraceStore:
         stats: per-instance warning counters -- ``quarantined`` (corrupt
             entries detected and moved aside), ``io_errors`` (unreadable
             files), ``stale`` (healthy frames whose pickled classes no
-            longer load).  Reads never raise for any of these; the
+            longer load), plus the resume-accounting pair ``run_hits`` /
+            ``run_misses`` (recorded-trace lookups that were served from
+            disk vs. had to be re-recorded -- the kill-anywhere tests
+            assert on these).  Reads never raise for any of these; the
             counters are how the healing stops being silent.
     """
 
@@ -224,6 +235,7 @@ class PackedTraceStore:
         path = self._path("trace", namespace, components)
         payload = self._read_payload(path, "trace entry %s" % path.name)
         if payload is None:
+            self.stats["run_misses"] += 1
             return None
         try:
             entry = pickle.loads(payload)
@@ -234,10 +246,13 @@ class PackedTraceStore:
             # valid entry: the *writer* was broken.  Quarantine -- this
             # is corruption, just minted earlier.
             self._quarantine(path, exc)
+            self.stats["run_misses"] += 1
             return None
         except _STALE_ERRORS:
             self.stats["stale"] += 1
+            self.stats["run_misses"] += 1
             return None
+        self.stats["run_hits"] += 1
         return packed, extra
 
     def store_run(
@@ -269,10 +284,27 @@ class PackedTraceStore:
 
     def store_value(self, namespace: str, components: Tuple,
                     value) -> None:
+        # Canonicalized so that re-storing an equal value -- e.g. a
+        # resumed run re-committing a result it rebuilt from durable
+        # slices -- rewrites byte-identical files (the kill-anywhere
+        # tests compare whole cache trees).
         self._write(
             self._path("value", namespace, components),
-            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
+            pickle.dumps(
+                canonicalize(value), protocol=pickle.HIGHEST_PROTOCOL
+            ),
         )
+
+    # -- housekeeping ------------------------------------------------------------
+
+    def prune_quarantine(self, keep=None, max_age_s=None) -> int:
+        """Age/count-cap the quarantine directory; counted in ``stats``."""
+        pruned = prune_quarantine(
+            self.quarantine_dir, keep=keep, max_age_s=max_age_s
+        )
+        if pruned:
+            self.stats["quarantine_pruned"] += pruned
+        return pruned
 
     # -- plumbing ----------------------------------------------------------------
 
@@ -282,8 +314,4 @@ class PackedTraceStore:
             # Chaos harness: model a torn write by persisting only half
             # the frame.  The next read must detect and quarantine it.
             framed = framed[: max(1, len(framed) // 2)]
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp.%d" % os.getpid())
-        with tmp.open("wb") as fh:
-            fh.write(framed)
-        os.replace(tmp, path)
+        atomic_write_bytes(path, framed)

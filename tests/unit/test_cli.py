@@ -7,10 +7,12 @@ from repro.common.errors import (
     ConfigError,
     CordError,
     DegradedPathError,
+    InterruptedRunError,
     PipelineError,
     StoreCorruptError,
     WorkerTimeoutError,
 )
+from repro.resilience import faults
 
 
 class TestParser:
@@ -84,6 +86,15 @@ class TestExitCodes:
         assert isinstance(exc, CordError)
         assert exit_code_for(exc) == 67
 
+    def test_interrupted_is_resumable_not_failed(self):
+        # "Interrupted, resumable" (71) must beat the generic pipeline
+        # failure (69) its class inherits from: a drained run did not
+        # fail, and scripts branch on the distinction.
+        exc = InterruptedRunError("deadbeef-0001")
+        assert isinstance(exc, PipelineError)
+        assert exit_code_for(exc) == 71
+        assert "--resume deadbeef-0001" in str(exc)
+
     def test_main_maps_library_errors(self, monkeypatch, capsys):
         import repro.cli as cli_mod
 
@@ -105,3 +116,86 @@ class TestExitCodes:
         monkeypatch.setattr(cli_mod, "table1", boom)
         with pytest.raises(RuntimeError):
             main(["list"])
+
+
+class TestSweepResume:
+    """The checkpointed sweep round trip, driven in-process.
+
+    An interruption (the ``sigterm_drain`` chaos fault standing in for
+    SIGTERM) must exit 71, and re-running over the same cache directory
+    must complete with a report byte-identical to an uninterrupted
+    run's.  The full kill-anywhere matrix (real process death at every
+    journal transition) lives in
+    ``tests/integration/test_checkpoint_resume.py``.
+    """
+
+    _ARGS = ["sweep", "--apps", "fft", "-n", "1", "--scale", "0.25"]
+
+    @pytest.fixture(autouse=True)
+    def _fault_hygiene(self, monkeypatch):
+        for var in ("REPRO_FAULTS", "REPRO_CACHE_DIR", "REPRO_JOBS"):
+            monkeypatch.delenv(var, raising=False)
+        monkeypatch.setenv("REPRO_FSYNC", "0")  # tmpfs-speed tests
+        faults.reset()
+        yield
+        faults.reset()
+
+    def test_sweep_without_cache_runs_plain(self, capsys):
+        assert main(self._ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Sensitivity sweep over D" in out
+
+    def test_interrupt_then_resume_is_bit_identical(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        clean_dir = tmp_path / "clean"
+        assert main(self._ARGS + ["--cache", str(clean_dir)]) == 0
+        clean_out = capsys.readouterr().out
+
+        # Interrupt mid-sweep: a graceful-shutdown request injected at
+        # the fifth journal transition (inside the per-config analysis).
+        faulted_dir = tmp_path / "faulted"
+        monkeypatch.setenv("REPRO_FAULTS", "sigterm_drain:5")
+        faults.arm()
+        assert main(
+            self._ARGS + ["--cache", str(faulted_dir)]
+        ) == 71
+        captured = capsys.readouterr()
+        assert "--resume" in captured.err
+        run_ids = [
+            line.split()[2]
+            for line in captured.err.splitlines()
+            if line.startswith("run id: ")
+        ]
+        assert len(run_ids) == 1
+
+        # Resume (auto): completes, reports the resumed run id, and the
+        # report on stdout is byte-identical to the clean run's.
+        faults.arm("")
+        assert main(self._ARGS + ["--cache", str(faulted_dir)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == clean_out
+        assert "run id: %s (resumed)" % run_ids[0] in captured.err
+
+        # Explicit --resume of the (now finished) run id also works.
+        assert main(
+            self._ARGS
+            + ["--cache", str(faulted_dir), "--resume", run_ids[0]]
+        ) == 0
+        assert capsys.readouterr().out == clean_out
+
+    def test_resume_fresh_ignores_interrupted_run(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        cache = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_FAULTS", "sigterm_drain:5")
+        faults.arm()
+        assert main(self._ARGS + ["--cache", str(cache)]) == 71
+        capsys.readouterr()
+
+        faults.arm("")
+        assert main(
+            self._ARGS + ["--cache", str(cache), "--resume", "fresh"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "(resumed)" not in err

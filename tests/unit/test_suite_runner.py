@@ -5,10 +5,15 @@ The contract under test: ``jobs`` and ``cache_dir`` change *where* and
 bit-identical across serial, pooled, and cache-hit paths.
 """
 
+import os
 import pickle
+import subprocess
+import sys
+import time
 
 import pytest
 
+from repro.common.errors import InterruptedRunError
 from repro.experiments.runner import (
     Suite,
     SuiteConfig,
@@ -16,6 +21,7 @@ from repro.experiments.runner import (
     default_jobs,
 )
 from repro.resilience import faults
+from repro.resilience.journal import WAL_SUFFIX, replay
 from repro.workloads import WorkloadParams
 
 # Two small apps keep the pooled path (len(pending) > 1) exercised while
@@ -223,6 +229,155 @@ class TestResilientFanOut:
         qdir = tmp_path / "quarantine"
         assert (qdir / path.name).exists()
         assert (qdir / (path.name + ".reason.txt")).exists()
+
+
+class TestCheckpointedSuite:
+    """Crash consistency of the suite itself: with a cache directory the
+    fan-out is journaled, a shutdown request drains it to a resumable
+    :class:`InterruptedRunError`, and the resumed run leaves state
+    byte-identical to an uninterrupted one."""
+
+    @pytest.fixture(autouse=True)
+    def _fault_hygiene(self, monkeypatch):
+        for var in ("REPRO_FAULTS", "REPRO_MAX_RETRIES",
+                    "REPRO_QUARANTINE_KEEP", "REPRO_JOURNAL_KEEP"):
+            monkeypatch.delenv(var, raising=False)
+        monkeypatch.setenv("REPRO_FSYNC", "0")  # test-speed writes
+        faults.reset()
+        yield
+        faults.reset()
+
+    def _cache_bytes(self, cache_dir):
+        return {
+            p.name: p.read_bytes()
+            for p in cache_dir.iterdir()
+            if p.is_file()
+        }
+
+    def test_clean_checkpointed_run_seals_journal(self, tmp_path):
+        suite = Suite(_CONFIG, jobs=2, cache_dir=tmp_path)
+        suite.campaigns()
+        jdir = tmp_path / "journal"
+        done = [p for p in jdir.iterdir() if p.name.endswith(".done")]
+        assert len(done) == 1
+        state = replay(done[0])
+        assert state.finished
+        assert state.task("fft").committed
+        assert state.task("lu").committed
+
+    def test_drain_interrupts_resumably_without_litter(
+        self, tmp_path, monkeypatch
+    ):
+        clean_dir = tmp_path / "clean"
+        baseline = _digest(Suite(_CONFIG, jobs=2, cache_dir=clean_dir))
+
+        # Inject a graceful-shutdown request (SIGTERM's stand-in) at the
+        # third journal transition -- while the suite is scheduling its
+        # campaigns, before the pool computes anything.
+        cache = tmp_path / "interrupted"
+        monkeypatch.setenv("REPRO_FAULTS", "sigterm_drain:3")
+        faults.arm()
+        suite = Suite(_CONFIG, jobs=2, cache_dir=cache)
+        with pytest.raises(InterruptedRunError) as excinfo:
+            suite.campaigns()
+        run_id = excinfo.value.run_id
+        assert run_id is not None
+
+        # The drain accounted for every task and left no torn state:
+        # no temp files anywhere, and a replayable journal that shows
+        # how far the run got.
+        report = suite.last_report
+        assert report.interrupted
+        # Interrupted is its own status: not ok, but not failed either.
+        assert not any(out.status == "failed" for out in report.outcomes)
+        assert {out.status for out in report.outcomes} == {
+            "interrupted"
+        }
+        assert list(cache.rglob("*.tmp.*")) == []
+        wal = cache / "journal" / (run_id + WAL_SUFFIX)
+        assert wal.exists()
+        state = replay(wal)
+        assert state.task("fft").scheduled
+        assert not state.task("fft").committed
+
+        # Resume: disarm, rerun over the same cache.  Results and cache
+        # bytes match the uninterrupted run's, and the resume is
+        # surfaced in the warnings counters.
+        faults.arm("")
+        resumed = Suite(_CONFIG, jobs=2, cache_dir=cache)
+        assert _digest(resumed) == baseline
+        assert resumed.warnings["resumed"] == 1
+        assert self._cache_bytes(cache) == self._cache_bytes(clean_dir)
+        done = cache / "journal" / (run_id + ".done")
+        assert done.exists()
+        assert replay(done).finished
+
+    def test_drain_commits_finished_campaigns(self, tmp_path,
+                                              monkeypatch):
+        # Interrupt the *serial* checkpointed path (jobs=1) mid-run:
+        # the first workload's transitions all complete, the drain hits
+        # during the second's, and the committed first campaign must
+        # survive for the resume to reuse.
+        cache = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_FAULTS", "sigterm_drain:30")
+        faults.arm()
+        suite = Suite(_CONFIG, jobs=1, cache_dir=cache)
+        with pytest.raises(InterruptedRunError) as excinfo:
+            suite.campaigns()
+        wal = cache / "journal" / (
+            excinfo.value.run_id + WAL_SUFFIX
+        )
+        state = replay(wal)
+        committed = [
+            name for name, task in state.tasks.items() if task.committed
+        ]
+        assert committed  # at least the first workload got credit
+
+        # The resumed run must not recompute committed campaigns.
+        faults.arm("")
+        resumed = Suite(_CONFIG, jobs=1, cache_dir=cache)
+        import repro.experiments.runner as runner_mod
+
+        calls = []
+        original = runner_mod.run_campaign
+
+        def counting(factory, name, *args, **kwargs):
+            calls.append(name)
+            return original(factory, name, *args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "run_campaign", counting)
+        assert _digest(resumed)
+        assert set(calls).isdisjoint(committed)
+
+    def test_startup_collects_tmp_litter(self, tmp_path):
+        proc = subprocess.Popen([sys.executable, "-c", ""])
+        proc.wait()
+        litter = tmp_path / ("campaign-x.pkl.tmp.%d" % proc.pid)
+        litter.parent.mkdir(parents=True, exist_ok=True)
+        litter.write_bytes(b"half a write")
+        suite = Suite(_CONFIG, jobs=1, cache_dir=tmp_path)
+        suite.campaigns()
+        assert not litter.exists()
+        assert suite.warnings["tmp_pruned"] == 1
+
+    def test_startup_prunes_quarantine(self, tmp_path, monkeypatch):
+        qdir = tmp_path / "quarantine"
+        qdir.mkdir(parents=True)
+        now = time.time()
+        for index in range(5):
+            path = qdir / ("campaign-old-%d.pkl" % index)
+            path.write_bytes(b"damaged")
+            (qdir / (path.name + ".reason.txt")).write_text("why\n")
+            os.utime(path, (now - 100 + index, now - 100 + index))
+        monkeypatch.setenv("REPRO_QUARANTINE_KEEP", "2")
+        suite = Suite(_CONFIG, jobs=1, cache_dir=tmp_path)
+        suite.campaigns()
+        assert suite.warnings["quarantine_pruned"] == 3
+        survivors = [
+            p for p in qdir.iterdir()
+            if not p.name.endswith(".reason.txt")
+        ]
+        assert len(survivors) == 2
 
 
 class TestPickleRoundTrip:

@@ -366,13 +366,17 @@ class CordDetector(Detector):
                         continue
                     for ts in candidates:
                         if is_sync:
-                            if is_write:
-                                if clk0 <= ts and ts + 1 > new_clock:
-                                    new_clock = ts + 1
-                            else:
-                                # Sync read: at least D past the write.
-                                if ts + d > new_clock:
-                                    new_clock = ts + d
+                            # Any sync access: at least D past the
+                            # conflicting sync timestamp (Section
+                            # 2.6's rule).  Writes take the same +D
+                            # jump as reads: the ground-truth HB
+                            # relation orders same-variable sync
+                            # write pairs, and the scalar clock must
+                            # over-order every edge it honors or a
+                            # later data comparison inside the D
+                            # window misreports a race.
+                            if ts + d > new_clock:
+                                new_clock = ts + d
                         else:
                             if clk0 <= ts and ts + 1 > new_clock:
                                 new_clock = ts + 1
@@ -388,11 +392,17 @@ class CordDetector(Detector):
                                     )
                                 )
                 # Main-memory timestamp comparison (never reported as a
+                # race).  Sync accesses take the full +D window so that
+                # Main-memory timestamp comparison (never reported as a
                 # race).  Sync reads take the full +D window so that
                 # synchronization whose release write was displaced to
                 # memory still suppresses later false data races (the
                 # Figure 7 update, strengthened by Section 2.6's rule);
-                # everything else takes the +1 ordering update.
+                # everything else takes the +1 ordering update.  (The
+                # snoop path above gives sync *writes* the +D jump too;
+                # here the summary is global and starts at 0, so a +D
+                # write rule would jump fresh threads' clocks on
+                # untouched sync variables.)
                 if use_mem:
                     if is_write:
                         mem_ts = memts.read_ts
@@ -872,13 +882,11 @@ class CordDetector(Detector):
                     continue
                 for ts in candidates:
                     if is_sync:
-                        if is_write:
-                            if clk0 <= ts and ts + 1 > new_clock:
-                                new_clock = ts + 1
-                        else:
-                            # Sync read: at least D past the write.
-                            if ts + d > new_clock:
-                                new_clock = ts + d
+                        # Sync read or write: at least D past the
+                        # conflicting sync timestamp (see the object
+                        # path for the write rationale).
+                        if ts + d > new_clock:
+                            new_clock = ts + d
                     else:
                         if clk0 <= ts and ts + 1 > new_clock:
                             new_clock = ts + 1
@@ -1376,15 +1384,12 @@ class CordDetector(Detector):
                             continue
                         for ts in candidates:
                             if is_sync:
-                                if is_write:
-                                    if clk0 <= ts \
-                                            and ts + 1 > new_clock:
-                                        new_clock = ts + 1
-                                else:
-                                    # Sync read: at least D past the
-                                    # write.
-                                    if ts + d > new_clock:
-                                        new_clock = ts + d
+                                # Sync read or write: at least D past
+                                # the conflicting sync timestamp (see
+                                # the object path for the write
+                                # rationale).
+                                if ts + d > new_clock:
+                                    new_clock = ts + d
                             else:
                                 if clk0 <= ts and ts + 1 > new_clock:
                                     new_clock = ts + 1

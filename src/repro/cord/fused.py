@@ -696,24 +696,16 @@ def _fused_pass(
                             continue
                         for tl, th in candidates:
                             if is_sync:
-                                if is_write:
-                                    t = cl <= tl
-                                    if t != (ch <= th):
-                                        raise abort
-                                    if t:
-                                        t2 = tl + 1 > new_l
-                                        if t2 != (th + 1 > new_h):
-                                            raise abort
-                                        if t2:
-                                            new_l = tl + 1
-                                            new_h = th + 1
-                                else:
-                                    t = tl + d_l > new_l
-                                    if t != (th + d_h > new_h):
-                                        raise abort
-                                    if t:
-                                        new_l = tl + d_l
-                                        new_h = th + d_h
+                                # Sync read or write: at least D past
+                                # the conflicting sync timestamp (see
+                                # the scalar object path for the write
+                                # rationale).
+                                t = tl + d_l > new_l
+                                if t != (th + d_h > new_h):
+                                    raise abort
+                                if t:
+                                    new_l = tl + d_l
+                                    new_h = th + d_h
                             else:
                                 t = cl <= tl
                                 if t != (ch <= th):

@@ -1,0 +1,53 @@
+"""Differential fuzzing of the detector families.
+
+This package closes the loop the property suites open: instead of
+hand-picked program shapes, it *searches* for sync-structured programs
+on which the detector families disagree -- scalar CORD escaping the
+vector set, epoch diverging from ideal, an accelerated tier differing
+from the scalar reference, a replay that will not re-execute.  Any hit
+is shrunk to a minimal witness and serialized under
+``tests/fixtures/golden/fuzz/`` where the fixture loader keeps it
+passing forever.
+
+Layout:
+
+* :mod:`repro.fuzz.program` -- serializable specs + normalized lowering;
+* :mod:`repro.fuzz.generate` -- deterministic random program drawing;
+* :mod:`repro.fuzz.strategies` -- hypothesis mirrors of the generator;
+* :mod:`repro.fuzz.oracle` -- the cross-detector disagreement oracle;
+* :mod:`repro.fuzz.shrink` -- greedy ddmin over specs;
+* :mod:`repro.fuzz.witness` -- JSON witnesses with behavior digests;
+* :mod:`repro.fuzz.broken` -- planted faults for self-testing the hunt;
+* :mod:`repro.fuzz.hunt` -- the generate/check/shrink/serialize driver;
+* ``python -m repro.fuzz`` -- the CLI entry point.
+"""
+
+from repro.fuzz.generate import random_program
+from repro.fuzz.hunt import HuntReport, hunt
+from repro.fuzz.oracle import Disagreement, check_program
+from repro.fuzz.program import FuzzProgram, build_program
+from repro.fuzz.shrink import ShrinkResult, shrink
+from repro.fuzz.witness import (
+    Witness,
+    load_corpus,
+    load_witness,
+    make_witness,
+    save_witness,
+)
+
+__all__ = [
+    "Disagreement",
+    "FuzzProgram",
+    "HuntReport",
+    "ShrinkResult",
+    "Witness",
+    "build_program",
+    "check_program",
+    "hunt",
+    "load_corpus",
+    "load_witness",
+    "make_witness",
+    "random_program",
+    "save_witness",
+    "shrink",
+]

@@ -1,0 +1,96 @@
+"""CLI: ``python -m repro.fuzz`` -- run a differential fuzzing hunt.
+
+Exit status 1 when any witness was found (CI treats a hit as a failing
+gate and uploads the serialized witnesses as artifacts), 0 on a clean
+hunt.  ``--broken`` plants a known-bad detector variant to self-test
+the find-and-shrink loop; such runs are *expected* to find witnesses,
+so ``--expect-witness`` inverts the exit-status convention.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.fuzz.broken import BROKEN_VARIANTS
+from repro.fuzz.hunt import hunt
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="differential fuzzing of the detector families",
+    )
+    parser.add_argument(
+        "--programs", type=int, default=50,
+        help="number of programs to generate (default: 50)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2006,
+        help="hunt seed; the whole run is a function of it",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="serialize shrunk witnesses into DIR",
+    )
+    parser.add_argument(
+        "--broken", default=None, choices=sorted(BROKEN_VARIANTS),
+        help="plant a known-bad detector variant (self-test mode)",
+    )
+    parser.add_argument(
+        "--expect-witness", action="store_true",
+        help="exit 0 iff a witness WAS found (for --broken self-tests)",
+    )
+    parser.add_argument(
+        "--max-threads", type=int, default=3,
+    )
+    parser.add_argument(
+        "--max-ops", type=int, default=10,
+    )
+    parser.add_argument(
+        "--shrink-evals", type=int, default=400,
+        help="oracle-evaluation budget per shrink (default: 400)",
+    )
+    parser.add_argument(
+        "--no-tiers", action="store_true",
+        help="skip the fused/kernel tier cross-check (faster)",
+    )
+    args = parser.parse_args(argv)
+
+    report = hunt(
+        n_programs=args.programs,
+        seed=args.seed,
+        broken_variant=args.broken,
+        out_dir=args.out,
+        max_threads=args.max_threads,
+        max_ops=args.max_ops,
+        shrink_evals=args.shrink_evals,
+        check_tiers=not args.no_tiers,
+        on_progress=lambda message: print("fuzz: " + message),
+    )
+
+    print(
+        "fuzz: %d programs, %d executions, %d witness(es)"
+        % (report.programs, report.executions, len(report.witnesses))
+    )
+    for witness, path in zip(
+        report.witnesses,
+        report.paths or [None] * len(report.witnesses),
+    ):
+        where = " -> %s" % path if path else ""
+        print(
+            "fuzz: witness %s (%d ops, seed %d)%s"
+            % (witness.name, witness.program.op_count,
+               witness.seed, where)
+        )
+
+    found = bool(report.witnesses)
+    if args.expect_witness:
+        if not found:
+            print("fuzz: ERROR: expected a witness, found none")
+        return 0 if found else 1
+    return 1 if found else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Deliberately broken detector variants: the fuzzer's self-test seeds.
+
+A differential fuzzer that never fires is indistinguishable from one
+that cannot fire.  These variants plant known violations of the
+precision hierarchy so the hunt's find-and-shrink loop can be exercised
+end to end (the ISSUE acceptance test shrinks one to a witness of a
+dozen ops or fewer):
+
+* ``hb-oblivious`` ignores happens-before entirely: it flags *every*
+  data access to a word that more than one thread touches.  Real
+  detectors flag only the later access of an unordered conflicting
+  pair, so on nearly any program with a shared word this flags extra
+  accesses -- a guaranteed ``subset`` violation (and a ``soundness``
+  violation on race-free runs).
+* ``sync-flagger`` mistakes synchronization traffic for data traffic:
+  it flags cross-thread *sync-word* accesses, which no real detector
+  reports.  It stays silent on purely data-racy programs, exercising
+  the hunt's ability to keep searching past clean programs.
+
+Both are plain :class:`~repro.detectors.base.Detector` subclasses fed
+through the oracle's ``extra_scalar_specs`` hook, so a violation
+surfaces exactly like a genuine regression would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.common.errors import ConfigError
+from repro.detectors.base import DataRace, Detector
+from repro.detectors.registry import DetectorSpec
+from repro.trace.events import MemoryEvent
+
+
+class HbObliviousDetector(Detector):
+    """Flags every data access to any multi-thread word (no HB test)."""
+
+    name = "broken-hb-oblivious"
+
+    def __init__(self, n_threads: int):
+        super().__init__()
+        self.outcome.detector_name = self.name
+        self._touchers: Dict[int, Set[int]] = {}
+        self._events = []
+
+    def process(self, event: MemoryEvent) -> None:
+        if event.is_sync:
+            return
+        self._touchers.setdefault(event.address, set()).add(
+            event.thread
+        )
+        self._events.append(event)
+
+    def finish(self, trace):
+        for event in self._events:
+            if len(self._touchers[event.address]) > 1:
+                self.outcome.record_race(DataRace(
+                    access=(event.thread, event.icount),
+                    address=event.address,
+                    detail="hb-oblivious shared touch",
+                ))
+        return self.outcome
+
+
+class SyncFlaggerDetector(Detector):
+    """Flags cross-thread sync-word accesses (never a real race)."""
+
+    name = "broken-sync-flagger"
+
+    def __init__(self, n_threads: int):
+        super().__init__()
+        self.outcome.detector_name = self.name
+        self._last_writer: Dict[int, int] = {}
+
+    def process(self, event: MemoryEvent) -> None:
+        if not event.is_sync:
+            return
+        previous = self._last_writer.get(event.address)
+        if previous is not None and previous != event.thread:
+            self.outcome.record_race(DataRace(
+                access=(event.thread, event.icount),
+                address=event.address,
+                other_thread=previous,
+                detail="sync handoff misread as race",
+            ))
+        self._last_writer[event.address] = event.thread
+
+
+#: Registry of plantable faults, by CLI name.
+BROKEN_VARIANTS: Dict[str, DetectorSpec] = {
+    "hb-oblivious": DetectorSpec(
+        "broken-hb-oblivious", lambda n: HbObliviousDetector(n)
+    ),
+    "sync-flagger": DetectorSpec(
+        "broken-sync-flagger", lambda n: SyncFlaggerDetector(n)
+    ),
+}
+
+
+def broken_spec(name: str) -> DetectorSpec:
+    try:
+        return BROKEN_VARIANTS[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown broken variant %r (have: %s)"
+            % (name, ", ".join(sorted(BROKEN_VARIANTS)))
+        ) from None

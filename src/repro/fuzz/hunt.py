@@ -1,0 +1,130 @@
+"""The hunt loop: generate -> check -> shrink -> serialize.
+
+:func:`hunt` is the fuzzer's top-level driver, shared by the CLI
+(``python -m repro.fuzz``) and the deep property tests.  It draws
+programs from :mod:`repro.fuzz.generate`, runs the full disagreement
+oracle on each under a few scheduler seeds, and on any hit shrinks the
+program to a minimal witness and (optionally) writes it to disk.
+
+Determinism: the whole hunt is a function of ``seed`` -- program ``i``
+is drawn from ``rng.fork("program-%d" % i)`` and checked under
+scheduler seeds derived from the same fork, so a failure report can be
+reproduced with ``--programs i+1 --seed S``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.common.rng import DeterministicRng
+from repro.detectors.registry import DetectorSpec
+from repro.fuzz.generate import random_program
+from repro.fuzz.oracle import Disagreement, check_program
+from repro.fuzz.program import FuzzProgram
+from repro.fuzz.shrink import shrink
+from repro.fuzz.witness import Witness, make_witness, save_witness
+
+#: Scheduler seeds tried per generated program.
+SCHEDULES_PER_PROGRAM = 2
+
+
+@dataclass
+class HuntReport:
+    """What one hunt did: counts plus every (shrunk) witness."""
+
+    programs: int = 0
+    executions: int = 0
+    hung: int = 0
+    witnesses: List[Witness] = field(default_factory=list)
+    paths: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.witnesses
+
+
+def hunt(
+    n_programs: int = 50,
+    seed: int = 2006,
+    extra_scalar_specs: Sequence[DetectorSpec] = (),
+    broken_variant: Optional[str] = None,
+    out_dir: Optional[str] = None,
+    max_threads: int = 3,
+    max_ops: int = 10,
+    shrink_evals: int = 400,
+    check_tiers: bool = True,
+    on_progress: Optional[Callable[[str], None]] = None,
+) -> HuntReport:
+    """Fuzz ``n_programs`` specs; shrink and serialize any disagreement.
+
+    ``broken_variant`` names a planted fault from
+    :mod:`repro.fuzz.broken`; it is resolved and appended to
+    ``extra_scalar_specs`` (the ISSUE's self-test path).
+    """
+    specs = list(extra_scalar_specs)
+    if broken_variant is not None:
+        from repro.fuzz.broken import broken_spec
+
+        specs.append(broken_spec(broken_variant))
+
+    rng = DeterministicRng(seed, "fuzz-hunt")
+    report = HuntReport()
+    say = on_progress or (lambda message: None)
+
+    for i in range(n_programs):
+        program_rng = rng.fork("program-%d" % i)
+        fp = random_program(
+            program_rng, max_threads=max_threads, max_ops=max_ops
+        )
+        report.programs += 1
+        for s in range(SCHEDULES_PER_PROGRAM):
+            sched_seed = program_rng.randint(0, 2**31 - 1)
+            report.executions += 1
+            found = check_program(
+                fp, sched_seed,
+                extra_scalar_specs=specs,
+                check_tiers=check_tiers,
+            )
+            if not found:
+                continue
+            first = found[0]
+            say("program %d seed %d: %s -- shrinking" % (
+                i, sched_seed, first,
+            ))
+            witness = _shrink_to_witness(
+                fp, sched_seed, first.invariant, specs,
+                check_tiers, shrink_evals, broken_variant,
+            )
+            report.witnesses.append(witness)
+            if out_dir is not None:
+                report.paths.append(save_witness(witness, out_dir))
+            break  # one witness per program is enough
+    return report
+
+
+def _shrink_to_witness(
+    fp: FuzzProgram,
+    sched_seed: int,
+    invariant: str,
+    specs: Sequence[DetectorSpec],
+    check_tiers: bool,
+    shrink_evals: int,
+    broken_variant: Optional[str],
+) -> Witness:
+    def oracle(candidate: FuzzProgram):
+        return check_program(
+            candidate, sched_seed,
+            extra_scalar_specs=specs,
+            check_tiers=check_tiers,
+        )
+
+    result = shrink(fp, invariant, oracle, max_evals=shrink_evals)
+    final = next(
+        (d for d in result.disagreements if d.invariant == invariant),
+        Disagreement(invariant, "?", ""),
+    )
+    return make_witness(
+        result.program, sched_seed, final,
+        broken_variant=broken_variant,
+    )

@@ -1,0 +1,197 @@
+"""The disagreement oracle: run every detector family, compare verdicts.
+
+One call to :func:`check_program` executes a fuzz spec under a fixed
+scheduler seed and checks every cross-detector invariant the repo's
+property suites pin individually:
+
+* **subset** -- scalar CORD (D=1 and D=16, matched infinite buffering)
+  flags a subset of the vector detector's accesses;
+* **vector-vs-ideal** -- the limited-vector detector with an infinite
+  cache flags a subset of the ideal oracle's accesses;
+* **epoch-vs-ideal** -- same problem verdict and same racy word set;
+* **soundness** -- when the ideal oracle is silent, everyone is silent;
+* **tiers** -- the degradation ladder's fused and kernel tiers produce
+  byte-identical reports to the scalar reference path (via
+  :func:`repro.resilience.guard.compute_outcomes` fingerprints);
+* **replay** -- re-executing from CORD's order log is conflict-
+  equivalent to the recording (skipped when the run hung: the engine
+  returns a truncated trace and replay of a truncation legitimately
+  diverges).
+
+``extra_scalar_specs`` lets callers add detector variants that must obey
+the subset invariant -- the deliberately broken detectors in
+:mod:`repro.fuzz.broken` enter through this hook, and any spec that
+breaks the hierarchy surfaces as an ordinary disagreement.
+
+Every disagreement is returned, never raised: the fuzzer's job is to
+collect and shrink them, not to abort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cachesim import CacheGeometry
+from repro.cord import CordConfig, CordDetector, replay_trace, verify_replay
+from repro.cord.replay import ReplayDivergenceError
+from repro.detectors import IdealDetector, LimitedVectorDetector
+from repro.detectors.epoch import EpochDetector
+from repro.detectors.registry import DetectorSpec
+from repro.engine import run_program
+from repro.fuzz.program import FuzzProgram, build_program
+from repro.resilience.guard import GuardLog, _fingerprint, compute_outcomes
+
+#: Line size shared by every matched-buffering comparison.
+LINE = 64
+
+#: Scalar windows exercised per program (tightest + paper default).
+D_VALUES = (1, 16)
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One observed cross-detector contradiction."""
+
+    invariant: str   # "subset" | "vector-vs-ideal" | "epoch-words" | ...
+    detector: str    # which configuration violated it
+    detail: str      # human-readable evidence (first few access ids)
+
+    def __str__(self):
+        return "%s[%s]: %s" % (self.invariant, self.detector, self.detail)
+
+
+def _scalar_spec(d: int) -> DetectorSpec:
+    return DetectorSpec(
+        "CORD-D%d" % d,
+        lambda n, d=d: CordDetector(
+            CordConfig(d=d, cache_size=None, line_size=LINE), n
+        ),
+    )
+
+
+def _sample(accesses, limit: int = 4) -> str:
+    return repr(sorted(accesses)[:limit])
+
+
+def check_program(
+    fp: FuzzProgram,
+    seed: int,
+    extra_scalar_specs: Sequence[DetectorSpec] = (),
+    check_tiers: bool = True,
+) -> List[Disagreement]:
+    """Run ``fp`` once and return every detector disagreement."""
+    program = build_program(fp)
+    trace = run_program(program, seed=seed, on_deadlock="hang")
+    n = program.n_threads
+    found: List[Disagreement] = []
+
+    ideal = IdealDetector(n).run(trace)
+    vector = LimitedVectorDetector(n, CacheGeometry.infinite(LINE)).run(
+        trace
+    )
+    epoch = EpochDetector(n).run(trace)
+
+    extra = vector.flagged - ideal.flagged
+    if extra:
+        found.append(Disagreement(
+            "vector-vs-ideal", "InfCache",
+            "vector flags outside ideal: %s" % _sample(extra),
+        ))
+
+    if ideal.problem_detected != epoch.problem_detected:
+        found.append(Disagreement(
+            "epoch-verdict", "Epoch",
+            "ideal=%s epoch=%s"
+            % (ideal.problem_detected, epoch.problem_detected),
+        ))
+    ideal_words = {race.address for race in ideal.races}
+    epoch_words = {race.address for race in epoch.races}
+    if ideal_words != epoch_words:
+        found.append(Disagreement(
+            "epoch-words", "Epoch",
+            "ideal-only=%s epoch-only=%s" % (
+                _sample(ideal_words - epoch_words),
+                _sample(epoch_words - ideal_words),
+            ),
+        ))
+
+    scalar_specs = [_scalar_spec(d) for d in D_VALUES]
+    scalar_specs.extend(extra_scalar_specs)
+    scalar_outcomes: Dict[str, object] = {}
+    for spec in scalar_specs:
+        outcome = spec.build(n).run(trace)
+        scalar_outcomes[spec.name] = outcome
+        extra = outcome.flagged - vector.flagged
+        if extra:
+            found.append(Disagreement(
+                "subset", spec.name,
+                "scalar flags outside vector: %s" % _sample(extra),
+            ))
+        if not ideal.problem_detected and outcome.flagged:
+            found.append(Disagreement(
+                "soundness", spec.name,
+                "flags on a race-free run: %s"
+                % _sample(outcome.flagged),
+            ))
+
+    if check_tiers:
+        found.extend(_check_tiers(fp, trace, n))
+
+    if not trace.hung:
+        found.extend(_check_replay(program, trace, n))
+
+    return found
+
+
+def _check_tiers(fp: FuzzProgram, trace, n: int) -> List[Disagreement]:
+    """Fused and kernel tiers must reproduce the scalar reference."""
+    found: List[Disagreement] = []
+    specs = [_scalar_spec(d) for d in D_VALUES]
+    specs.append(DetectorSpec("Ideal", lambda k: IdealDetector(k)))
+    packed = trace.packed
+    log = GuardLog()
+    reference: Optional[Dict[str, tuple]] = None
+    for tier, kwargs in (
+        ("scalar", dict(allow_fused=False, allow_packed=False)),
+        ("kernel", dict(allow_fused=False)),
+        ("fused", dict()),
+    ):
+        outcomes = compute_outcomes(
+            specs, n, packed, guard_log=log, **kwargs
+        )
+        prints = {
+            name: _fingerprint(out) for name, out in outcomes.items()
+        }
+        if reference is None:
+            reference = prints
+            continue
+        for name, print_ in prints.items():
+            if print_ != reference[name]:
+                found.append(Disagreement(
+                    "tier-equivalence", name,
+                    "%s tier differs from scalar reference" % tier,
+                ))
+    if log.count():
+        found.append(Disagreement(
+            "tier-degradation", "*",
+            "ladder degraded %d time(s) on a healthy run"
+            % log.count(),
+        ))
+    return found
+
+
+def _check_replay(program, trace, n: int) -> List[Disagreement]:
+    """Replay from the order log must be conflict-equivalent."""
+    recorder = CordDetector(
+        CordConfig(d=16, cache_size=None, line_size=LINE), n
+    )
+    outcome = recorder.run(trace)
+    try:
+        replayed = replay_trace(program, outcome.log)
+    except ReplayDivergenceError as exc:
+        return [Disagreement("replay", "CORD-D16", "diverged: %s" % exc)]
+    verdict = verify_replay(trace, replayed)
+    if not verdict.equivalent:
+        return [Disagreement("replay", "CORD-D16", verdict.detail)]
+    return []

@@ -1,0 +1,240 @@
+"""Serializable sync-structured fuzz programs.
+
+A :class:`FuzzProgram` is a compact, JSON-serializable description of a
+small multithreaded program: per-thread flat op lists over fixed pools
+of shared words, mutexes, flags, and one barrier.  :func:`build_program`
+lowers a spec to an executable :class:`~repro.program.builder.Program`
+through a *normalization* layer that makes **every** spec valid:
+
+* ``lock``: acquired only if not already held and of higher index than
+  every held mutex (ascending lock order -- no lock-order deadlocks);
+  otherwise skipped.
+* ``unlock``: releases the most recently acquired mutex (skipped when
+  none is held).
+* ``wait``: releases all held mutexes first (no blocking inside a
+  critical section), then waits only if some *other* thread sets the
+  flag; otherwise skipped.
+* ``barrier``: releases held mutexes, then participates in episode
+  ``k`` only for ``k < min over threads of barrier-op counts`` (every
+  executed episode has full attendance); extra barrier ops are skipped.
+* remaining held mutexes are released when the thread body ends.
+
+Normalization is a pure function of the spec, so *deleting any op (or
+thread) yields another valid spec* -- the property the shrinker
+(:mod:`repro.fuzz.shrink`) relies on.  Deadlock is still possible
+through wait/barrier cycles; the engine's watchdog then truncates the
+trace (``hung=True``), which the disagreement oracle tolerates (replay
+invariants are only asserted on completed runs).
+
+Data accesses are deliberately unconstrained: reads, writes, and
+read-modify-writes hit the shared pool with or without protection, so
+generated executions range from race-free handoffs to heavily racy
+free-for-alls -- exactly the spread the detector-family invariants must
+survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.program.address_space import AddressSpace
+from repro.program.builder import Program
+from repro.program.ops import ComputeOp, ReadOp, WriteOp
+from repro.sync.library import (
+    acquire,
+    barrier_wait,
+    flag_set,
+    flag_wait,
+    release,
+)
+from repro.sync.objects import Barrier, Flag, Mutex
+
+#: One fuzz op: ``(kind, arg)``.
+FuzzOp = Tuple[str, int]
+
+#: The op vocabulary (kind -> does the arg index words/mutexes/flags?).
+OP_KINDS = (
+    "read",      # read pool word arg
+    "write",     # write pool word arg
+    "update",    # read-modify-write pool word arg
+    "lock",      # acquire mutex arg (normalized)
+    "unlock",    # release newest held mutex
+    "set",       # raise flag arg
+    "wait",      # wait for flag arg (normalized)
+    "barrier",   # barrier episode (normalized)
+    "compute",   # arg instruction slots of local compute
+)
+
+#: Spec format version for serialized witnesses.
+FORMAT = 1
+
+
+@dataclass(frozen=True)
+class FuzzProgram:
+    """A generated program: per-thread op tuples over fixed pools."""
+
+    threads: Tuple[Tuple[FuzzOp, ...], ...]
+    n_words: int = 6
+    n_mutexes: int = 3
+    n_flags: int = 3
+
+    def __post_init__(self):
+        if not self.threads:
+            raise ConfigError("a fuzz program needs >= 1 thread")
+        if min(self.n_words, self.n_mutexes, self.n_flags) < 1:
+            raise ConfigError("fuzz pools must be >= 1 entry")
+        for ops in self.threads:
+            for op in ops:
+                if op[0] not in OP_KINDS:
+                    raise ConfigError("unknown fuzz op kind %r" % (op[0],))
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.threads)
+
+    @property
+    def op_count(self) -> int:
+        return sum(len(ops) for ops in self.threads)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_json(self) -> Dict:
+        return {
+            "format": FORMAT,
+            "n_words": self.n_words,
+            "n_mutexes": self.n_mutexes,
+            "n_flags": self.n_flags,
+            "threads": [
+                [[kind, arg] for kind, arg in ops] for ops in self.threads
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, obj: Dict) -> "FuzzProgram":
+        if obj.get("format") != FORMAT:
+            raise ConfigError(
+                "unsupported fuzz program format %r" % obj.get("format")
+            )
+        return cls(
+            threads=tuple(
+                tuple((str(kind), int(arg)) for kind, arg in ops)
+                for ops in obj["threads"]
+            ),
+            n_words=int(obj["n_words"]),
+            n_mutexes=int(obj["n_mutexes"]),
+            n_flags=int(obj["n_flags"]),
+        )
+
+    # -- spec surgery (used by the shrinker) --------------------------------
+
+    def without_thread(self, index: int) -> "FuzzProgram":
+        threads = tuple(
+            ops for t, ops in enumerate(self.threads) if t != index
+        )
+        return FuzzProgram(
+            threads, self.n_words, self.n_mutexes, self.n_flags
+        )
+
+    def without_ops(self, thread: int, start: int, stop: int) -> (
+            "FuzzProgram"):
+        ops = self.threads[thread]
+        trimmed = ops[:start] + ops[stop:]
+        threads = tuple(
+            trimmed if t == thread else existing
+            for t, existing in enumerate(self.threads)
+        )
+        return FuzzProgram(
+            threads, self.n_words, self.n_mutexes, self.n_flags
+        )
+
+    def with_op(self, thread: int, index: int, op: FuzzOp) -> (
+            "FuzzProgram"):
+        ops = self.threads[thread]
+        replaced = ops[:index] + (op,) + ops[index + 1:]
+        threads = tuple(
+            replaced if t == thread else existing
+            for t, existing in enumerate(self.threads)
+        )
+        return FuzzProgram(
+            threads, self.n_words, self.n_mutexes, self.n_flags
+        )
+
+
+def _flag_setters(fp: FuzzProgram) -> Dict[int, set]:
+    """flag index -> set of thread ids that raise it."""
+    setters: Dict[int, set] = {}
+    for t, ops in enumerate(fp.threads):
+        for kind, arg in ops:
+            if kind == "set":
+                setters.setdefault(arg % fp.n_flags, set()).add(t)
+    return setters
+
+
+def build_program(fp: FuzzProgram) -> Program:
+    """Lower a spec to an executable, normalized :class:`Program`."""
+    space = AddressSpace()
+    words = space.alloc_array("pool", fp.n_words)
+    mutexes = [
+        Mutex.allocate(space, "m%d" % i) for i in range(fp.n_mutexes)
+    ]
+    flags = [
+        Flag.allocate(space, "f%d" % i) for i in range(fp.n_flags)
+    ]
+    barrier_rounds = min(
+        sum(1 for kind, _arg in ops if kind == "barrier")
+        for ops in fp.threads
+    )
+    barrier = (
+        Barrier.allocate(space, fp.n_threads, "b")
+        if barrier_rounds else None
+    )
+    setters = _flag_setters(fp)
+
+    def make_body(ops: Sequence[FuzzOp], tid_of_body: int):
+        def body(tid):
+            held: List[int] = []  # mutex indices, acquisition order
+            barriers_done = 0
+            for kind, arg in ops:
+                if kind == "read":
+                    yield ReadOp(words[arg % fp.n_words])
+                elif kind == "write":
+                    yield WriteOp(words[arg % fp.n_words], tid + 1)
+                elif kind == "update":
+                    address = words[arg % fp.n_words]
+                    value = yield ReadOp(address)
+                    yield WriteOp(address, (value or 0) + 1)
+                elif kind == "lock":
+                    m = arg % fp.n_mutexes
+                    if not held or m > held[-1]:
+                        yield from acquire(mutexes[m])
+                        held.append(m)
+                elif kind == "unlock":
+                    if held:
+                        yield from release(mutexes[held.pop()])
+                elif kind == "set":
+                    yield from flag_set(flags[arg % fp.n_flags], 1)
+                elif kind == "wait":
+                    f = arg % fp.n_flags
+                    if setters.get(f, set()) - {tid_of_body}:
+                        while held:
+                            yield from release(mutexes[held.pop()])
+                        yield from flag_wait(flags[f], 1)
+                elif kind == "barrier":
+                    if barriers_done < barrier_rounds:
+                        barriers_done += 1
+                        while held:
+                            yield from release(mutexes[held.pop()])
+                        yield from barrier_wait(barrier)
+                elif kind == "compute":
+                    yield ComputeOp(1 + arg % 5)
+            while held:
+                yield from release(mutexes[held.pop()])
+
+        return body
+
+    bodies = [
+        make_body(ops, t) for t, ops in enumerate(fp.threads)
+    ]
+    return Program(bodies, space, name="fuzz")

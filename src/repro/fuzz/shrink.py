@@ -1,0 +1,183 @@
+"""Greedy delta-debugging shrinker for disagreement witnesses.
+
+Given a spec on which the oracle reports a disagreement, reduce it while
+the *same invariant* keeps failing (matching on the invariant name, not
+the exact detail: the evidence string legitimately changes as the
+program shrinks).  Normalization in :func:`repro.fuzz.program.
+build_program` guarantees every candidate spec is valid, so the shrinker
+is plain spec surgery:
+
+1. drop whole threads (programs need >= 1 thread to build; the oracle
+   invariants are trivially true single-threaded, which is fine -- such
+   a candidate simply stops failing and is rejected);
+2. ddmin over each thread's op list with halving chunk sizes;
+3. canonicalize surviving ops (rewrite args toward 0, demote ``update``
+   to ``write``) so witnesses read minimally.
+
+Each candidate costs one full oracle run, so the total is capped by
+``max_evals``; the shrink is greedy (first improvement wins) and
+restarts a pass after any success until a fixpoint or the budget ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.fuzz.oracle import Disagreement
+from repro.fuzz.program import FuzzProgram
+
+#: An oracle closure: spec -> disagreements (seed and any broken
+#: variants are baked in by the caller).
+Oracle = Callable[[FuzzProgram], Sequence[Disagreement]]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink: the minimal spec plus bookkeeping."""
+
+    program: FuzzProgram
+    invariant: str
+    disagreements: List[Disagreement] = field(default_factory=list)
+    evals: int = 0
+    exhausted: bool = False  # True when max_evals stopped the search
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def _still_fails(
+    candidate: FuzzProgram,
+    invariant: str,
+    oracle: Oracle,
+    budget: _Budget,
+) -> Optional[List[Disagreement]]:
+    if not budget.spend():
+        return None
+    try:
+        found = list(oracle(candidate))
+    except Exception:  # noqa: BLE001 - a crashing candidate is no witness
+        return None
+    if any(d.invariant == invariant for d in found):
+        return found
+    return None
+
+
+def shrink(
+    fp: FuzzProgram,
+    invariant: str,
+    oracle: Oracle,
+    max_evals: int = 400,
+) -> ShrinkResult:
+    """Minimize ``fp`` while ``invariant`` still fails under ``oracle``."""
+    budget = _Budget(max_evals)
+    current = fp
+    disagreements = list(oracle(current))
+    best = ShrinkResult(current, invariant, disagreements, evals=1)
+
+    improved = True
+    while improved:
+        improved = False
+
+        # Pass 1: drop whole threads.
+        t = 0
+        while current.n_threads > 1 and t < current.n_threads:
+            candidate = current.without_thread(t)
+            found = _still_fails(candidate, invariant, oracle, budget)
+            if found is not None:
+                current, improved = candidate, True
+            else:
+                t += 1
+
+        # Pass 2: ddmin each thread's ops with halving chunks.
+        for t in range(current.n_threads):
+            chunk = max(1, len(current.threads[t]) // 2)
+            while chunk >= 1:
+                start = 0
+                while start < len(current.threads[t]):
+                    stop = min(
+                        start + chunk, len(current.threads[t])
+                    )
+                    candidate = current.without_ops(t, start, stop)
+                    found = _still_fails(
+                        candidate, invariant, oracle, budget
+                    )
+                    if found is not None:
+                        current, improved = candidate, True
+                    else:
+                        start = stop
+                chunk //= 2
+
+        # Pass 3: demote updates to plain writes where possible.
+        for t in range(current.n_threads):
+            for i, (kind, arg) in enumerate(current.threads[t]):
+                if kind != "update":
+                    continue
+                candidate = current.with_op(t, i, ("write", arg))
+                found = _still_fails(
+                    candidate, invariant, oracle, budget
+                )
+                if found is not None:
+                    current, improved = candidate, True
+
+        if budget.used >= budget.limit:
+            break
+
+    # Final cosmetic pass: renumber word/mutex/flag args to first-use
+    # order across all threads at once (per-op rewrites would split the
+    # very conflict pairs the witness exists to exhibit).  Applied only
+    # if the renamed spec still fails.
+    renamed = _renumber_args(current)
+    if renamed != current:
+        found = _still_fails(renamed, invariant, oracle, budget)
+        if found is not None:
+            current = renamed
+
+    final = _still_fails(current, invariant, oracle, _Budget(1))
+    best.program = current
+    best.disagreements = final if final is not None else disagreements
+    best.evals = budget.used + 1
+    best.exhausted = budget.used >= budget.limit
+    return best
+
+
+_ARG_POOLS = {
+    "read": "words", "write": "words", "update": "words",
+    "lock": "mutexes", "set": "flags", "wait": "flags",
+}
+
+
+def _renumber_args(fp: FuzzProgram) -> FuzzProgram:
+    """Densely renumber pool args in first-use order (global rename)."""
+    mapping = {"words": {}, "mutexes": {}, "flags": {}}
+    sizes = {
+        "words": fp.n_words,
+        "mutexes": fp.n_mutexes,
+        "flags": fp.n_flags,
+    }
+    threads = []
+    for ops in fp.threads:
+        renamed = []
+        for kind, arg in ops:
+            pool = _ARG_POOLS.get(kind)
+            if pool is None:
+                renamed.append((kind, arg))
+                continue
+            table = mapping[pool]
+            key = arg % sizes[pool]
+            if key not in table:
+                table[key] = len(table)
+            renamed.append((kind, table[key]))
+        threads.append(tuple(renamed))
+    return FuzzProgram(
+        tuple(threads), fp.n_words, fp.n_mutexes, fp.n_flags
+    )

@@ -1,0 +1,71 @@
+"""Hypothesis strategies over fuzz programs.
+
+Guarded import: hypothesis is a test-only dependency, and this module
+lives in the package so the property suite, the CLI, and future tooling
+share one source of truth for the search space.  Importing the module
+without hypothesis installed works; calling :func:`fuzz_programs` then
+raises with an actionable message.
+
+The strategy mirrors :func:`repro.fuzz.generate.random_program` (same
+pools, same vocabulary) but hands shrinking to hypothesis -- useful for
+the bounded property tests, while the standalone hunt keeps its own
+ddmin for CLI runs without a hypothesis dependency.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.program import FuzzProgram
+
+try:
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised in bare envs only
+    st = None
+    HAVE_HYPOTHESIS = False
+
+N_WORDS = 6
+N_MUTEXES = 3
+N_FLAGS = 3
+
+
+def _ops():
+    return st.one_of(
+        st.tuples(
+            st.sampled_from(["read", "write", "update"]),
+            st.integers(0, N_WORDS - 1),
+        ),
+        st.tuples(st.just("lock"), st.integers(0, N_MUTEXES - 1)),
+        st.tuples(st.just("unlock"), st.just(0)),
+        st.tuples(
+            st.sampled_from(["set", "wait"]),
+            st.integers(0, N_FLAGS - 1),
+        ),
+        st.tuples(st.just("barrier"), st.just(0)),
+        st.tuples(st.just("compute"), st.integers(0, 4)),
+    )
+
+
+def fuzz_programs(max_threads: int = 3, max_ops: int = 8):
+    """Strategy drawing :class:`FuzzProgram` specs."""
+    if not HAVE_HYPOTHESIS:
+        raise RuntimeError(
+            "hypothesis is not installed; repro.fuzz.strategies needs "
+            "it -- use repro.fuzz.generate.random_program instead"
+        )
+    thread = st.lists(_ops(), min_size=1, max_size=max_ops).map(tuple)
+    return st.builds(
+        FuzzProgram,
+        threads=st.lists(
+            thread, min_size=2, max_size=max_threads
+        ).map(tuple),
+        n_words=st.just(N_WORDS),
+        n_mutexes=st.just(N_MUTEXES),
+        n_flags=st.just(N_FLAGS),
+    )
+
+
+def schedule_seeds():
+    if not HAVE_HYPOTHESIS:
+        raise RuntimeError("hypothesis is not installed")
+    return st.integers(min_value=0, max_value=2**31 - 1)

@@ -1,0 +1,163 @@
+"""Witness serialization: shrunk disagreement programs as JSON fixtures.
+
+A witness file is self-contained: the spec (replayable via
+:meth:`FuzzProgram.from_json`), the scheduler seed, the violated
+invariant with its evidence, and *behavior digests* of what the real
+detector families report on the witness execution.  The digests let the
+fixture loader (:mod:`tests.integration.test_fuzz_fixtures`) pin the
+healthy detectors' behavior on each witness without re-encoding whole
+traces -- the same philosophy as the golden replay fixtures.
+
+Witnesses found against deliberately broken variants record the variant
+name; the checked-in corpus must always pass the *real* detectors, so
+the loader asserts the digests and the absence of genuine disagreements.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cachesim import CacheGeometry
+from repro.cord import CordConfig, CordDetector
+from repro.detectors import IdealDetector, LimitedVectorDetector
+from repro.detectors.epoch import EpochDetector
+from repro.engine import run_program
+from repro.fuzz.oracle import D_VALUES, LINE, Disagreement
+from repro.fuzz.program import FuzzProgram, build_program
+
+#: Witness file format version.
+WITNESS_FORMAT = 1
+
+
+def _digest(obj) -> str:
+    blob = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def behavior_digests(fp: FuzzProgram, seed: int) -> Dict[str, str]:
+    """Per-family digests of what the healthy detectors report."""
+    program = build_program(fp)
+    trace = run_program(program, seed=seed, on_deadlock="hang")
+    n = program.n_threads
+    digests = {
+        "trace": _digest({
+            "events": len(trace.events),
+            "hung": trace.hung,
+            "final_icounts": list(trace.final_icounts),
+        }),
+        "Ideal": _outcome_digest(IdealDetector(n).run(trace)),
+        "Vector": _outcome_digest(
+            LimitedVectorDetector(
+                n, CacheGeometry.infinite(LINE)
+            ).run(trace)
+        ),
+        "Epoch": _outcome_digest(EpochDetector(n).run(trace)),
+    }
+    for d in D_VALUES:
+        outcome = CordDetector(
+            CordConfig(d=d, cache_size=None, line_size=LINE), n
+        ).run(trace)
+        digests["CORD-D%d" % d] = _outcome_digest(outcome)
+    return digests
+
+
+def _outcome_digest(outcome) -> str:
+    return _digest({
+        "flagged": sorted(list(a) for a in outcome.flagged),
+        "words": sorted({race.address for race in outcome.races}),
+    })
+
+
+@dataclass
+class Witness:
+    """One shrunk disagreement, ready to serialize."""
+
+    program: FuzzProgram
+    seed: int
+    invariant: str
+    detail: str
+    broken_variant: Optional[str] = None
+    digests: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        key = _digest({
+            "program": self.program.to_json(),
+            "seed": self.seed,
+            "invariant": self.invariant,
+        })[:10]
+        return "%s-%s" % (self.invariant, key)
+
+    def to_json(self) -> Dict:
+        return {
+            "format": WITNESS_FORMAT,
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "broken_variant": self.broken_variant,
+            "seed": self.seed,
+            "op_count": self.program.op_count,
+            "program": self.program.to_json(),
+            "digests": self.digests,
+        }
+
+    @classmethod
+    def from_json(cls, obj: Dict) -> "Witness":
+        if obj.get("format") != WITNESS_FORMAT:
+            raise ValueError(
+                "unsupported witness format %r" % obj.get("format")
+            )
+        return cls(
+            program=FuzzProgram.from_json(obj["program"]),
+            seed=int(obj["seed"]),
+            invariant=obj["invariant"],
+            detail=obj.get("detail", ""),
+            broken_variant=obj.get("broken_variant"),
+            digests=dict(obj.get("digests", {})),
+        )
+
+
+def make_witness(
+    fp: FuzzProgram,
+    seed: int,
+    disagreement: Disagreement,
+    broken_variant: Optional[str] = None,
+) -> Witness:
+    return Witness(
+        program=fp,
+        seed=seed,
+        invariant=disagreement.invariant,
+        detail=disagreement.detail,
+        broken_variant=broken_variant,
+        digests=behavior_digests(fp, seed),
+    )
+
+
+def save_witness(witness: Witness, directory: str) -> str:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, witness.name + ".json")
+    with open(path, "w") as handle:
+        json.dump(witness.to_json(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_witness(path: str) -> Witness:
+    with open(path) as handle:
+        return Witness.from_json(json.load(handle))
+
+
+def load_corpus(directory: str) -> List[Witness]:
+    """Every ``*.json`` witness under ``directory``, sorted by name."""
+    if not os.path.isdir(directory):
+        return []
+    witnesses = []
+    for entry in sorted(os.listdir(directory)):
+        if entry.endswith(".json"):
+            witnesses.append(
+                load_witness(os.path.join(directory, entry))
+            )
+    return witnesses

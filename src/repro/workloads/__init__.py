@@ -1,25 +1,33 @@
-"""Synthetic Splash-2 workload analogues (Table 1 of the paper).
+"""Synthetic workload analogues, in registry families.
 
-The paper evaluates twelve Splash-2 applications with reduced input sets.
-We cannot run the original binaries on a Python functional simulator, so
-each application is re-expressed as a *sharing-and-synchronization
-analogue*: a thread program that reproduces the app's synchronization
-structure (barriers, task queues, fine-grained locks, pipeline flags) and
-data-sharing pattern (read-only scenes, stencil boundaries, all-to-all
-transposes, lock-protected accumulations) at a scale tuned for reduced
-caches -- exactly the property the detection experiments depend on.
+The ``splash2`` family reproduces the paper's evaluation set: twelve
+Splash-2 applications with reduced input sets.  We cannot run the
+original binaries on a Python functional simulator, so each application
+is re-expressed as a *sharing-and-synchronization analogue*: a thread
+program that reproduces the app's synchronization structure (barriers,
+task queues, fine-grained locks, pipeline flags) and data-sharing
+pattern (read-only scenes, stencil boundaries, all-to-all transposes,
+lock-protected accumulations) at a scale tuned for reduced caches --
+exactly the property the detection experiments depend on.
+
+The ``server`` family (:mod:`repro.workloads.server`) covers the
+request-shaped traffic patterns production services exercise: worker
+pools, bounded-queue pipelines, event-loop handoff, cache invalidation,
+and CAS/retry loops.  See ``docs/workloads.md``.
 
 Every workload is deterministic: its shape comes from a fixed per-workload
 pattern seed, so two runs differ only by scheduler interleaving, like the
 paper's reruns of one binary.
 
 Use :func:`repro.workloads.registry.get_workload` /
-:func:`repro.workloads.registry.all_workloads` to enumerate them.
+:func:`repro.workloads.registry.all_workloads` to enumerate them
+(``all_workloads(family=...)`` scopes to one family).
 """
 
 from repro.workloads.base import WorkloadParams, WorkloadSpec
 from repro.workloads.registry import (
     all_workloads,
+    families,
     get_workload,
     workload_names,
 )
@@ -28,6 +36,7 @@ __all__ = [
     "WorkloadParams",
     "WorkloadSpec",
     "all_workloads",
+    "families",
     "get_workload",
     "workload_names",
 ]

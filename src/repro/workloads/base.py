@@ -69,14 +69,20 @@ class WorkloadParams:
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """One Table 1 row: a named, buildable application analogue.
+    """One registry row: a named, buildable application analogue.
 
     Attributes:
-        name: application name (matches the paper's Table 1).
-        input_label: the paper's input-set label for the app.
+        name: application name (for the Splash-2 family, matches the
+            paper's Table 1; server-family names describe the traffic
+            shape).
+        input_label: input-set label (the paper's for Splash-2, a
+            workload-shape summary for other families).
         description: one-line summary of the analogue's structure.
         build: ``params -> Program`` factory.
         sync_style: dominant synchronization idiom (diagnostics).
+        family: registry family the workload belongs to (``"splash2"``
+            for the paper's Table 1 analogues, ``"server"`` for the
+            request/traffic-shaped generators).
     """
 
     name: str
@@ -84,6 +90,7 @@ class WorkloadSpec:
     description: str
     build: Callable[[WorkloadParams], Program]
     sync_style: str = "barriers"
+    family: str = "splash2"
 
     def program_factory(
         self, params: Optional[WorkloadParams] = None

@@ -1,0 +1,42 @@
+"""Server-shaped workload analogues (traffic patterns, not Splash-2).
+
+The Splash-2 family reproduces the paper's Table 1; this family covers
+the synchronization shapes a production service exercises -- the
+patterns the ROADMAP's north star (heavy traffic, many concurrent
+users) cares about:
+
+* :mod:`~repro.workloads.server.webpool` -- request/worker-pool web
+  server with per-request session locking;
+* :mod:`~repro.workloads.server.pipeline` -- producer/consumer stage
+  pipeline over bounded queues;
+* :mod:`~repro.workloads.server.eventloop` -- async event-loop with
+  I/O-completion handoff to a worker pool;
+* :mod:`~repro.workloads.server.cacheinval` -- read-heavy cache with
+  periodic invalidation storms;
+* :mod:`~repro.workloads.server.casretry` -- lock-free CAS/retry
+  counters (atomics modeled as reservation micro-critical-sections).
+
+All five follow the Splash-2 analogues' contract exactly: deterministic
+shape from ``pattern_seed``, scaling via :class:`WorkloadParams`, data
+accesses race-free until the injector removes a sync instance, and a
+:class:`WorkloadSpec` (``family="server"``) in the global registry, so
+they flow through :class:`~repro.trace.packed.PackedTrace` recording,
+injection campaigns, and sweeps unchanged.
+"""
+
+from repro.workloads.server import (  # noqa: F401
+    cacheinval,
+    casretry,
+    eventloop,
+    pipeline,
+    webpool,
+)
+
+#: Registry order of the server family.
+SPECS = [
+    webpool.SPEC,
+    pipeline.SPEC,
+    eventloop.SPEC,
+    cacheinval.SPEC,
+    casretry.SPEC,
+]

@@ -1,0 +1,113 @@
+"""Read-heavy cache with invalidation storms (``cacheinval``).
+
+Thread 0 is the invalidator (the write path of a cache tier): it mostly
+idles, then periodically sweeps a contiguous span of cache entries --
+an invalidation storm -- rewriting each entry's value words and bumping
+its version under the entry's stripe lock.  Threads 1..N-1 are the read
+path: each loops over lookups, taking the stripe lock just long enough
+to read the entry's version and value (a reader-lock critical section),
+then doing per-lookup compute.
+
+Sharing shape: overwhelmingly read-shared entries punctuated by bursts
+where one writer marches through every stripe in order -- the cache
+pattern where removing a single reader's lock acquisition makes it read
+a torn entry mid-storm, and removing a writer's acquisition tears the
+entry for every concurrent reader.  Lookup skew is Zipf-ish: a few hot
+entries absorb most reads, so the hot stripes see real contention.
+"""
+
+from __future__ import annotations
+
+from repro.program.builder import Program
+from repro.program.address_space import AddressSpace
+from repro.program.ops import ReadOp, WriteOp
+from repro.sync.library import acquire, release
+from repro.sync.objects import Mutex
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    compute,
+    pattern_rng,
+    private_sweep,
+)
+
+#: Cache entries and their lock striping.
+N_ENTRIES = 12
+N_STRIPES = 4
+#: Words per entry: version + two value words.
+ENTRY_WORDS = 3
+#: Entries rewritten per storm.
+STORM_SPAN = 6
+
+
+def build(params: WorkloadParams) -> Program:
+    space = AddressSpace()
+    n_readers = params.n_threads - 1
+    lookups = params.scaled(60)
+    storms = params.scaled(6)
+
+    stripe_locks = [
+        Mutex.allocate(space, "stripe.%d" % s) for s in range(N_STRIPES)
+    ]
+    entries = [
+        space.alloc_array("entry.%d" % e, ENTRY_WORDS)
+        for e in range(N_ENTRIES)
+    ]
+    scratch = [
+        space.alloc_array("scratch.r%d" % r, 256) for r in range(n_readers)
+    ]
+
+    def invalidator(tid):
+        rng = pattern_rng(params, "cacheinval", 0).fork("storms")
+        for storm in range(storms):
+            # Idle phase between storms: the read-heavy steady state.
+            yield from compute(params.compute_grain * 4)
+            start = rng.randrange(N_ENTRIES)
+            for step in range(STORM_SPAN):
+                e = (start + step) % N_ENTRIES
+                lock = stripe_locks[e % N_STRIPES]
+                yield from acquire(lock)
+                version = yield ReadOp(entries[e][0])
+                yield WriteOp(entries[e][1], storm + 1)
+                yield WriteOp(entries[e][2], e)
+                yield WriteOp(entries[e][0], (version or 0) + 1)
+                yield from release(lock)
+
+    def reader(rid):
+        rng = pattern_rng(params, "cacheinval", rid + 1)
+        # Zipf-ish skew: half the lookups hit two hot entries.
+        picks = [
+            rng.randrange(2) if rng.randrange(2) else
+            rng.randrange(N_ENTRIES)
+            for _ in range(lookups)
+        ]
+
+        def body(tid):
+            cursor = 0
+            for k in range(lookups):
+                e = picks[k]
+                lock = stripe_locks[e % N_STRIPES]
+                yield from acquire(lock)
+                yield ReadOp(entries[e][0])
+                yield ReadOp(entries[e][1])
+                yield ReadOp(entries[e][2])
+                yield from release(lock)
+                cursor = yield from private_sweep(scratch[rid], cursor, 3)
+                if k % 4 == 3:
+                    yield from compute(params.compute_grain)
+
+        return body
+
+    bodies = [invalidator] + [reader(r) for r in range(n_readers)]
+    return Program(bodies, space, name="cacheinval")
+
+
+SPEC = WorkloadSpec(
+    name="cacheinval",
+    input_label="hot cache",
+    description="read-heavy striped cache punctuated by one writer's "
+                "invalidation storms",
+    build=build,
+    sync_style="striped read locks + storm writer",
+    family="server",
+)

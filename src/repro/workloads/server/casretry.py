@@ -1,0 +1,115 @@
+"""Lock-free CAS/retry counters (``casretry``).
+
+Every thread performs optimistic fetch-and-add transactions against a
+few hot counters plus a private tail of cold ones: load the counter's
+version (the "load-linked"), do speculative work, then attempt the
+commit -- re-read the version and, only if unchanged, publish the new
+value and bump the version; otherwise loop and retry.  The atomic
+load/commit pairs are modeled as micro-critical-sections on a per-word
+reservation mutex (hardware CAS owns the cache line for the duration;
+the mutex's sync read/write events model exactly the ordering the
+atomic provides), so the *structure* is lock-free retry: critical
+sections are two or three accesses long, held counts are never waited
+on inside, and contention shows up as version mismatches, not blocking.
+
+Sharing shape: very short, very hot critical sections with
+value-dependent control flow -- a retry re-executes the whole
+load/compute/commit path.  Removing one reservation acquisition turns
+the commit into a blind write: a lost update on the counter and a torn
+version, the exact bug CAS exists to prevent.  Termination is
+guaranteed without caps: a failed commit implies another thread's
+commit succeeded in between (global progress, as with real CAS loops).
+"""
+
+from __future__ import annotations
+
+from repro.program.builder import Program
+from repro.program.address_space import AddressSpace
+from repro.program.ops import ReadOp, WriteOp
+from repro.sync.library import acquire, release
+from repro.sync.objects import Mutex
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    compute,
+    pattern_rng,
+    private_sweep,
+)
+
+#: Contended counters (every thread hits these) and per-thread cold ones.
+N_HOT = 3
+#: Words per counter: version + value.
+COUNTER_WORDS = 2
+
+
+def build(params: WorkloadParams) -> Program:
+    space = AddressSpace()
+    n_threads = params.n_threads
+    commits = params.scaled(20)
+
+    n_counters = N_HOT + n_threads
+    reservation = [
+        Mutex.allocate(space, "cas.%d" % c) for c in range(n_counters)
+    ]
+    counters = [
+        space.alloc_array("counter.%d" % c, COUNTER_WORDS)
+        for c in range(n_counters)
+    ]
+    scratch = [
+        space.alloc_array("scratch.t%d" % t, 256) for t in range(n_threads)
+    ]
+
+    def make_body(slot):
+        rng = pattern_rng(params, "casretry", slot)
+        # Mostly hot counters; each thread also owns one cold counter,
+        # whose CAS never fails (the uncontended fast path).
+        targets = [
+            rng.randrange(N_HOT) if rng.randrange(4) else N_HOT + slot
+            for _ in range(commits)
+        ]
+        deltas = [1 + rng.randrange(3) for _ in range(commits)]
+
+        def body(tid):
+            cursor = 0
+            for k in range(commits):
+                c = targets[k]
+                version_word = counters[c][0]
+                value_word = counters[c][1]
+                committed = False
+                while not committed:
+                    # Load-linked: atomically snapshot version + value.
+                    yield from acquire(reservation[c])
+                    seen = yield ReadOp(version_word)
+                    value = yield ReadOp(value_word)
+                    yield from release(reservation[c])
+                    # Speculative work outside the atomic.
+                    cursor = yield from private_sweep(
+                        scratch[slot], cursor, 2
+                    )
+                    yield from compute(params.compute_grain // 4)
+                    # Store-conditional: commit only if unclobbered.
+                    yield from acquire(reservation[c])
+                    current = yield ReadOp(version_word)
+                    if (current or 0) == (seen or 0):
+                        yield WriteOp(
+                            value_word, (value or 0) + deltas[k]
+                        )
+                        yield WriteOp(version_word, (seen or 0) + 1)
+                        committed = True
+                    yield from release(reservation[c])
+
+        return body
+
+    bodies = [make_body(t) for t in range(n_threads)]
+    return Program(bodies, space, name="casretry")
+
+
+SPEC = WorkloadSpec(
+    name="casretry",
+    input_label="hot counters",
+    description="optimistic CAS/retry fetch-and-add over hot counters "
+                "with versioned commits",
+    build=build,
+    sync_style="CAS reservation micro-sections",
+    family="server",
+)

@@ -1,0 +1,133 @@
+"""Async event-loop with I/O-completion handoff (``eventloop``).
+
+Thread 0 is the reactor: it owns the loop state (callback table, timers,
+connection words) and is the *only* thread that ever touches it -- the
+single-threaded event-loop discipline, where loop state needs no locks
+because handoff edges order everything.  Threads 1..N-1 are I/O workers:
+the reactor submits operations to them through per-worker submission
+flags (after writing the request words), lets up to ``MAX_INFLIGHT``
+rounds float, then reaps completions in submission order (an io_uring
+style in-order completion queue), reads each result, and runs the
+callback against loop-local state.
+
+Sharing shape: every cross-thread word (request and result slots) is
+ordered by exactly one flag edge in each direction; the loop state is
+thread-confined.  Removing a completion *wait* makes the reactor run a
+callback against a result the worker is still writing -- the archetypal
+use-after-incomplete-I/O race -- while removing a submission wait makes
+a worker read a half-written request.
+"""
+
+from __future__ import annotations
+
+from repro.program.builder import Program
+from repro.program.address_space import AddressSpace
+from repro.program.ops import ReadOp, WriteOp
+from repro.sync.library import flag_set, flag_wait
+from repro.sync.objects import Flag
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    compute,
+    pattern_rng,
+    private_sweep,
+)
+
+#: Submission rounds the reactor lets float before reaping.
+MAX_INFLIGHT = 2
+#: Words per I/O request and per completion result.
+REQUEST_WORDS = 2
+RESULT_WORDS = 2
+#: Loop-state words the callbacks mutate (reactor-confined).
+LOOP_STATE_WORDS = 8
+
+
+def build(params: WorkloadParams) -> Program:
+    space = AddressSpace()
+    n_workers = params.n_threads - 1
+    rounds = params.scaled(24)
+
+    submit = [
+        Flag.allocate(space, "submit.w%d" % w) for w in range(n_workers)
+    ]
+    complete = [
+        Flag.allocate(space, "complete.w%d" % w) for w in range(n_workers)
+    ]
+    requests = [
+        space.alloc_array("request.w%d" % w, rounds * REQUEST_WORDS)
+        for w in range(n_workers)
+    ]
+    results = [
+        space.alloc_array("result.w%d" % w, rounds * RESULT_WORDS)
+        for w in range(n_workers)
+    ]
+    loop_state = space.alloc_array("loop_state", LOOP_STATE_WORDS)
+    scratch = [
+        space.alloc_array("scratch.w%d" % w, 256) for w in range(n_workers)
+    ]
+
+    rng = pattern_rng(params, "eventloop", 0).fork("ops")
+    op_kinds = [
+        [rng.randrange(4) for _ in range(rounds)] for _ in range(n_workers)
+    ]
+
+    def reactor(tid):
+        def reap(r):
+            # In-order completion reaping: wait, read the result, run
+            # the callback against reactor-confined loop state.
+            for w in range(n_workers):
+                yield from flag_wait(complete[w], r + 1)
+                base = r * RESULT_WORDS
+                status = yield ReadOp(results[w][base])
+                payload = yield ReadOp(results[w][base + 1])
+                slot = (w + r + (status or 0)) % LOOP_STATE_WORDS
+                old = yield ReadOp(loop_state[slot])
+                yield WriteOp(
+                    loop_state[slot], (old or 0) + (payload or 0)
+                )
+                yield from compute(params.compute_grain // 4)
+
+        for r in range(rounds):
+            for w in range(n_workers):
+                base = r * REQUEST_WORDS
+                yield WriteOp(requests[w][base], op_kinds[w][r])
+                yield WriteOp(requests[w][base + 1], r + 1)
+                yield from flag_set(submit[w], r + 1)
+            if r >= MAX_INFLIGHT:
+                yield from reap(r - MAX_INFLIGHT)
+        for r in range(max(0, rounds - MAX_INFLIGHT), rounds):
+            yield from reap(r)
+
+    def worker(wid):
+        def body(tid):
+            cursor = 0
+            for r in range(rounds):
+                yield from flag_wait(submit[wid], r + 1)
+                base = r * REQUEST_WORDS
+                kind = yield ReadOp(requests[wid][base])
+                seq = yield ReadOp(requests[wid][base + 1])
+                # The modeled I/O: latency as compute, effect as a
+                # private-buffer sweep.
+                cursor = yield from private_sweep(
+                    scratch[wid], cursor, 3 + (kind or 0)
+                )
+                yield from compute(params.compute_grain)
+                yield WriteOp(results[wid][base], (kind or 0) + 1)
+                yield WriteOp(results[wid][base + 1], seq or 0)
+                yield from flag_set(complete[wid], r + 1)
+
+        return body
+
+    bodies = [reactor] + [worker(w) for w in range(n_workers)]
+    return Program(bodies, space, name="eventloop")
+
+
+SPEC = WorkloadSpec(
+    name="eventloop",
+    input_label="completion queue",
+    description="single-threaded reactor with in-order I/O completion "
+                "handoff to a worker pool",
+    build=build,
+    sync_style="submit/complete flag pairs",
+    family="server",
+)

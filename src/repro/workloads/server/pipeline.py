@@ -1,0 +1,124 @@
+"""Producer/consumer stage pipeline over bounded queues (``pipeline``).
+
+Thread i is pipeline stage i.  Stage 0 produces items; each later stage
+pops from the bounded queue upstream of it, transforms the item, and
+pushes downstream; the last stage folds results into a tally under a
+lock.  A queue is a ring of ``QUEUE_CAPACITY`` slots plus two monotone
+flags: ``produced`` (raised by the upstream stage after writing a slot)
+and ``consumed`` (raised by the downstream stage after reading it).
+Producers observe backpressure by waiting until the consumer is at most
+``QUEUE_CAPACITY`` items behind before overwriting a ring slot.
+
+Sharing shape: each queue has exactly one producer and one consumer, so
+each flag has a single setter (monotone by construction) and every slot
+write/read pair is ordered by a flag edge -- the producer/consumer
+discipline whose wait, removed by injection, rereads a stale slot or
+tears a ring overwrite, both manifest data races.
+"""
+
+from __future__ import annotations
+
+from repro.program.builder import Program
+from repro.program.address_space import AddressSpace
+from repro.program.ops import ReadOp, WriteOp
+from repro.sync.library import flag_set, flag_wait
+from repro.sync.objects import Flag, Mutex
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    compute,
+    locked_update_block,
+    pattern_rng,
+    private_sweep,
+)
+
+#: Ring slots per inter-stage queue.
+QUEUE_CAPACITY = 4
+#: Words per queue item (id, payload).
+ITEM_WORDS = 2
+
+
+def build(params: WorkloadParams) -> Program:
+    space = AddressSpace()
+    n_stages = params.n_threads
+    n_queues = n_stages - 1
+    n_items = params.scaled(40)
+
+    produced = [
+        Flag.allocate(space, "produced.q%d" % q) for q in range(n_queues)
+    ]
+    consumed = [
+        Flag.allocate(space, "consumed.q%d" % q) for q in range(n_queues)
+    ]
+    rings = [
+        space.alloc_array(
+            "ring.q%d" % q, QUEUE_CAPACITY * ITEM_WORDS
+        )
+        for q in range(n_queues)
+    ]
+    tally_lock = Mutex.allocate(space, "tally_lock")
+    tally = space.alloc_array("tally", 4)
+    scratch = [
+        space.alloc_array("scratch.s%d" % s, 256) for s in range(n_stages)
+    ]
+
+    def stage(sid):
+        rng = pattern_rng(params, "pipeline", sid)
+        weights = [1 + rng.randrange(5) for _ in range(n_items)]
+
+        def push(q, k, ident, payload):
+            # Backpressure: don't overwrite slot k % capacity until the
+            # consumer has retired item k - capacity.
+            if k >= QUEUE_CAPACITY:
+                yield from flag_wait(
+                    consumed[q], k - QUEUE_CAPACITY + 1
+                )
+            base = (k % QUEUE_CAPACITY) * ITEM_WORDS
+            yield WriteOp(rings[q][base], ident)
+            yield WriteOp(rings[q][base + 1], payload)
+            yield from flag_set(produced[q], k + 1)
+
+        def pop(q, k):
+            yield from flag_wait(produced[q], k + 1)
+            base = (k % QUEUE_CAPACITY) * ITEM_WORDS
+            ident = yield ReadOp(rings[q][base])
+            payload = yield ReadOp(rings[q][base + 1])
+            yield from flag_set(consumed[q], k + 1)
+            return ident or 0, payload or 0
+
+        def body(tid):
+            cursor = 0
+            for k in range(n_items):
+                if sid == 0:
+                    ident, payload = k + 1, weights[k]
+                else:
+                    ident, payload = yield from pop(sid - 1, k)
+                # Stage transform against private scratch.
+                cursor = yield from private_sweep(
+                    scratch[sid], cursor, 2 + weights[k] % 3
+                )
+                yield from compute(params.compute_grain // 2)
+                if sid < n_stages - 1:
+                    yield from push(sid, k, ident, payload + weights[k])
+                else:
+                    # Sink stage: fold the finished item into the tally.
+                    yield from locked_update_block(
+                        tally_lock, tally[: 1 + (payload & 1)],
+                        delta=payload,
+                    )
+
+        return body
+
+    bodies = [stage(s) for s in range(n_stages)]
+    return Program(bodies, space, name="pipeline")
+
+
+SPEC = WorkloadSpec(
+    name="pipeline",
+    input_label="bounded queues",
+    description="stage-per-thread pipeline over bounded ring queues "
+                "with produced/consumed flag pairs",
+    build=build,
+    sync_style="bounded-queue flag handoff",
+    family="server",
+)

@@ -1,0 +1,152 @@
+"""Request/worker-pool web server analogue (``webpool``).
+
+Thread 0 is the acceptor: it materializes each incoming request's
+payload, picks a worker, and hands the request over through that
+worker's mailbox flag.  Threads 1..N-1 are pool workers: each waits on
+its mailbox, parses the payload, does per-request compute against
+private scratch, updates the request's session record under a striped
+session lock, folds counters into global server stats under the stats
+lock, and raises its completion flag.  The acceptor drains completions
+before shutdown.
+
+Sharing shape: payload words are written by the acceptor and read by
+exactly one worker, ordered by the mailbox flag (a textbook
+message-passing handoff -- removing the mailbox *wait* makes the worker
+read a half-written request, the classic lost-handoff race).  Session
+records are striped across a small lock array (per-request locking);
+the stats words are the single hot lock every request crosses.
+"""
+
+from __future__ import annotations
+
+from repro.program.builder import Program
+from repro.program.address_space import AddressSpace
+from repro.program.ops import ReadOp, WriteOp
+from repro.sync.library import flag_set, flag_wait
+from repro.sync.objects import Flag, Mutex
+from repro.workloads.base import (
+    WorkloadParams,
+    WorkloadSpec,
+    compute,
+    locked_update_block,
+    pattern_rng,
+    private_sweep,
+    read_block,
+)
+
+#: Words per request payload (method, path hash, body words).
+PAYLOAD_WORDS = 3
+#: Session records and the stripe width of their lock array.
+N_SESSIONS = 16
+N_SESSION_LOCKS = 4
+#: Words per session record (last-seen, hit count).
+SESSION_WORDS = 2
+#: Global stats words (requests, bytes, errors, latency accumulator).
+STATS_WORDS = 4
+
+
+def build(params: WorkloadParams) -> Program:
+    space = AddressSpace()
+    n_workers = params.n_threads - 1
+    requests_per_worker = params.scaled(30)
+
+    mailbox = [
+        Flag.allocate(space, "mailbox.w%d" % w) for w in range(n_workers)
+    ]
+    done = [
+        Flag.allocate(space, "done.w%d" % w) for w in range(n_workers)
+    ]
+    session_locks = [
+        Mutex.allocate(space, "session_lock.%d" % s)
+        for s in range(N_SESSION_LOCKS)
+    ]
+    stats_lock = Mutex.allocate(space, "stats_lock")
+    stats = space.alloc_array("stats", STATS_WORDS)
+    sessions = [
+        space.alloc_array("session.%d" % s, SESSION_WORDS)
+        for s in range(N_SESSIONS)
+    ]
+    # One payload slab per (worker, request): the handoff flag orders
+    # writer and reader, so slots never need recycling-synchronization.
+    payloads = [
+        space.alloc_array(
+            "payload.w%d" % w, requests_per_worker * PAYLOAD_WORDS
+        )
+        for w in range(n_workers)
+    ]
+    scratch = [
+        space.alloc_array("scratch.w%d" % w, 512) for w in range(n_workers)
+    ]
+
+    # The request schedule (which session each request touches, request
+    # sizes) is build-time pattern randomness, shared by acceptor and
+    # worker closures -- one input set, as with the Splash-2 analogues.
+    rng = pattern_rng(params, "webpool", 0).fork("schedule")
+    schedule = [
+        [
+            (rng.randrange(N_SESSIONS), 1 + rng.randrange(7))
+            for _ in range(requests_per_worker)
+        ]
+        for _ in range(n_workers)
+    ]
+
+    def acceptor(tid):
+        # Round-robin dispatch: write the payload, then publish it by
+        # raising the worker's mailbox to the request ordinal.
+        for k in range(requests_per_worker):
+            for w in range(n_workers):
+                session, size = schedule[w][k]
+                base = k * PAYLOAD_WORDS
+                yield WriteOp(payloads[w][base], session)
+                yield WriteOp(payloads[w][base + 1], size)
+                yield WriteOp(payloads[w][base + 2], k + 1)
+                yield from flag_set(mailbox[w], k + 1)
+            yield from compute(params.compute_grain // 4)
+        # Graceful shutdown: reap every worker's completions, then read
+        # the final stats (ordered by the done flags).
+        for w in range(n_workers):
+            yield from flag_wait(done[w], requests_per_worker)
+        yield from read_block(stats)
+
+    def worker(wid):
+        def body(tid):
+            cursor = 0
+            for k in range(requests_per_worker):
+                yield from flag_wait(mailbox[wid], k + 1)
+                base = k * PAYLOAD_WORDS
+                session = yield ReadOp(payloads[wid][base])
+                size = yield ReadOp(payloads[wid][base + 1])
+                yield ReadOp(payloads[wid][base + 2])
+                size = size or 1
+                # Per-request handler work against private scratch.
+                cursor = yield from private_sweep(
+                    scratch[wid], cursor, 4 + size
+                )
+                yield from compute(params.compute_grain)
+                # Per-request session locking (striped).
+                session = session or 0
+                lock = session_locks[session % N_SESSION_LOCKS]
+                yield from locked_update_block(
+                    lock, sessions[session], delta=size
+                )
+                # Global stats: the one lock every request crosses.
+                yield from locked_update_block(
+                    stats_lock, stats[: 2 + (size & 1)], delta=size
+                )
+                yield from flag_set(done[wid], k + 1)
+
+        return body
+
+    bodies = [acceptor] + [worker(w) for w in range(n_workers)]
+    return Program(bodies, space, name="webpool")
+
+
+SPEC = WorkloadSpec(
+    name="webpool",
+    input_label="worker pool",
+    description="acceptor + worker pool, mailbox handoff, striped "
+                "session locks, hot stats lock",
+    build=build,
+    sync_style="flag handoff + striped locks",
+    family="server",
+)

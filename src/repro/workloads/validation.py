@@ -1,10 +1,13 @@
 """Workload validation and characterization.
 
 The detection experiments assume each analogue is (a) data-race-free
-until injected and (b) shaped like its Splash-2 namesake.  This module
-checks (a) over many seeds and quantifies (b) as a characterization table
-(Table 1 extended with the measured quantities Section 3 discusses:
-access mix, synchronization census, sharing footprint).
+until injected and (b) shaped like its model -- the Splash-2 namesake
+for the paper's family, the traffic pattern for the server family.
+This module checks (a) over many seeds and quantifies (b) as a
+characterization table (Table 1 extended with the measured quantities
+Section 3 discusses: access mix, synchronization census, sharing
+footprint).  It is family-agnostic: it enumerates whatever the registry
+holds and must keep working as families grow.
 """
 
 from __future__ import annotations
@@ -124,11 +127,16 @@ def validate_workloads(
     names: Optional[Sequence[str]] = None,
     params: Optional[WorkloadParams] = None,
     seeds: Sequence[int] = (1, 2, 3),
+    family: Optional[str] = None,
 ) -> ValidationReport:
-    """Race-freedom over several seeds plus per-app profiles."""
+    """Race-freedom over several seeds plus per-app profiles.
+
+    Defaults to every registered workload; ``family`` scopes the sweep
+    to one registry family when ``names`` is not given.
+    """
     params = params or WorkloadParams()
     names = list(names) if names else [
-        spec.name for spec in all_workloads()
+        spec.name for spec in all_workloads(family)
     ]
     report = ValidationReport()
     for name in names:

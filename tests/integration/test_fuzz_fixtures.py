@@ -1,0 +1,118 @@
+"""Checked-in fuzz witnesses: every one must pass the real detectors.
+
+The corpus under ``tests/fixtures/golden/fuzz/`` holds shrunk witness
+programs the fuzzer produced against *deliberately broken* detector
+variants (:mod:`repro.fuzz.broken`).  They are kept as permanent
+regression fixtures: each is replayed here under all four detector
+families plus the kernel and fused tiers, its behavior digests are
+pinned, and the full disagreement oracle must stay silent -- if a real
+detector ever starts disagreeing on one of these minimal programs, the
+corpus catches it at its smallest reproduction.
+
+Regenerate (deterministic -- same seeds, same corpus)::
+
+    PYTHONPATH=src python tests/integration/test_fuzz_fixtures.py --regen
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import check_program, load_corpus
+from repro.fuzz.broken import broken_spec
+from repro.fuzz.hunt import hunt
+from repro.fuzz.witness import behavior_digests, save_witness
+
+FIXTURE_DIR = Path(__file__).parent.parent / "fixtures" / "golden" / "fuzz"
+
+#: The hunts that build the corpus: (broken variant, hunt seed, programs).
+CORPUS_HUNTS = (
+    ("hb-oblivious", 2006, 10),
+    ("sync-flagger", 7, 20),
+)
+
+#: Cap per hunt so the corpus stays reviewable.
+MAX_PER_HUNT = 3
+
+CORPUS = load_corpus(str(FIXTURE_DIR))
+
+
+def test_corpus_exists():
+    assert CORPUS, (
+        "no fuzz witness corpus -- run `PYTHONPATH=src python "
+        "tests/integration/test_fuzz_fixtures.py --regen`"
+    )
+
+
+@pytest.mark.parametrize(
+    "witness", CORPUS, ids=[w.name for w in CORPUS]
+)
+class TestEveryWitness:
+    def test_shrunk_small(self, witness):
+        # The acceptance bar: shrinking must land at/below 12 ops.
+        assert witness.program.op_count <= 12
+
+    def test_real_detectors_agree(self, witness):
+        # All four families plus the kernel/fused tiers and replay:
+        # the full oracle on a healthy build reports nothing.
+        found = check_program(witness.program, witness.seed)
+        assert not found, [str(d) for d in found]
+
+    def test_planted_fault_still_fires(self, witness):
+        # The witness is only meaningful while it still catches the
+        # variant it was shrunk against.
+        assert witness.broken_variant, "witness lost its provenance"
+        found = check_program(
+            witness.program, witness.seed,
+            extra_scalar_specs=[broken_spec(witness.broken_variant)],
+            check_tiers=False,
+        )
+        assert any(
+            d.invariant == witness.invariant for d in found
+        ), "planted %r no longer fails" % witness.broken_variant
+
+    def test_behavior_digests_pinned(self, witness):
+        # Detector behavior on the witness execution is frozen: any
+        # drift in what Ideal/Vector/Epoch/CORD report shows up here.
+        assert witness.digests, "witness carries no digests"
+        actual = behavior_digests(witness.program, witness.seed)
+        assert actual == witness.digests
+
+
+def regenerate():
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    for stale in FIXTURE_DIR.glob("*.json"):
+        stale.unlink()
+    seen_programs = set()
+    for variant, seed, n_programs in CORPUS_HUNTS:
+        report = hunt(
+            n_programs=n_programs,
+            seed=seed,
+            broken_variant=variant,
+            check_tiers=False,
+        )
+        kept = 0
+        for witness in report.witnesses:
+            key = (witness.invariant, str(witness.program.to_json()))
+            if key in seen_programs or kept >= MAX_PER_HUNT:
+                continue
+            seen_programs.add(key)
+            kept += 1
+            path = save_witness(witness, str(FIXTURE_DIR))
+            print(
+                "wrote %s (%d ops, variant %s)"
+                % (path, witness.program.op_count, variant)
+            )
+        if not kept:
+            raise SystemExit(
+                "hunt for %r found no witnesses -- corpus would "
+                "regress" % variant
+            )
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

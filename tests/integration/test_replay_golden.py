@@ -133,9 +133,15 @@ def test_all_workloads_have_fixtures():
     assert not missing, "fixtures missing for: %s" % ", ".join(missing)
 
 
-def regenerate():
+def regenerate(only=None):
+    """Rewrite fixtures -- all of them, or just the names in ``only``.
+
+    Scoping matters when a new workload joins the registry: its fixture
+    must be created without rewriting (and silently re-pinning) the
+    existing ones.
+    """
     FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
-    for workload in workload_names():
+    for workload in only or workload_names():
         result = golden_run(workload)
         if not result["replay_equivalent"]:
             raise SystemExit(
@@ -148,6 +154,7 @@ def regenerate():
 
 if __name__ == "__main__":
     if "--regen" in sys.argv:
-        regenerate()
+        names = [a for a in sys.argv[1:] if a != "--regen"]
+        regenerate(only=names or None)
     else:
         print(__doc__)

@@ -1,4 +1,4 @@
-"""Integration tests over all twelve workload analogues."""
+"""Integration tests over every registered workload analogue."""
 
 import pytest
 
@@ -10,6 +10,7 @@ from repro.trace import compute_stats
 from repro.workloads import (
     WorkloadParams,
     all_workloads,
+    families,
     get_workload,
     workload_names,
 )
@@ -20,26 +21,57 @@ ALL_NAMES = workload_names()
 
 
 class TestRegistry:
-    def test_twelve_apps(self):
-        assert len(all_workloads()) == 12
+    def test_families(self):
+        assert families() == ["splash2", "server"]
 
-    def test_names_match_table1(self):
-        assert ALL_NAMES == [
+    def test_twelve_splash2_apps(self):
+        # The paper's Table 1 set is exactly twelve applications.
+        assert len(all_workloads(family="splash2")) == 12
+
+    def test_splash2_names_match_table1(self):
+        assert workload_names(family="splash2") == [
             "barnes", "cholesky", "fft", "fmm", "lu", "ocean",
             "radiosity", "radix", "raytrace", "volrend",
             "water-n2", "water-sp",
         ]
 
+    def test_server_family(self):
+        assert workload_names(family="server") == [
+            "webpool", "pipeline", "eventloop", "cacheinval",
+            "casretry",
+        ]
+
+    def test_all_is_union_of_families(self):
+        union = [
+            name
+            for family in families()
+            for name in workload_names(family)
+        ]
+        assert ALL_NAMES == union
+        assert len(set(ALL_NAMES)) == len(ALL_NAMES)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigError):
+            all_workloads(family="mainframe")
+
     def test_lookup(self):
         assert get_workload("lu").name == "lu"
+        assert get_workload("webpool").family == "server"
         with pytest.raises(ConfigError):
             get_workload("nonesuch")
+
+    def test_every_entry_round_trips_by_name(self):
+        # The CLI and campaign drivers address workloads by name only;
+        # every registered spec must survive the round trip.
+        for spec in all_workloads():
+            assert get_workload(spec.name) is spec
 
     def test_specs_have_labels(self):
         for spec in all_workloads():
             assert spec.input_label
             assert spec.description
             assert spec.sync_style
+            assert spec.family in families()
 
 
 @pytest.mark.parametrize("name", ALL_NAMES)

@@ -1,0 +1,204 @@
+"""Scenario tests for the server workload family.
+
+Every shape must honor the contracts the rest of the pipeline assumes:
+deterministic builds, hang-free completion, replay bit-equivalence, and
+-- per shape -- the synchronization activity its traffic pattern
+promises (queue handoffs for the pipeline, CAS retries for the
+optimistic counters, invalidation locking for the cache).  The campaign
+test closes the loop: the server family flows through the record-once /
+analyze-many protocol with results bit-identical to the legacy
+per-configuration path, which is the ISSUE's acceptance criterion.
+"""
+
+import pytest
+
+from repro.cord import CordConfig, CordDetector, replay_trace, verify_replay
+from repro.detectors import IdealDetector
+from repro.engine import run_program
+from repro.engine.interceptor import SyncInterceptor
+from repro.injection.campaign import (
+    CampaignConfig,
+    run_campaign,
+    run_campaign_per_config,
+)
+from repro.program.ops import FlagWaitOp, LockOp
+from repro.workloads import WorkloadParams, get_workload, workload_names
+
+TINY = WorkloadParams(scale=0.25, compute_grain=8)
+
+SERVER_NAMES = workload_names(family="server")
+
+
+class _SyncCensus(SyncInterceptor):
+    """Counts dynamic lock and flag-wait instances by sync-word name."""
+
+    def __init__(self, space):
+        self.space = space
+        self.locks = {}
+        self.waits = {}
+
+    def on_sync_instance(self, thread, op):
+        name = self.space.name_of(op.address)
+        if isinstance(op, LockOp):
+            self.locks[name] = self.locks.get(name, 0) + 1
+        elif isinstance(op, FlagWaitOp):
+            self.waits[name] = self.waits.get(name, 0) + 1
+        return False
+
+
+def _census(name, seed=1, params=TINY):
+    program = get_workload(name).build(params)
+    census = _SyncCensus(program.address_space)
+    trace = run_program(program, seed=seed, interceptor=census)
+    assert not trace.hung
+    return program, trace, census
+
+
+@pytest.mark.parametrize("name", SERVER_NAMES)
+class TestEveryServerShape:
+    def test_deterministic_per_seed(self, name):
+        spec = get_workload(name)
+        a = run_program(spec.build(TINY), seed=11)
+        b = run_program(spec.build(TINY), seed=11)
+        assert [e.key() for e in a.events] == [
+            e.key() for e in b.events
+        ]
+
+    def test_different_seeds_interleave_differently(self, name):
+        spec = get_workload(name)
+        a = run_program(spec.build(TINY), seed=11)
+        b = run_program(spec.build(TINY), seed=12)
+        # Different interleaving per seed.  (Per-thread work may also
+        # differ on shapes with schedule-dependent retries: casretry's
+        # CAS failures depend on who lost the race.)
+        assert [e.key() for e in a.events] != [
+            e.key() for e in b.events
+        ]
+
+    def test_records_and_replays_bit_identically(self, name):
+        program = get_workload(name).build(TINY)
+        trace = run_program(program, seed=21)
+        outcome = CordDetector(
+            CordConfig(), program.n_threads
+        ).run(trace)
+        replayed = replay_trace(program, outcome.log)
+        verdict = verify_replay(trace, replayed)
+        assert verdict.equivalent, verdict.detail
+        # Replay is itself deterministic: running it again reproduces
+        # the same event stream exactly.
+        again = replay_trace(program, outcome.log)
+        assert [e.key() for e in replayed.events] == [
+            e.key() for e in again.events
+        ]
+
+    def test_clean_run_race_free(self, name):
+        program = get_workload(name).build(TINY)
+        trace = run_program(program, seed=31)
+        ideal = IdealDetector(program.n_threads).run(trace)
+        assert ideal.raw_count == 0, ideal.races[:3]
+
+
+class TestShapeActivity:
+    """Each traffic shape must exhibit its promised sync signature."""
+
+    def test_webpool_dispatch_and_completion_flags(self):
+        _program, _trace, census = _census("webpool")
+        mailboxes = sum(
+            count for sync_name, count in census.waits.items()
+            if "mailbox" in sync_name
+        )
+        dones = sum(
+            count for sync_name, count in census.waits.items()
+            if "done" in sync_name
+        )
+        assert mailboxes > 0, census.waits
+        assert dones > 0, census.waits
+        assert any("stats" in k for k in census.locks), census.locks
+
+    def test_pipeline_queue_handoffs(self):
+        _program, _trace, census = _census("pipeline")
+        produced = sum(
+            count for sync_name, count in census.waits.items()
+            if "produced" in sync_name
+        )
+        assert produced > 0, census.waits
+        # Bounded queues: the producer must also block on consumers
+        # at least once (capacity back-pressure), across seeds.
+        consumed = 0
+        for seed in (1, 2, 3):
+            _p, _t, c = _census("pipeline", seed=seed)
+            consumed += sum(
+                count for sync_name, count in c.waits.items()
+                if "consumed" in sync_name
+            )
+        assert consumed > 0
+
+    def test_cacheinval_stripe_locking(self):
+        _program, _trace, census = _census("cacheinval")
+        stripe_locks = sum(
+            count for sync_name, count in census.locks.items()
+            if "stripe" in sync_name
+        )
+        assert stripe_locks > 0, census.locks
+
+    def test_casretry_has_retries(self):
+        # Optimistic concurrency must actually lose races sometimes:
+        # each commit costs 2 reservation acquires on the happy path,
+        # so any surplus acquires are retry rounds.
+        commits = TINY.scaled(20) * TINY.n_threads
+        retries = 0
+        for seed in (1, 2, 3, 2006):
+            _program, _trace, census = _census("casretry", seed=seed)
+            acquires = sum(
+                count for sync_name, count in census.locks.items()
+                if sync_name.startswith("cas.")
+            )
+            retries += max(0, (acquires - 2 * commits) // 2)
+        assert retries > 0
+
+    def test_eventloop_bounded_inflight(self):
+        _program, _trace, census = _census("eventloop")
+        submits = sum(
+            count for sync_name, count in census.waits.items()
+            if "submit" in sync_name
+        )
+        completes = sum(
+            count for sync_name, count in census.waits.items()
+            if "complete" in sync_name
+        )
+        assert submits > 0, census.waits
+        assert completes > 0, census.waits
+
+
+class TestServerCampaigns:
+    """Record-once / analyze-many equivalence -- the acceptance gate."""
+
+    @pytest.mark.parametrize("name", ["webpool", "pipeline", "casretry"])
+    def test_record_once_matches_per_config(self, name):
+        spec = get_workload(name)
+        factory = spec.program_factory(TINY)
+        config = CampaignConfig(n_runs=4, base_seed=2006)
+        once = run_campaign(factory, name, config)
+        per = run_campaign_per_config(factory, name, config)
+        assert once.sync_instances == per.sync_instances
+        assert once.detector_names == per.detector_names
+        assert len(once.runs) == len(per.runs)
+        for a, b in zip(once.runs, per.runs):
+            assert (
+                a.run_index, a.seed, a.target_index, a.injected,
+                a.hung, a.n_events, a.flagged, a.problem, a.counters,
+            ) == (
+                b.run_index, b.seed, b.target_index, b.injected,
+                b.hung, b.n_events, b.flagged, b.problem, b.counters,
+            )
+
+    def test_injection_manifests_races(self):
+        # Removing sync from server shapes must produce real races the
+        # oracle sees -- otherwise the family is useless for Fig. 10.
+        spec = get_workload("webpool")
+        factory = spec.program_factory(TINY)
+        result = run_campaign(
+            factory, "webpool", CampaignConfig(n_runs=6, base_seed=7)
+        )
+        assert result.sync_instances > 0
+        assert result.n_manifested > 0

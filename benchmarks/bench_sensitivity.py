@@ -11,6 +11,13 @@ simulated once and every sweep point analyzes the shared packed trace.
 per-configuration protocol on the same 8-point D sweep and asserts the
 end-to-end speedup (threshold ``CORD_BENCH_SPEEDUP_MIN``, default 3;
 results are bit-identical by construction and asserted here too).
+
+The zero-copy trace plane adds two store-backed gates on the same
+sweep: ``test_cold_sweep_speedup`` (cold store-backed vs per-config,
+threshold ``CORD_SWEEP_SPEEDUP_MIN``, default 2) and
+``test_warm_sweep_zero_copy`` (a warm re-run serves every recording as
+an mmap hit with zero eager deserializations, threshold
+``CORD_WARM_SWEEP_SPEEDUP_MIN``, default 2, again vs per-config).
 """
 
 import os
@@ -170,6 +177,139 @@ def test_record_once_speedup(bench_log):
     minimum = float(os.environ.get("CORD_BENCH_SPEEDUP_MIN", "3"))
     assert speedup >= minimum, (
         "record-once speedup %.2fx below required %.1fx"
+        % (speedup, minimum)
+    )
+
+
+def test_cold_sweep_speedup(bench_log):
+    """Cold store-backed sweep vs per-config on the 8-point D axis.
+
+    The cold arm records each injected run once into a fresh
+    :class:`PackedTraceStore` (v3 column-aligned frames) and analyzes
+    every sweep point against the shared recording; the legacy arm
+    re-simulates per configuration.  Reports must be bit-identical --
+    the store changes cost, never results.  Threshold
+    ``CORD_SWEEP_SPEEDUP_MIN`` (default 2).
+    """
+    from repro.trace.store import PackedTraceStore
+
+    kwargs = dict(
+        workloads=_SWEEP_WORKLOADS,
+        d_values=D_SWEEP,
+        runs_per_app=4,
+        params=PARAMS,
+    )
+    root = Path(tempfile.mkdtemp(prefix="cord-bench-zerocopy-"))
+    try:
+        store = PackedTraceStore(root / "traces")
+        start = time.perf_counter()
+        cold = d_sensitivity(trace_store=store, **kwargs)
+        cold_s = time.perf_counter() - start
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    start = time.perf_counter()
+    legacy = d_sensitivity(mode="per-config", **kwargs)
+    legacy_s = time.perf_counter() - start
+
+    assert cold.points == legacy.points
+    assert cold.problem_rates == legacy.problem_rates
+    assert cold.raw_rates == legacy.raw_rates
+
+    speedup = legacy_s / cold_s
+    bench_log.record(
+        "sweeps",
+        "d_sweep_8pt_cold_store",
+        cold_s,
+        extra={"speedup_vs_per_config": round(speedup, 2)},
+    )
+    print()
+    print(
+        "cold store-backed %.2fs vs per-config %.2fs: %.2fx"
+        % (cold_s, legacy_s, speedup)
+    )
+    minimum = float(os.environ.get("CORD_SWEEP_SPEEDUP_MIN", "2"))
+    assert speedup >= minimum, (
+        "cold sweep speedup %.2fx below required %.1fx"
+        % (speedup, minimum)
+    )
+
+
+def test_warm_sweep_zero_copy(bench_log):
+    """Warm store-backed sweeps re-read every recording zero-copy.
+
+    A cold pass populates the store; the warm pass (a fresh store
+    instance over the same directory, so its counters start clean) must
+    serve every run as an mmap hit -- zero per-task full
+    deserializations, zero re-simulations -- and keep the record-once
+    speedup over the per-config protocol (threshold
+    ``CORD_WARM_SWEEP_SPEEDUP_MIN``, default 2).  At the benchmark's
+    trace sizes mapping is not meaningfully faster than one eager
+    decode, so the zero-copy claim is gated on the store's counters,
+    not on the mmap-vs-eager wall delta.
+    """
+    from repro.trace.store import PackedTraceStore, mmap_enabled
+
+    assert mmap_enabled(), (
+        "warm zero-copy gate needs mmap reads; do not run this "
+        "benchmark with REPRO_NO_MMAP set"
+    )
+    kwargs = dict(
+        workloads=_SWEEP_WORKLOADS,
+        d_values=D_SWEEP,
+        runs_per_app=4,
+        params=PARAMS,
+    )
+    root = Path(tempfile.mkdtemp(prefix="cord-bench-zerocopy-"))
+    try:
+        cold = d_sensitivity(
+            trace_store=PackedTraceStore(root / "traces"), **kwargs
+        )
+        warm_store = PackedTraceStore(root / "traces")
+        start = time.perf_counter()
+        warm = d_sensitivity(trace_store=warm_store, **kwargs)
+        warm_s = time.perf_counter() - start
+        stats = dict(warm_store.stats)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    start = time.perf_counter()
+    legacy = d_sensitivity(mode="per-config", **kwargs)
+    legacy_s = time.perf_counter() - start
+
+    # The acceptance criterion: the warm pass performed zero per-task
+    # full deserializations and zero re-simulations.
+    assert stats.get("run_misses", 0) == 0, stats
+    assert stats.get("eager_decodes", 0) == 0, stats
+    assert stats.get("mmap_hits", 0) > 0, stats
+
+    assert warm.points == cold.points == legacy.points
+    assert warm.problem_rates == cold.problem_rates
+    assert warm.problem_rates == legacy.problem_rates
+    assert warm.raw_rates == cold.raw_rates
+    assert warm.raw_rates == legacy.raw_rates
+
+    speedup = legacy_s / warm_s
+    bench_log.record(
+        "sweeps",
+        "d_sweep_8pt_warm_store",
+        warm_s,
+        extra={
+            "speedup_vs_per_config": round(speedup, 2),
+            "mmap_hits": stats.get("mmap_hits", 0),
+        },
+    )
+    print()
+    print(
+        "warm store-backed %.2fs vs per-config %.2fs: %.2fx "
+        "(%d mmap hits, 0 eager decodes)"
+        % (warm_s, legacy_s, speedup, stats.get("mmap_hits", 0))
+    )
+    minimum = float(
+        os.environ.get("CORD_WARM_SWEEP_SPEEDUP_MIN", "2")
+    )
+    assert speedup >= minimum, (
+        "warm sweep speedup %.2fx below required %.1fx"
         % (speedup, minimum)
     )
 

@@ -13,14 +13,16 @@ machine-readable trajectory files next to this module --
 ``BENCH_components.json`` (component throughput: wall time, event
 counts, events/second) and ``BENCH_sweeps.json`` (end-to-end sweep wall
 times and the record-once speedup).  Each session appends (or replaces)
-one entry keyed by ``CORD_BENCH_LABEL``; the committed entries track how
-the simulator's performance moves PR over PR.  The explicit wall-clock
+one entry keyed by ``CORD_BENCH_LABEL``, stamped with the date, kernel
+backend, and git short sha; the committed entries track how the
+simulator's performance moves PR over PR.  The explicit wall-clock
 measurement is what makes the files exist even under
 ``--benchmark-disable`` (the CI smoke mode).
 """
 
 import json
 import os
+import subprocess
 import time
 from pathlib import Path
 
@@ -88,21 +90,38 @@ class BenchLog:
         label = os.environ.get("CORD_BENCH_LABEL", "").strip() or (
             "local-%s" % time.strftime("%Y%m%d")
         )
+        commit = _git_short_sha()
         for kind, results in self._results.items():
             if not results:
                 continue
             from repro.trace.kernels import kernel_backend
 
-            _append_entry(
-                _BENCH_DIR / ("BENCH_%s.json" % kind),
-                {
-                    "label": label,
-                    "date": time.strftime("%Y-%m-%d"),
-                    "runs_per_app": RUNS_PER_APP,
-                    "backend": kernel_backend(),
-                    "results": results,
-                },
-            )
+            entry = {
+                "label": label,
+                "date": time.strftime("%Y-%m-%d"),
+                "runs_per_app": RUNS_PER_APP,
+                "backend": kernel_backend(),
+                "results": results,
+            }
+            if commit:
+                entry["commit"] = commit
+            _append_entry(_BENCH_DIR / ("BENCH_%s.json" % kind), entry)
+
+
+def _git_short_sha():
+    """The working tree's short commit sha, or None outside git."""
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_BENCH_DIR,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = probe.stdout.strip()
+    return sha if probe.returncode == 0 and sha else None
 
 
 def _append_entry(path, entry):

@@ -11,7 +11,13 @@ fans missing campaigns out over a :mod:`multiprocessing` pool
 (``jobs`` argument, or the ``REPRO_JOBS`` environment variable).  Results
 are bit-identical regardless of ``jobs``: each campaign derives its seeds
 from ``(base_seed, workload)`` alone, and the pool only changes *where* a
-campaign runs, never what it computes.
+campaign runs, never what it computes.  When a trace store already holds
+a campaign's recordings, the parent publishes them once over
+:mod:`multiprocessing.shared_memory` (:mod:`repro.trace.sharedmem`) and
+workers attach zero-copy after verifying each segment's digest, so N
+workers replaying one workload share one physical copy of its traces
+(``REPRO_NO_SHM=1`` disables publication; every fallback is counted in
+:attr:`Suite.warnings`).
 
 An optional on-disk cache (``cache_dir`` argument, or ``REPRO_CACHE_DIR``)
 persists finished campaigns keyed by the full parameter tuple, so
@@ -58,6 +64,7 @@ from repro.common.errors import InterruptedRunError, StoreCorruptError
 from repro.injection.campaign import (
     CampaignConfig,
     CampaignResult,
+    plan_campaign_runs,
     run_campaign,
 )
 from repro.resilience.checkpoint import (
@@ -67,6 +74,12 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.journal import RunCheckpoint
 from repro.resilience.supervisor import RunReport, Supervisor, TaskOutcome
+from repro.trace.sharedmem import (
+    SharedTraceMap,
+    publish_trace,
+    sharedmem_available,
+    unpublish_trace,
+)
 from repro.trace.store import (
     PackedTraceStore,
     frame_payload,
@@ -142,16 +155,21 @@ def trace_namespace(workload: str, params: WorkloadParams) -> str:
 
 
 #: One unit of pool work: everything a worker needs to rebuild the
-#: campaign (must stay picklable for spawn-based platforms).  The last
-#: element is the trace-store directory (or None): workers rebuild the
+#: campaign (must stay picklable for spawn-based platforms).  The
+#: trace-store directory (or None) comes fifth: workers rebuild the
 #: store from the path because the store itself holds no state worth
-#: shipping.
-_CampaignTask = Tuple[str, int, int, WorkloadParams, Optional[str]]
+#: shipping.  The last element is the shared-trace publication for this
+#: workload -- ``{components: (SharedTraceHandle, extra)}`` or None --
+#: a few hundred bytes of handles standing in for the recordings
+#: themselves, which stay in one shared physical copy.
+_CampaignTask = Tuple[
+    str, int, int, WorkloadParams, Optional[str], Optional[Dict]
+]
 
 
 def _run_campaign_task(task: _CampaignTask) -> Tuple[str, CampaignResult]:
     """Pool worker: run one workload's campaign (module-level, picklable)."""
-    name, n_runs, base_seed, params, store_dir = task
+    name, n_runs, base_seed, params, store_dir, handles = task
     spec = get_workload(name)
     result = run_campaign(
         spec.program_factory(params),
@@ -161,6 +179,7 @@ def _run_campaign_task(task: _CampaignTask) -> Tuple[str, CampaignResult]:
             PackedTraceStore(store_dir) if store_dir is not None else None
         ),
         trace_namespace=trace_namespace(name, params),
+        shared_traces=SharedTraceMap(handles) if handles else None,
     )
     return name, result
 
@@ -308,7 +327,9 @@ class Suite:
 
     # -- campaign execution --------------------------------------------------
 
-    def _task(self, workload: str) -> _CampaignTask:
+    def _task(
+        self, workload: str, handles: Optional[Dict] = None
+    ) -> _CampaignTask:
         store_dir = self.trace_store_dir
         return (
             workload,
@@ -316,7 +337,59 @@ class Suite:
             self.config.base_seed,
             self.config.params,
             str(store_dir) if store_dir is not None else None,
+            handles or None,
         )
+
+    def _publish_traces(
+        self, pending: List[str]
+    ) -> Tuple[Dict[str, Dict], List]:
+        """Publish every warm recording of the pending workloads.
+
+        One shared-memory segment per recorded run, exported from the
+        trace store (see :mod:`repro.trace.sharedmem`); workers then
+        attach zero-copy instead of each re-reading the store.  Returns
+        the per-workload handle maps plus the live segments the caller
+        must release (:func:`unpublish_trace`) once the fan-out ends.
+        Strictly best-effort: a cold workload, missing recording, or
+        failed publication just leaves the store/record fallback to do
+        its job, counted in :attr:`warnings`.
+        """
+        handles_by_workload: Dict[str, Dict] = {}
+        segments: List = []
+        store = self.trace_store()
+        if store is None or not sharedmem_available():
+            return handles_by_workload, segments
+        config = CampaignConfig(
+            n_runs=self.config.runs_per_app,
+            base_seed=self.config.base_seed,
+        )
+        for name in pending:
+            namespace = trace_namespace(name, self.config.params)
+            plan = plan_campaign_runs(name, config, store, namespace)
+            if plan is None:
+                # Cold workload: no sizing value, so nothing recorded.
+                continue
+            handles: Dict = {}
+            for components in plan:
+                exported = store.export_run(namespace, components)
+                if exported is None:
+                    continue
+                blob, extra = exported
+                try:
+                    handle, shm = publish_trace(blob)
+                except OSError as exc:
+                    self.warnings["shm_publish_failed"] += 1
+                    logger.warning(
+                        "could not publish trace %s%r to shared memory: "
+                        "%s", name, components, exc,
+                    )
+                    continue
+                segments.append(shm)
+                handles[components] = (handle, extra)
+            if handles:
+                handles_by_workload[name] = handles
+                self.warnings["shm_published"] += len(handles)
+        return handles_by_workload, segments
 
     def campaign(self, workload: str) -> CampaignResult:
         """The (cached) campaign for one application."""
@@ -464,14 +537,25 @@ class Suite:
             jobs=min(self.jobs, len(pending)),
             seed=self.config.base_seed,
         )
-        finished, report = supervisor.run(
-            _run_campaign_task,
-            [(name, self._task(name)) for name in pending],
-            should_stop=(
-                (lambda: shutdown.requested)
-                if shutdown is not None else None
-            ),
-        )
+        published, segments = self._publish_traces(pending)
+        try:
+            finished, report = supervisor.run(
+                _run_campaign_task,
+                [
+                    (name, self._task(name, published.get(name)))
+                    for name in pending
+                ],
+                should_stop=(
+                    (lambda: shutdown.requested)
+                    if shutdown is not None else None
+                ),
+            )
+        finally:
+            # The parent owns every published segment; release them the
+            # moment the fan-out ends (workers have exited -- committed
+            # results are plain values, not views into the segments).
+            for shm in segments:
+                unpublish_trace(shm)
         self.last_report = self._account(report, pending, cache_hits,
                                          ckpt is not None)
         if report.degraded:

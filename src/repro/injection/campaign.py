@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import SimulationError
 from repro.common.rng import DeterministicRng
@@ -165,6 +165,25 @@ class RecordedRun:
     packed: PackedTrace
 
 
+def _recorded_from_entry(
+    run_index: int,
+    seed: int,
+    target_index: int,
+    packed: PackedTrace,
+    extra: Dict,
+) -> RecordedRun:
+    return RecordedRun(
+        run_index=run_index,
+        seed=seed,
+        target_index=target_index,
+        injected=extra["injected"],
+        removed=extra["removed"],
+        hung=packed.hung,
+        n_threads=extra["n_threads"],
+        packed=packed,
+    )
+
+
 def record_injected_once(
     factory: ProgramFactory,
     seed: int,
@@ -173,6 +192,7 @@ def record_injected_once(
     switch_probability: float = 0.1,
     store: Optional[PackedTraceStore] = None,
     namespace: str = "run",
+    shared=None,
 ) -> RecordedRun:
     """Record one injected run (or load it from the trace store).
 
@@ -180,21 +200,29 @@ def record_injected_once(
     ``(seed, target_index, switch_probability)`` under the caller's
     ``namespace`` (workload plus parameters); a hit skips the simulation
     entirely and replays the packed trace from disk.
+
+    With a ``shared`` map
+    (:class:`~repro.trace.sharedmem.SharedTraceMap`, keyed by the same
+    components tuple), the recording is served zero-copy out of a
+    shared-memory segment the parent published -- checked *before* the
+    store, since it costs neither I/O nor a decode.  Both layers
+    degrade to the next on any failure (digest mismatch, vanished
+    segment, corrupt entry), ending at re-simulation.
     """
     components = (seed, target_index, switch_probability)
+    if shared is not None:
+        hit = shared.get(components)
+        if hit is not None:
+            packed, extra = hit
+            return _recorded_from_entry(
+                run_index, seed, target_index, packed, extra
+            )
     if store is not None:
         hit = store.load_run(namespace, components)
         if hit is not None:
             packed, extra = hit
-            return RecordedRun(
-                run_index=run_index,
-                seed=seed,
-                target_index=target_index,
-                injected=extra["injected"],
-                removed=extra["removed"],
-                hung=packed.hung,
-                n_threads=extra["n_threads"],
-                packed=packed,
+            return _recorded_from_entry(
+                run_index, seed, target_index, packed, extra
             )
     program = factory(seed)
     interceptor = InjectionInterceptor(target_index)
@@ -232,6 +260,69 @@ def record_injected_once(
 #: Kept under its historical name: the sharing heuristic now lives with
 #: the degradation ladder (the other consumer of the whole-suite view).
 _mark_plan_sharing = mark_plan_sharing
+
+
+def campaign_sizing_seed(workload_name: str, base_seed: int) -> int:
+    """The sizing-run seed of a campaign.
+
+    Factored out of :func:`_run_campaign` (the forks are name-based and
+    order-independent, so recreating the rng here derives the identical
+    seed) so planners can find the cached sync-instance count without
+    running anything.
+    """
+    rng = DeterministicRng(base_seed, "campaign/%s" % workload_name)
+    return rng.fork("sizing").randint(0, 2**31 - 1)
+
+
+def campaign_run_keys(
+    workload_name: str,
+    config: CampaignConfig,
+    instance_count: int,
+) -> List[Tuple[int, int, int]]:
+    """The ``(run_index, seed, target)`` schedule of a campaign.
+
+    Exactly the derivation :func:`_run_campaign` performs (same rng
+    construction, same draw order within each run fork), exposed so the
+    pooled runner can pre-compute every run's store key -- and publish
+    the warm recordings over shared memory -- without consuming the
+    campaign's own rng.
+    """
+    rng = DeterministicRng(config.base_seed, "campaign/%s" % workload_name)
+    keys = []
+    for run_index in range(config.n_runs):
+        run_rng = rng.fork("run%d" % run_index)
+        seed = run_rng.randint(0, 2**31 - 1)
+        target = run_rng.randrange(instance_count)
+        keys.append((run_index, seed, target))
+    return keys
+
+
+def plan_campaign_runs(
+    workload_name: str,
+    config: Optional[CampaignConfig],
+    trace_store: PackedTraceStore,
+    namespace: str,
+) -> Optional[List[Tuple]]:
+    """Store components for every run of a campaign, or ``None``.
+
+    ``None`` means the sizing value is not cached yet: the workload is
+    cold, nothing is recorded, and there is nothing to publish.  The
+    returned tuples are exactly the keys
+    :func:`record_injected_once` looks up.
+    """
+    config = config or CampaignConfig()
+    sizing_seed = campaign_sizing_seed(workload_name, config.base_seed)
+    instance_count = trace_store.load_value(
+        namespace, ("sync_instances", sizing_seed)
+    )
+    if not instance_count:
+        return None
+    return [
+        (seed, target, config.switch_probability)
+        for _run_index, seed, target in campaign_run_keys(
+            workload_name, config, instance_count
+        )
+    ]
 
 
 def detectors_digest(
@@ -514,6 +605,7 @@ def run_campaign(
     trace_store: Optional[PackedTraceStore] = None,
     trace_namespace: Optional[str] = None,
     checkpoint=None,
+    shared_traces=None,
 ) -> CampaignResult:
     """Run a full injection campaign for one workload.
 
@@ -537,6 +629,11 @@ def run_campaign(
             and its outcome persisted, so an interrupted campaign
             resumes to bit-identical results, skipping completed
             configurations.  Requires ``trace_store``.
+        shared_traces: optional
+            :class:`~repro.trace.sharedmem.SharedTraceMap` of recordings
+            the parent process published; served zero-copy before the
+            store is consulted.  Purely an acceleration layer -- results
+            are bit-identical with or without it.
     """
     return _run_campaign(
         factory,
@@ -546,6 +643,7 @@ def run_campaign(
         trace_namespace,
         use_recorded=True,
         checkpoint=checkpoint,
+        shared_traces=shared_traces,
     )
 
 
@@ -576,6 +674,7 @@ def _run_campaign(
     trace_namespace: Optional[str],
     use_recorded: bool,
     checkpoint=None,
+    shared_traces=None,
 ) -> CampaignResult:
     config = config or CampaignConfig()
     detectors = config.detector_suite()
@@ -583,8 +682,7 @@ def _run_campaign(
     journaled = (
         checkpoint is not None and use_recorded and trace_store is not None
     )
-    rng = DeterministicRng(config.base_seed, "campaign/%s" % workload_name)
-    sizing_seed = rng.fork("sizing").randint(0, 2**31 - 1)
+    sizing_seed = campaign_sizing_seed(workload_name, config.base_seed)
     instance_count = None
     sizing_key = ("sync_instances", sizing_seed)
     if trace_store is not None:
@@ -604,10 +702,9 @@ def _run_campaign(
         detector_names=[spec.name for spec in detectors],
         sync_instances=instance_count,
     )
-    for run_index in range(config.n_runs):
-        run_rng = rng.fork("run%d" % run_index)
-        seed = run_rng.randint(0, 2**31 - 1)
-        target = run_rng.randrange(instance_count)
+    for run_index, seed, target in campaign_run_keys(
+        workload_name, config, instance_count
+    ):
         task = None
         if journaled:
             task = checkpoint.task(
@@ -629,6 +726,7 @@ def _run_campaign(
                 switch_probability=config.switch_probability,
                 store=trace_store,
                 namespace=namespace,
+                shared=shared_traces,
             )
             if task is not None:
                 task.recorded()

@@ -22,9 +22,19 @@ from repro.trace.serialize import (
     decode_packed_trace,
     decode_trace,
     encode_packed_trace,
+    encode_packed_trace_v2,
     encode_trace,
+    view_packed_trace,
 )
-from repro.trace.store import PackedTraceStore
+from repro.trace.sharedmem import (
+    SharedTraceHandle,
+    SharedTraceMap,
+    attach_trace,
+    publish_trace,
+    sharedmem_available,
+    unpublish_trace,
+)
+from repro.trace.store import PackedTraceStore, mmap_enabled
 
 __all__ = [
     "ConflictSummary",
@@ -33,14 +43,23 @@ __all__ = [
     "PackedTraceStore",
     "ResidualView",
     "SegmentPlan",
+    "SharedTraceHandle",
+    "SharedTraceMap",
     "Trace",
     "TraceStats",
+    "attach_trace",
     "kernel_backend",
     "kernels_enabled",
     "compute_stats",
     "decode_packed_trace",
     "decode_trace",
     "encode_packed_trace",
+    "encode_packed_trace_v2",
     "encode_trace",
+    "mmap_enabled",
+    "publish_trace",
+    "sharedmem_available",
     "summarize_conflicts",
+    "unpublish_trace",
+    "view_packed_trace",
 ]

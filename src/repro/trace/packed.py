@@ -14,6 +14,12 @@ The object view still exists -- :meth:`materialize_events` /
 lazily, only for consumers that genuinely need event objects (replay
 verification, diagnostics, the per-event detector paths).
 
+Columns are normally owned ``array.array`` storage, but a trace may also
+be *buffer-backed* (:meth:`PackedTrace.from_buffer`): its columns are
+then read-only typed views over an external buffer -- an mmap-backed
+store entry or a shared-memory segment -- so loading a recording copies
+nothing.  See :func:`repro.trace.serialize.view_packed_trace`.
+
 Flag encoding matches the on-disk format: bit 0 = write, bit 1 = sync.
 """
 
@@ -81,6 +87,7 @@ class PackedTrace:
         "hung",
         "seed",
         "_views",
+        "_backing",
     )
 
     def __init__(
@@ -100,8 +107,40 @@ class PackedTrace:
         self.hung = hung
         self.seed = seed
         self._views: dict = {}
+        self._backing = None
 
     # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_buffer(
+        cls,
+        columns,
+        final_icounts: Sequence[int],
+        name: str = "trace",
+        hung: bool = False,
+        seed: Optional[int] = None,
+        backing=None,
+    ) -> "PackedTrace":
+        """A *buffer-backed* trace: columns are typed views, not arrays.
+
+        ``columns`` are the five typed views (``memoryview.cast`` over a
+        mapped or shared buffer) in canonical column order; no bytes are
+        copied.  ``backing`` is whatever owns the underlying buffer (an
+        ``mmap``, a ``SharedMemory`` segment) and is pinned for the
+        trace's lifetime so the views can never dangle.
+
+        Buffer-backed traces are read-only recordings: appending raises
+        (the views have no ``append``), while every analysis path --
+        numpy kernels via ``frombuffer``, the scalar interpreters via
+        the lazily cached :meth:`hot_columns` lists -- works unchanged.
+        List materialization happens only when a scalar/no-numpy path
+        actually asks for it, never at construction.
+        """
+        packed = cls(final_icounts, name=name, hung=hung, seed=seed)
+        (packed.thread, packed.address, packed.flags, packed.icount,
+         packed.value) = columns
+        packed._backing = backing
+        return packed
 
     @classmethod
     def from_events(
@@ -153,6 +192,13 @@ class PackedTrace:
     @property
     def n_threads(self) -> int:
         return len(self.final_icounts)
+
+    @property
+    def zero_copy(self) -> bool:
+        """True when the columns are views over an external buffer
+        (mmap-backed store entry, shared-memory segment) rather than
+        owned ``array.array`` storage."""
+        return not isinstance(self.thread, array)
 
     def __len__(self) -> int:
         return len(self.thread)

@@ -1,0 +1,259 @@
+"""Shared-memory publication of recorded traces for pool fan-out.
+
+The pooled campaign runner (:class:`repro.experiments.runner.Suite`)
+hands each worker process a *task*, and under record-once/analyze-many
+many tasks re-analyze the same recorded trace.  Before this module the
+only way a worker could reach a recording was the on-disk store -- one
+full file read (and, pre-v3, one full deserialization) per task, N
+physical copies of the same columns for N workers.
+
+Here the parent instead *publishes* each warm recording once: the raw
+v3 trace blob (exactly what :func:`~repro.trace.serialize.view_packed_trace`
+consumes) is copied into one ``multiprocessing.shared_memory`` segment,
+and the workers receive only a tiny picklable
+:class:`SharedTraceHandle` (segment name, byte length, sha256).  Each
+worker attaches, verifies the digest over the shared view, and builds a
+zero-copy buffer-backed :class:`~repro.trace.packed.PackedTrace` whose
+columns are ``memoryview`` casts straight into the shared pages -- N
+analysis passes, one physical copy.
+
+Integrity mirrors the store: a digest mismatch on attach raises
+:class:`~repro.common.errors.StoreCorruptError`, which the consumers
+(:func:`repro.injection.campaign.record_injected_once` via
+:class:`SharedTraceMap`) translate into a counted fallback to the
+durable store -- never analysis of garbage.
+
+Lifecycle: the parent owns the segments (created in
+``Suite._run_pool``, closed + unlinked in its ``finally``); workers
+only ever attach.  CPython's ``resource_tracker`` would normally treat
+an attach as ownership and *unlink the parent's segment* when the
+short-lived worker exits -- :func:`_attach_segment` opts out
+(``track=False`` where available, else an explicit unregister).
+``REPRO_NO_SHM=1`` disables the whole path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+from collections import Counter
+from typing import Any, Dict, NamedTuple, Optional, Tuple
+
+from repro.common.errors import StoreCorruptError
+from repro.trace.packed import PackedTrace
+from repro.trace.serialize import view_packed_trace
+
+logger = logging.getLogger("repro.trace.sharedmem")
+
+#: Escape hatch: disable shared-memory trace publication entirely.
+NO_SHM_ENV = "REPRO_NO_SHM"
+
+
+def sharedmem_available() -> bool:
+    """Whether shared-memory trace publication may be used."""
+    if os.environ.get(NO_SHM_ENV):
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - stdlib, but stay graceful
+        return False
+    return True
+
+
+class SharedTraceHandle(NamedTuple):
+    """Picklable ticket for one published trace segment.
+
+    ``size`` is the exact blob length (segments round up to page
+    granularity) and ``digest`` is the sha256 hexdigest of the blob --
+    verified on every attach, so a damaged or recycled segment is
+    detected, never decoded.
+    """
+
+    name: str
+    size: int
+    digest: str
+
+
+_shm_cls = None
+
+
+def _shm_class():
+    """A ``SharedMemory`` whose ``close()`` tolerates live exports.
+
+    Columns are ``memoryview`` casts into the segment, and GC order
+    between them and the segment object is arbitrary (worker interpreter
+    shutdown especially); a ``close()`` that races a still-alive view
+    must not spray ``BufferError`` tracebacks -- the map is released
+    when the last view goes, and the OS reclaims it at process exit
+    regardless.
+    """
+    global _shm_cls
+    if _shm_cls is None:
+        from multiprocessing import shared_memory
+
+        class _QuietSharedMemory(shared_memory.SharedMemory):
+            def close(self):
+                try:
+                    super().close()
+                except BufferError:
+                    pass
+
+        _shm_cls = _QuietSharedMemory
+    return _shm_cls
+
+
+class _Attachment:
+    """Keeps an attached segment alive for the columns viewing it.
+
+    Stored as the trace's ``_backing``; teardown tolerates outstanding
+    column views (the underlying map then closes when they are
+    collected).
+    """
+
+    __slots__ = ("shm",)
+
+    def __init__(self, shm):
+        self.shm = shm
+
+    def close(self) -> None:
+        try:
+            self.shm.close()
+        except BufferError:
+            pass
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        self.close()
+
+
+def _attach_segment(name: str):
+    """Attach to an existing segment *without* claiming ownership.
+
+    ``SharedMemory(name=...)`` registers the segment with the resource
+    tracker on every attach (fixed by ``track=False`` in newer
+    Pythons); left registered in a spawn-context worker, that worker's
+    tracker would unlink the segment out from under the parent and
+    every sibling when the worker exits.
+    """
+    try:
+        return _shm_class()(name=name, track=False)
+    except TypeError:
+        shm = _shm_class()(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        return shm
+
+
+def publish_trace(blob: bytes) -> Tuple[SharedTraceHandle, Any]:
+    """Copy one v3 trace blob into a fresh shared segment.
+
+    Returns the picklable handle for workers plus the live segment
+    object; the caller owns the segment and must release it through
+    :func:`unpublish_trace` when the fan-out completes.
+    """
+    shm = _shm_class()(create=True, size=max(1, len(blob)))
+    shm.buf[: len(blob)] = blob
+    handle = SharedTraceHandle(
+        shm.name, len(blob), hashlib.sha256(blob).hexdigest()
+    )
+    return handle, shm
+
+
+def unpublish_trace(shm) -> None:
+    """Close and unlink a segment created by :func:`publish_trace`.
+
+    Fork-context children share the parent's resource tracker, so a
+    child's attach-time unregister can strip the parent's own
+    registration; re-registering just before the unlink keeps the
+    tracker balanced (registration is a set, so this is a no-op when
+    nothing was stripped) instead of the final unregister spraying a
+    ``KeyError`` in the tracker process.
+    """
+    shm.close()
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+def attach_trace(handle: SharedTraceHandle) -> PackedTrace:
+    """Zero-copy :class:`PackedTrace` over a published segment.
+
+    Verifies the handle's sha256 over the shared view before building
+    any column (raises :class:`StoreCorruptError` on mismatch) and
+    pins the attachment as the trace's backing.
+    """
+    shm = _attach_segment(handle.name)
+    attachment = _Attachment(shm)
+    blob = shm.buf[: handle.size]
+    if hashlib.sha256(blob).hexdigest() != handle.digest:
+        blob.release()
+        attachment.close()
+        raise StoreCorruptError(
+            "shared trace segment %s failed its checksum" % handle.name
+        )
+    return view_packed_trace(blob, backing=attachment)
+
+
+class SharedTraceMap:
+    """Per-worker view of the parent's published recordings.
+
+    Maps a run key (the store's ``components`` tuple) to
+    ``(handle, extra)``.  :meth:`get` attaches lazily and caches;
+    every failure is counted and degrades to ``None`` so the caller
+    falls back to the durable store (and, cold, to re-recording).
+
+    Attributes:
+        stats: ``shm_attach_hits`` / ``shm_digest_mismatch`` /
+            ``shm_attach_failed``.
+    """
+
+    def __init__(
+        self,
+        handles: Optional[
+            Dict[Tuple, Tuple[SharedTraceHandle, Dict[str, Any]]]
+        ] = None,
+    ):
+        self.handles = dict(handles or {})
+        self.stats: Counter = Counter()
+        self._cache: Dict[Tuple, Tuple[PackedTrace, Dict[str, Any]]] = {}
+
+    def __len__(self) -> int:
+        return len(self.handles)
+
+    def get(
+        self, key: Tuple
+    ) -> Optional[Tuple[PackedTrace, Dict[str, Any]]]:
+        """The published recording for ``key``, or ``None``."""
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        item = self.handles.get(key)
+        if item is None:
+            return None
+        handle, extra = item
+        try:
+            packed = attach_trace(handle)
+        except StoreCorruptError as exc:
+            self.stats["shm_digest_mismatch"] += 1
+            logger.warning("shared trace rejected for %r: %s", key, exc)
+            return None
+        except (OSError, ValueError) as exc:
+            # Segment vanished (parent already cleaned up, name reuse
+            # race) -- the store fallback covers it.
+            self.stats["shm_attach_failed"] += 1
+            logger.warning("shared trace unavailable for %r: %s", key, exc)
+            return None
+        self._cache[key] = (packed, extra)
+        self.stats["shm_attach_hits"] += 1
+        return self._cache[key]

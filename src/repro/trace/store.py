@@ -31,12 +31,24 @@ temp file, optional fsync, rename), so concurrent sweep processes
 sharing one ``REPRO_CACHE_DIR`` never observe torn files and a killed
 writer leaves at worst an orphaned ``*.tmp.<pid>`` file for the next
 startup's litter collection.
+
+Zero-copy reads: run entries are written as a ``CORDRUN3`` container --
+a pickled ``extra`` dict, zero padding, then the v3 trace blob placed so
+its column sections land 64-byte aligned in the *file* -- and served
+back as ``mmap``-backed :class:`~repro.trace.packed.PackedTrace` views:
+the frame checksum is verified over the mapped view (no copy), and the
+trace columns are ``memoryview`` casts straight into the page cache.
+Per-store counters split ``mmap_hits`` from ``eager_decodes`` (legacy
+pickled-dict entries, big-endian hosts, unmappable files, or
+``REPRO_NO_MMAP=1``), so a warm sweep can assert it paid zero full
+deserializations.
 """
 
 from __future__ import annotations
 
 import hashlib
 import logging
+import mmap
 import os
 import pickle
 import re
@@ -54,8 +66,10 @@ from repro.resilience.checkpoint import (
 )
 from repro.trace.packed import PackedTrace
 from repro.trace.serialize import (
+    V3_ALIGN,
     decode_packed_trace,
     encode_packed_trace,
+    view_packed_trace,
 )
 
 logger = logging.getLogger("repro.trace.store")
@@ -65,8 +79,20 @@ logger = logging.getLogger("repro.trace.store")
 #: simply never looked up again).
 _STORE_SCHEMA = 2
 
-#: Folded into every digest: a v2-format bump must invalidate entries.
+#: Folded into every digest.  Deliberately *not* bumped for the v3
+#: codec: this is a key-compatibility tag, not the written format.  The
+#: read path sniffs each payload (``CORDRUN3`` container vs. legacy
+#: pickled dict), so pre-existing v2 entries keep hitting under the same
+#: digest keys instead of being orphaned by a rename.
 _FORMAT_TAG = "CORDTRC2"
+
+#: Escape hatch: disable mmap-backed reads (forces eager decode).
+NO_MMAP_ENV = "REPRO_NO_MMAP"
+
+
+def mmap_enabled() -> bool:
+    """Whether store reads may serve mmap-backed zero-copy traces."""
+    return not os.environ.get(NO_MMAP_ENV)
 
 _SAFE = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -125,6 +151,31 @@ def unframe_payload(data: bytes, what: str = "store entry") -> bytes:
     return payload
 
 
+#: Run-entry container: magic | u32 extra_len | u32 pad_len |
+#: pickled extra | zero pad | v3 trace blob.  The pad is sized so the
+#: trace blob starts 64-byte aligned *in the file* (the frame header in
+#: front of the payload is 49 bytes), which keeps the v3 column
+#: sections page-cache aligned when the file is mmapped.
+_RUN_MAGIC = b"CORDRUN3"
+_RUN_HEADER = struct.Struct("<II")
+
+
+def encode_run_entry(packed: PackedTrace, extra: Dict[str, Any]) -> bytes:
+    """Serialize one recorded run as a ``CORDRUN3`` container payload."""
+    trace = encode_packed_trace(packed)
+    extra_bytes = pickle.dumps(extra, protocol=pickle.HIGHEST_PROTOCOL)
+    prefix = (_FRAME_HEADER + len(_RUN_MAGIC) + _RUN_HEADER.size
+              + len(extra_bytes))
+    pad = -prefix % V3_ALIGN
+    return b"".join((
+        _RUN_MAGIC,
+        _RUN_HEADER.pack(len(extra_bytes), pad),
+        extra_bytes,
+        b"\x00" * pad,
+        trace,
+    ))
+
+
 class PackedTraceStore:
     """Directory-backed store of recorded runs.
 
@@ -140,8 +191,13 @@ class PackedTraceStore:
             longer load), plus the resume-accounting pair ``run_hits`` /
             ``run_misses`` (recorded-trace lookups that were served from
             disk vs. had to be re-recorded -- the kill-anywhere tests
-            assert on these).  Reads never raise for any of these; the
-            counters are how the healing stops being silent.
+            assert on these).  The zero-copy split: ``mmap_hits`` (run
+            entries served as mmap-backed views, no deserialization) vs.
+            ``eager_decodes`` (full decode: legacy entries -- also
+            counted in ``legacy_entries`` -- big-endian hosts,
+            unmappable files, or ``REPRO_NO_MMAP=1``).  Reads never
+            raise for any of these; the counters are how the healing
+            stops being silent.
     """
 
     def __init__(self, root: os.PathLike):
@@ -220,38 +276,138 @@ class PackedTraceStore:
             self._quarantine(path, exc)
             return None
 
+    def _map_payload(self, path: Path, what: str):
+        """Verified payload plus its mmap backing (or ``None`` backing).
+
+        The zero-copy read path: the file is mapped read-only and the
+        frame checksum is verified over the mapped view -- no copy into
+        a Python ``bytes``.  Callers that keep column views over the
+        payload must keep ``backing`` alive (``PackedTrace`` does, via
+        its ``_backing`` slot).  Falls back to the eager
+        :meth:`_read_payload` when mmap is disabled or the file cannot
+        be mapped (e.g. an empty file, which ``mmap`` rejects -- the
+        eager path then quarantines it as a short frame).
+        """
+        if mmap_enabled():
+            try:
+                with open(path, "rb") as handle:
+                    mapped = mmap.mmap(
+                        handle.fileno(), 0, access=mmap.ACCESS_READ
+                    )
+            except FileNotFoundError:
+                return None, None
+            except (OSError, ValueError) as exc:
+                logger.debug(
+                    "cannot mmap store entry %s (%s); reading eagerly",
+                    path, exc,
+                )
+            else:
+                view = memoryview(mapped)
+                try:
+                    payload = unframe_payload(view, what)
+                except StoreCorruptError as exc:
+                    # The in-flight traceback pins views over the map,
+                    # so teardown must tolerate outstanding exports.
+                    self._release(view, mapped)
+                    self._quarantine(path, exc)
+                    return None, None
+                return payload, mapped
+        return self._read_payload(path, what), None
+
+    @staticmethod
+    def _release(payload, backing) -> None:
+        """Best-effort teardown of an mmap backing we no longer need."""
+        if backing is None:
+            return
+        try:
+            if isinstance(payload, memoryview):
+                payload.release()
+            backing.close()
+        except BufferError:
+            # Some view over the map is still alive (it will close the
+            # map when collected); never let teardown mask the read.
+            pass
+
     # -- run entries -----------------------------------------------------------
+
+    def _decode_run_payload(
+        self, payload, backing
+    ) -> Tuple[PackedTrace, Dict[str, Any]]:
+        """Decode one verified run payload (v3 container or legacy).
+
+        ``CORDRUN3`` containers with an mmap backing come back as
+        zero-copy traces (counted in ``mmap_hits``); everything else --
+        legacy pickled-dict entries, big-endian hosts, eager reads --
+        pays a full decode (counted in ``eager_decodes``).
+        """
+        magic = bytes(payload[: len(_RUN_MAGIC)])
+        if magic == _RUN_MAGIC:
+            if len(payload) < len(_RUN_MAGIC) + _RUN_HEADER.size:
+                raise LogFormatError("run entry container header truncated")
+            extra_len, pad = _RUN_HEADER.unpack_from(
+                payload, len(_RUN_MAGIC)
+            )
+            start = len(_RUN_MAGIC) + _RUN_HEADER.size
+            trace_start = start + extra_len + pad
+            if trace_start > len(payload):
+                raise LogFormatError(
+                    "run entry extra section overruns the payload"
+                )
+            extra = pickle.loads(payload[start: start + extra_len])
+            trace_region = payload[trace_start:]
+            if backing is not None:
+                packed = view_packed_trace(trace_region, backing=backing)
+            else:
+                packed = decode_packed_trace(bytes(trace_region))
+        else:
+            # Legacy entry (pickled dict around older trace bytes):
+            # still decodes, eagerly, under the same digest key.
+            entry = pickle.loads(payload)
+            packed = decode_packed_trace(entry["trace"])
+            extra = entry["extra"]
+            self.stats["legacy_entries"] += 1
+        if packed.zero_copy:
+            self.stats["mmap_hits"] += 1
+        else:
+            self.stats["eager_decodes"] += 1
+        return packed, extra
 
     def load_run(
         self, namespace: str, components: Tuple
     ) -> Optional[Tuple[PackedTrace, Dict[str, Any]]]:
         """The recorded run for this key, or None (miss/stale/corrupt).
 
-        Corruption anywhere -- frame, pickle layer, or the CORDTRC2
-        trace bytes inside -- quarantines the entry and reports a miss,
-        so the caller re-records instead of crashing or, worse,
-        analyzing garbage.
+        Corruption anywhere -- frame, pickle layer, or the trace bytes
+        inside -- quarantines the entry and reports a miss, so the
+        caller re-records instead of crashing or, worse, analyzing
+        garbage.  Served zero-copy off an mmap when the entry is a
+        ``CORDRUN3`` container and :func:`mmap_enabled` allows it.
         """
         path = self._path("trace", namespace, components)
-        payload = self._read_payload(path, "trace entry %s" % path.name)
+        payload, backing = self._map_payload(
+            path, "trace entry %s" % path.name
+        )
         if payload is None:
             self.stats["run_misses"] += 1
             return None
         try:
-            entry = pickle.loads(payload)
-            packed = decode_packed_trace(entry["trace"])
-            extra = entry["extra"]
+            packed, extra = self._decode_run_payload(payload, backing)
         except (LogFormatError, KeyError) as exc:
             # The frame checksum passed, yet the contents are not a
             # valid entry: the *writer* was broken.  Quarantine -- this
             # is corruption, just minted earlier.
+            self._release(payload, backing)
             self._quarantine(path, exc)
             self.stats["run_misses"] += 1
             return None
         except _STALE_ERRORS:
+            self._release(payload, backing)
             self.stats["stale"] += 1
             self.stats["run_misses"] += 1
             return None
+        if not packed.zero_copy:
+            # Eager decode copied everything out; the map is dead weight.
+            self._release(payload, backing)
         self.stats["run_hits"] += 1
         return packed, extra
 
@@ -262,11 +418,26 @@ class PackedTraceStore:
         packed: PackedTrace,
         extra: Dict[str, Any],
     ) -> None:
-        entry = {"trace": encode_packed_trace(packed), "extra": extra}
         self._write(
             self._path("trace", namespace, components),
-            pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL),
+            encode_run_entry(packed, extra),
         )
+
+    def export_run(
+        self, namespace: str, components: Tuple
+    ) -> Optional[Tuple[bytes, Dict[str, Any]]]:
+        """Raw v3 trace bytes plus ``extra`` for this key, or ``None``.
+
+        The publishing path for shared-memory fan-out: the returned blob
+        is exactly what :func:`~repro.trace.serialize.view_packed_trace`
+        consumes, so workers map it zero-copy out of a shared segment.
+        Legacy entries are transparently re-encoded to v3.
+        """
+        loaded = self.load_run(namespace, components)
+        if loaded is None:
+            return None
+        packed, extra = loaded
+        return encode_packed_trace(packed), extra
 
     # -- bare value entries ------------------------------------------------------
 

@@ -1,6 +1,7 @@
 """Unit tests for columnar trace storage and the recorded-trace store."""
 
 import pickle
+import sys
 
 import pytest
 
@@ -313,17 +314,75 @@ class TestPackedTraceStore:
         assert store.stats["quarantined"] == 1
 
     def test_codec_used_for_trace_payload(self, tmp_path):
-        # The stored blob must be the store frame around a plain pickle
-        # whose trace is the v2 codec output, so offline tools can
-        # decode entries with just the frame helper.
-        from repro.trace.store import unframe_payload
+        # The stored blob must be the store frame around a CORDRUN3
+        # container whose trace section is the v3 codec output, placed
+        # 64-byte aligned in the file, so offline tools can decode
+        # entries with the frame helper plus two struct reads.
+        from repro.trace.store import (
+            _RUN_HEADER,
+            _RUN_MAGIC,
+            unframe_payload,
+        )
 
         store = PackedTraceStore(tmp_path)
         key = ("fft/params", (3, 1, 0.1))
-        store.store_run(*key, self._packed(), {})
+        store.store_run(*key, self._packed(), {"injected": True})
         path = store._path("trace", *key)
-        entry = pickle.loads(unframe_payload(path.read_bytes()))
-        assert entry["trace"] == encode_packed_trace(self._packed())
-        assert decode_packed_trace(entry["trace"]).columns_equal(
-            self._packed()
+        raw = path.read_bytes()
+        payload = unframe_payload(raw)
+        assert payload[: len(_RUN_MAGIC)] == _RUN_MAGIC
+        extra_len, pad = _RUN_HEADER.unpack_from(payload, len(_RUN_MAGIC))
+        start = len(_RUN_MAGIC) + _RUN_HEADER.size
+        assert pickle.loads(payload[start: start + extra_len]) == {
+            "injected": True
+        }
+        trace = payload[start + extra_len + pad:]
+        assert trace == encode_packed_trace(self._packed())
+        assert decode_packed_trace(trace).columns_equal(self._packed())
+        # The v3 blob must start 64-byte aligned in the *file* so mmap
+        # hands out aligned column sections.
+        assert raw.index(trace) % 64 == 0
+
+    def test_legacy_pickled_entry_still_hits(self, tmp_path):
+        # Entries written before the CORDRUN3 container (a pickled dict
+        # around the trace bytes) must keep decoding under the same
+        # digest keys -- eagerly, counted as legacy.
+        from repro.trace.serialize import encode_packed_trace_v2
+        from repro.trace.store import frame_payload
+        from repro.resilience.checkpoint import atomic_write_bytes
+
+        store = PackedTraceStore(tmp_path)
+        key = ("fft/params", (3, 1, 0.1))
+        legacy = pickle.dumps({
+            "trace": encode_packed_trace_v2(self._packed()),
+            "extra": {"injected": False},
+        }, protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_write_bytes(
+            store._path("trace", *key), frame_payload(legacy)
         )
+        hit = store.load_run(*key)
+        assert hit is not None
+        packed, extra = hit
+        assert packed.columns_equal(self._packed())
+        assert extra == {"injected": False}
+        assert store.stats["legacy_entries"] == 1
+        assert store.stats["eager_decodes"] == 1
+        assert store.stats["mmap_hits"] == 0
+
+    def test_mmap_hit_and_no_mmap_escape_hatch(self, tmp_path, monkeypatch):
+        store = PackedTraceStore(tmp_path)
+        key = ("fft/params", (3, 1, 0.1))
+        store.store_run(*key, self._packed(), {})
+        packed, _ = store.load_run(*key)
+        assert packed.columns_equal(self._packed())
+        if sys.byteorder == "little":
+            assert packed.zero_copy
+            assert store.stats["mmap_hits"] == 1
+            assert store.stats["eager_decodes"] == 0
+        monkeypatch.setenv("REPRO_NO_MMAP", "1")
+        eager = PackedTraceStore(tmp_path)
+        packed2, _ = eager.load_run(*key)
+        assert not packed2.zero_copy
+        assert packed2.columns_equal(self._packed())
+        assert eager.stats["eager_decodes"] == 1
+        assert eager.stats["mmap_hits"] == 0

@@ -26,6 +26,8 @@ import tempfile
 import time
 from pathlib import Path
 
+import pytest
+
 from repro.experiments.sensitivity import cache_sensitivity, d_sensitivity
 from repro.workloads import WorkloadParams
 
@@ -310,6 +312,98 @@ def test_warm_sweep_zero_copy(bench_log):
     )
     assert speedup >= minimum, (
         "warm sweep speedup %.2fx below required %.1fx"
+        % (speedup, minimum)
+    )
+
+
+def test_pipeline_speedup(bench_log):
+    """Run-level pipelining vs campaign-level pooling: >= 1.5x.
+
+    Three cold arms compute the same multi-workload suite on a
+    deliberately imbalanced mix (ocean is several times heavier than
+    fft or lu, so campaign-level pooling idles every worker behind the
+    ocean campaign while run-level scheduling keeps them fed): serial,
+    campaign-per-task pooling, and the run-level pipelined scheduler,
+    each on a fresh cache directory.  Campaign caches must be
+    byte-identical across all three arms -- the scheduler changes
+    *where* work runs, never what it computes -- and the pipelined
+    wall clock must beat campaign pooling by
+    ``CORD_PIPELINE_SPEEDUP_MIN`` (default 1.5).
+
+    The gate needs real parallel hardware: below 4 CPUs the pool arms
+    mostly timeshare one core and the comparison measures scheduler
+    overhead, not pipelining, so the test skips (set
+    ``CORD_PIPELINE_BENCH_FORCE=1`` to run the byte-identity checks
+    anyway, e.g. with ``CORD_PIPELINE_SPEEDUP_MIN=0``).
+    """
+    from repro.experiments.runner import Suite, SuiteConfig
+
+    cpus = os.cpu_count() or 1
+    if cpus < 4 and not os.environ.get("CORD_PIPELINE_BENCH_FORCE"):
+        pytest.skip(
+            "pipeline speedup gate needs >= 4 CPUs (have %d)" % cpus
+        )
+    jobs = min(4, cpus)
+    config = SuiteConfig(
+        runs_per_app=6,
+        workloads=("ocean", "fft", "lu"),
+        params=PARAMS,
+    )
+    saved_fsync = os.environ.get("REPRO_FSYNC")
+    os.environ["REPRO_FSYNC"] = "0"
+
+    def run_arm(arm_jobs, scheduler):
+        root = Path(tempfile.mkdtemp(prefix="cord-bench-pipeline-"))
+        try:
+            suite = Suite(
+                config, jobs=arm_jobs, cache_dir=str(root),
+                scheduler=scheduler,
+            )
+            start = time.perf_counter()
+            suite.campaigns()
+            wall = time.perf_counter() - start
+            caches = {
+                p.name: p.read_bytes()
+                for p in root.iterdir()
+                if p.is_file()
+            }
+            return wall, caches
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    try:
+        serial_s, serial_caches = run_arm(1, "campaigns")
+        pooled_s, pooled_caches = run_arm(jobs, "campaigns")
+        pipelined_s, pipelined_caches = run_arm(jobs, "runs")
+    finally:
+        if saved_fsync is None:
+            os.environ.pop("REPRO_FSYNC", None)
+        else:
+            os.environ["REPRO_FSYNC"] = saved_fsync
+
+    # The scheduler contract: all three arms leave identical bytes.
+    assert serial_caches
+    assert pooled_caches == serial_caches
+    assert pipelined_caches == serial_caches
+
+    speedup = pooled_s / pipelined_s
+    bench_log.record(
+        "sweeps",
+        "suite_run_pipelined",
+        pipelined_s,
+        extra={"pipeline_speedup": round(speedup, 2)},
+    )
+    bench_log.record("sweeps", "suite_campaign_pool", pooled_s)
+    bench_log.record("sweeps", "suite_serial", serial_s)
+    print()
+    print(
+        "run-pipelined %.2fs vs campaign-pooled %.2fs "
+        "(serial %.2fs, %d jobs): %.2fx"
+        % (pipelined_s, pooled_s, serial_s, jobs, speedup)
+    )
+    minimum = float(os.environ.get("CORD_PIPELINE_SPEEDUP_MIN", "1.5"))
+    assert speedup >= minimum, (
+        "pipeline speedup %.2fx below required %.1fx"
         % (speedup, minimum)
     )
 

@@ -1,0 +1,175 @@
+"""Render the benchmark trajectory files as tables.
+
+The benchmark session (``benchmarks/conftest.py``) appends one entry per
+``CORD_BENCH_LABEL`` to ``benchmarks/BENCH_components.json`` and
+``benchmarks/BENCH_sweeps.json``; the committed entries track how the
+simulator's performance moves PR over PR.  This module is the reader
+half: it renders each file's *label trajectory* -- one row per benchmark
+name, one column per label, in the order the labels were recorded -- so
+a regression shows up as a column that got worse, not as a diff buried
+in JSON.
+
+.. code-block:: console
+
+    python -m repro.bench_report                      # all metrics
+    python -m repro.bench_report --metrics wall_s
+    cord-bench-report benchmarks/BENCH_sweeps.json
+
+Files are schema-checked (``"schema": 1``); an unknown schema is
+skipped with a warning rather than mis-rendered.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.texttable import format_table
+
+_SCHEMA = 1
+
+#: Metrics rendered by default, in this order, when present anywhere in
+#: a file.  ``--metrics`` overrides (comma-separated, any recorded key).
+_DEFAULT_METRICS = (
+    "wall_s",
+    "events_per_s",
+    "speedup_vs_shared",
+    "speedup_vs_python",
+    "speedup_vs_per_config",
+    "pipeline_speedup",
+    "journal_overhead",
+)
+
+
+def default_paths() -> List[str]:
+    """The committed trajectory files, relative to the working tree."""
+    return sorted(glob.glob(os.path.join("benchmarks", "BENCH_*.json")))
+
+
+def load_entries(path: str) -> Optional[List[Dict]]:
+    """Load one trajectory file's entries; None if it can't be read."""
+    try:
+        with open(path, "rb") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print("skipping %s: %s" % (path, exc), file=sys.stderr)
+        return None
+    if not isinstance(payload, dict) or payload.get("schema", 1) != _SCHEMA:
+        print(
+            "skipping %s: unknown schema %r"
+            % (path, payload.get("schema") if isinstance(payload, dict)
+               else type(payload).__name__),
+            file=sys.stderr,
+        )
+        return None
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        print("skipping %s: no entries" % path, file=sys.stderr)
+        return None
+    return [e for e in entries if isinstance(e, dict)]
+
+
+def _labels(entries: Sequence[Dict]) -> List[str]:
+    """Entry labels in recorded (chronological) order, deduplicated."""
+    seen: List[str] = []
+    for entry in entries:
+        label = str(entry.get("label", "?"))
+        if label not in seen:
+            seen.append(label)
+    return seen
+
+
+def _metrics_present(entries: Sequence[Dict]) -> List[str]:
+    present = set()
+    for entry in entries:
+        for result in entry.get("results", {}).values():
+            present.update(
+                key for key, value in result.items()
+                if isinstance(value, (int, float))
+            )
+    ordered = [m for m in _DEFAULT_METRICS if m in present]
+    ordered += sorted(present - set(ordered) - {"events"})
+    return ordered
+
+
+def trajectory_table(
+    entries: Sequence[Dict], metric: str, title: str
+) -> Optional[str]:
+    """One metric's label-trajectory table, or None if nothing has it."""
+    labels = _labels(entries)
+    cells: Dict[str, Dict[str, object]] = {}
+    for entry in entries:
+        label = str(entry.get("label", "?"))
+        for name, result in entry.get("results", {}).items():
+            if metric in result:
+                cells.setdefault(name, {})[label] = result[metric]
+    if not cells:
+        return None
+    used = [lb for lb in labels
+            if any(lb in row for row in cells.values())]
+    rows = [
+        [name] + [cells[name].get(lb, "-") for lb in used]
+        for name in sorted(cells)
+    ]
+    return format_table(
+        ["benchmark"] + used, rows, title="%s: %s" % (title, metric)
+    )
+
+
+def render_file(path: str, metrics: Optional[Sequence[str]]) -> bool:
+    """Print every requested trajectory table of one file."""
+    entries = load_entries(path)
+    if not entries:
+        return False
+    title = os.path.basename(path)
+    wanted = list(metrics) if metrics else _metrics_present(entries)
+    printed = False
+    for metric in wanted:
+        table = trajectory_table(entries, metric, title)
+        if table is not None:
+            print(table)
+            print()
+            printed = True
+    if not printed:
+        print(
+            "%s: no entries carry %s" % (title, ", ".join(wanted)),
+            file=sys.stderr,
+        )
+    return printed
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cord-bench-report",
+        description="render BENCH_*.json label trajectories as tables",
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="FILE",
+        help="trajectory files (default: benchmarks/BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--metrics", metavar="M1,M2",
+        help="comma-separated metrics to render (default: every "
+             "numeric metric present, common ones first)",
+    )
+    args = parser.parse_args(argv)
+    paths = args.paths or default_paths()
+    if not paths:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    metrics = None
+    if args.metrics:
+        metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
+    rendered = 0
+    for path in paths:
+        if render_file(path, metrics):
+            rendered += 1
+    return 0 if rendered else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -99,7 +99,7 @@ def _cmd_figures(args) -> int:
         )
     else:
         config = SuiteConfig(runs_per_app=args.runs)
-    suite = Suite(config)
+    suite = Suite(config, jobs=args.jobs, cache_dir=args.cache)
     results = [
         driver(suite)
         for driver in (
@@ -131,7 +131,43 @@ def _cmd_figures(args) -> int:
                 figure, os.path.join(args.csv, name + ".csv")
             )
             print("wrote %s" % path)
+    if args.profile:
+        _print_profile(suite)
     return 0
+
+
+def _print_profile(suite) -> None:
+    """Render the last fan-out's per-stage timing breakdown."""
+    from repro.common.texttable import format_table
+
+    report = suite.last_report
+    if report is None or not report.outcomes:
+        print("profile: no fan-out ran (all campaigns cache-served)")
+        return
+    totals = report.profile()
+    if totals:
+        print(format_table(
+            ["stage", "seconds"],
+            sorted(totals.items()),
+            title="Aggregate stage time (summed across tasks)",
+        ))
+        print()
+    rows = [
+        (
+            out.name, out.path, out.attempts,
+            out.timings.get("record_s", 0.0),
+            out.timings.get("store_io_s", 0.0),
+            out.timings.get("analyze_s", 0.0),
+            out.timings.get("task_s", 0.0),
+        )
+        for out in report.outcomes
+    ]
+    print(format_table(
+        ["task", "path", "tries", "record_s", "store_io_s",
+         "analyze_s", "task_s"],
+        rows,
+        title="Per-task stage timings",
+    ))
 
 
 def _cmd_characterize(args) -> int:
@@ -284,6 +320,21 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument(
         "--csv", metavar="DIR",
         help="also write each figure as CSV into DIR",
+    )
+    fig_p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the campaign fan-out "
+             "(default: REPRO_JOBS or 1)",
+    )
+    fig_p.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="campaign cache directory (enables the checkpointed "
+             "run-level scheduler; default: REPRO_CACHE_DIR)",
+    )
+    fig_p.add_argument(
+        "--profile", action="store_true",
+        help="print the per-stage timing breakdown "
+             "(record/store-io/analyze per task) after the figures",
     )
     fig_p.set_defaults(func=_cmd_figures)
 

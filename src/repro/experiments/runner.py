@@ -60,10 +60,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import InterruptedRunError, StoreCorruptError
+from repro.common.errors import (
+    InterruptedRunError,
+    SimulationError,
+    StoreCorruptError,
+)
 from repro.injection.campaign import (
     CampaignConfig,
     CampaignResult,
+    campaign_run_keys,
+    campaign_sizing_seed,
     plan_campaign_runs,
     run_campaign,
 )
@@ -116,6 +122,24 @@ def default_cache_dir() -> Optional[Path]:
     """On-disk campaign cache from ``REPRO_CACHE_DIR`` (default: off)."""
     raw = os.environ.get("REPRO_CACHE_DIR", "").strip()
     return Path(raw) if raw else None
+
+
+#: Valid scheduler modes (the ``scheduler`` argument / ``REPRO_SCHED``).
+#:
+#: ``"auto"``       run-level pipelining when a pool and a cache
+#:                  directory are both available, else the serial
+#:                  checkpointed path;
+#: ``"campaigns"``  the coarse one-task-per-campaign fan-out (PR <= 7
+#:                  behavior; the pipeline bench's comparison arm);
+#: ``"runs"``       force run-level pipelining (requires a cache
+#:                  directory -- the stages meet in the trace store).
+SCHEDULER_MODES = ("auto", "campaigns", "runs")
+
+
+def default_scheduler() -> str:
+    """Scheduler mode from ``REPRO_SCHED`` (default: ``"auto"``)."""
+    raw = os.environ.get("REPRO_SCHED", "").strip()
+    return raw or "auto"
 
 
 @dataclass(frozen=True)
@@ -193,6 +217,10 @@ class Suite:
             (default 1 = serial in-process, no pool spawned).
         cache_dir: directory for pickled campaign results; ``None`` reads
             ``REPRO_CACHE_DIR`` (default: no on-disk cache).
+        scheduler: fan-out granularity, one of :data:`SCHEDULER_MODES`;
+            ``None`` reads ``REPRO_SCHED`` (default ``"auto"``: run-level
+            pipelining whenever a pool and a cache directory are both
+            available).
     """
 
     def __init__(
@@ -200,12 +228,21 @@ class Suite:
         config: Optional[SuiteConfig] = None,
         jobs: Optional[int] = None,
         cache_dir: Optional[os.PathLike] = None,
+        scheduler: Optional[str] = None,
     ):
         self.config = config or SuiteConfig()
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.cache_dir = (
             Path(cache_dir) if cache_dir is not None else default_cache_dir()
         )
+        self.scheduler = (
+            scheduler if scheduler is not None else default_scheduler()
+        )
+        if self.scheduler not in SCHEDULER_MODES:
+            raise ValueError(
+                "unknown scheduler mode %r (expected one of %s)"
+                % (self.scheduler, ", ".join(SCHEDULER_MODES))
+            )
         self._campaigns: Dict[str, CampaignResult] = {}
         #: Cache-health counters (``corrupt``, ``io_errors``, ``stale``):
         #: every swallowed cache problem is counted here, never silent.
@@ -392,13 +429,22 @@ class Suite:
         return handles_by_workload, segments
 
     def campaign(self, workload: str) -> CampaignResult:
-        """The (cached) campaign for one application."""
+        """The (cached) campaign for one application.
+
+        A cache miss runs through the same checkpointed runner as
+        :meth:`campaigns` -- journaled, drain-able, and accounted in
+        :attr:`last_report` -- so a single-workload script gets the
+        identical crash-consistency story (and, with ``jobs > 1``, the
+        run-level pipeline's intra-campaign parallelism).  Without a
+        cache directory the campaign runs inline, unjournaled, exactly
+        as before.
+        """
         if workload not in self._campaigns:
             cached = self._cache_load(workload)
-            if cached is None:
-                _, cached = _run_campaign_task(self._task(workload))
-                self._cache_store(workload, cached)
-            self._campaigns[workload] = cached
+            if cached is not None:
+                self._campaigns[workload] = cached
+            else:
+                self._run_pending([workload], [])
         return self._campaigns[workload]
 
     def campaigns(self) -> Dict[str, CampaignResult]:
@@ -491,18 +537,34 @@ class Suite:
     def _run_pending(
         self, pending: List[str], cache_hits: List[str]
     ) -> None:
-        """Run the campaigns no cache could serve (checkpointed if any)."""
+        """Run the campaigns no cache could serve (checkpointed if any).
+
+        Scheduler selection: without a cache directory the run-level
+        pipeline has nowhere durable for its stages to meet, so the
+        legacy paths apply (campaign pool when several campaigns and a
+        pool are available, else inline).  With one, ``"auto"`` picks
+        run-level pipelining whenever ``jobs > 1``, ``"runs"`` forces
+        it, and ``"campaigns"`` pins the coarse per-campaign fan-out.
+        """
         ckpt = self._open_checkpoint()
         if ckpt is None:
             if len(pending) > 1 and self.jobs > 1:
                 self._run_pool(pending, cache_hits, None, None)
             else:
                 for name in pending:
-                    self.campaign(name)
+                    _name, result = _run_campaign_task(self._task(name))
+                    self._campaigns[name] = result
+                    self._cache_store(name, result)
             return
+        pipelined = self.scheduler == "runs" or (
+            self.scheduler == "auto" and self.jobs > 1
+        )
         try:
             with GracefulShutdown() as shutdown:
-                if len(pending) > 1 and self.jobs > 1:
+                if pipelined:
+                    self._run_pipelined(pending, cache_hits, ckpt,
+                                        shutdown)
+                elif len(pending) > 1 and self.jobs > 1:
                     self._run_pool(pending, cache_hits, ckpt, shutdown)
                 else:
                     self._run_serial_checkpointed(pending, ckpt)
@@ -578,6 +640,235 @@ class Suite:
             raise InterruptedRunError(
                 ckpt.run_id if ckpt is not None else None
             )
+
+    def _run_pipelined(
+        self,
+        pending: List[str],
+        cache_hits: List[str],
+        ckpt: RunCheckpoint,
+        shutdown: Optional[GracefulShutdown],
+    ) -> None:
+        """Run-level streaming fan-out: one work queue, three stages.
+
+        :func:`~repro.injection.campaign.campaign_run_keys` is the unit
+        of scheduling: every campaign decomposes into a sizing task,
+        per-run record tasks, and batched analyze tasks
+        (:mod:`repro.experiments.pipeline`), all flowing through one
+        :meth:`~repro.resilience.supervisor.Supervisor.run_stream`
+        queue.  Recording of run N+1 overlaps analysis of run N, and
+        the pool load-balances across *runs* rather than campaigns, so
+        an imbalanced workload mix no longer idles on its slowest
+        campaign.
+
+        Everything stays byte-identical to the serial path: stages meet
+        only in the trace store (durable, keyed, atomic), results
+        assemble in run-index order, campaign caches are written in
+        completion order but with canonicalized content, and the
+        journal keeps the workload-level tasks of the pooled path plus
+        the per-run ``<workload>/run<N>`` tasks of the serial path.
+        Shared-memory publication is deliberately absent here: each
+        recording has exactly one analyzing consumer, which maps it
+        zero-copy off the store's mmap.
+        """
+        from repro.experiments import pipeline
+
+        store = self.trace_store()
+        store_dir = str(self.trace_store_dir)
+        n_runs = self.config.runs_per_app
+        config = CampaignConfig(
+            n_runs=n_runs, base_seed=self.config.base_seed
+        )
+        switch_probability = config.switch_probability
+        detector_names = [
+            spec.name for spec in config.detector_suite()
+        ]
+        batch_runs = pipeline.default_batch_runs()
+
+        wl_tasks = {}
+        for name in pending:
+            wl_tasks[name] = ckpt.task(name)
+            wl_tasks[name].scheduled()
+
+        #: per-workload streaming state
+        states: Dict[str, Dict] = {
+            name: {
+                "namespace": trace_namespace(name, self.config.params),
+                "instances": None,
+                "keys": {},            # run_index -> (seed, target)
+                "pending_records": set(),
+                "buffer": [],          # recorded, awaiting an analyze task
+                "batches": 0,
+                "results": {},         # run_index -> RunResult
+            }
+            for name in pending
+        }
+        run_tasks: Dict[str, object] = {}  # "<wl>/run<N>" -> journal task
+
+        def journal(transition) -> None:
+            # Journal transitions are observational here; one that loses
+            # the race against a drain request just skips its record
+            # (the streaming loop surfaces the drain via should_stop,
+            # and stores stay the source of truth on resume).
+            try:
+                transition()
+            except InterruptedRunError:
+                pass
+
+        def flush(name: str, submit, force: bool) -> None:
+            st = states[name]
+            while st["buffer"] and (
+                len(st["buffer"]) >= batch_runs or force
+            ):
+                st["buffer"].sort()
+                batch = st["buffer"][:batch_runs]
+                del st["buffer"][:batch_runs]
+                st["batches"] += 1
+                submit(
+                    "an:%s#%d" % (name, st["batches"]),
+                    pipeline.analyze_payload(
+                        name, self.config.params, store_dir,
+                        st["namespace"],
+                        [(ri,) + st["keys"][ri] for ri in batch],
+                        switch_probability, config.check_soundness,
+                    ),
+                )
+
+        def submit_runs(name: str, instances: int, submit) -> None:
+            st = states[name]
+            if not instances:
+                raise SimulationError(
+                    "workload %r has no injectable sync instances"
+                    % name
+                )
+            st["instances"] = instances
+            for run_index, seed, target in campaign_run_keys(
+                name, config, instances
+            ):
+                st["keys"][run_index] = (seed, target)
+                task_name = "%s/run%d" % (name, run_index)
+                run_tasks[task_name] = ckpt.task(task_name)
+                journal(run_tasks[task_name].scheduled)
+                if store.has_run(
+                    st["namespace"], (seed, target, switch_probability)
+                ):
+                    # Durable from a previous (possibly interrupted)
+                    # campaign: straight to the analysis buffer.
+                    journal(run_tasks[task_name].recorded)
+                    st["buffer"].append(run_index)
+                else:
+                    st["pending_records"].add(run_index)
+                    submit(
+                        "rec:" + task_name,
+                        pipeline.record_payload(
+                            name, self.config.params, store_dir,
+                            st["namespace"], run_index, seed, target,
+                            switch_probability,
+                        ),
+                    )
+            flush(name, submit, force=not st["pending_records"])
+
+        def finalize(name: str) -> None:
+            st = states[name]
+            result = CampaignResult(
+                workload=name,
+                detector_names=list(detector_names),
+                sync_instances=st["instances"],
+                runs=[st["results"][ri] for ri in range(n_runs)],
+            )
+            # Streamed commit: campaigns become durable as they finish
+            # (run-index order inside, completion order across), so a
+            # later drain or failure costs none of this one's work.
+            self._campaigns[name] = result
+            self._cache_store(name, result)
+            wl_tasks[name].committed()
+
+        def on_result(outcome, value, submit) -> None:
+            if isinstance(value, dict):
+                outcome.timings.update(value.get("timings", {}))
+            kind, _, rest = outcome.name.partition(":")
+            if kind == "size":
+                submit_runs(rest, value["instances"], submit)
+            elif kind == "rec":
+                name = rest.partition("/")[0]
+                st = states[name]
+                run_index = value["run_index"]
+                journal(run_tasks[rest].recorded)
+                st["pending_records"].discard(run_index)
+                st["buffer"].append(run_index)
+                flush(name, submit, force=not st["pending_records"])
+            else:  # "an"
+                name = rest.rpartition("#")[0]
+                st = states[name]
+                for run_index, run in value["results"]:
+                    st["results"][run_index] = run
+                    run_tasks["%s/run%d" % (name, run_index)].committed()
+                if len(st["results"]) == n_runs:
+                    finalize(name)
+
+        initial: List[Tuple[str, Dict]] = []
+        enqueue = lambda task_name, payload: initial.append(  # noqa: E731
+            (task_name, payload)
+        )
+        for name in pending:
+            st = states[name]
+            sizing_seed = campaign_sizing_seed(
+                name, self.config.base_seed
+            )
+            instances = store.load_value(
+                st["namespace"], ("sync_instances", sizing_seed)
+            )
+            if instances is not None:
+                submit_runs(name, instances, enqueue)
+            else:
+                enqueue(
+                    "size:" + name,
+                    pipeline.size_payload(
+                        name, self.config.params, store_dir,
+                        st["namespace"], sizing_seed,
+                    ),
+                )
+
+        supervisor = Supervisor(
+            jobs=self.jobs, seed=self.config.base_seed
+        )
+        _results, report = supervisor.run_stream(
+            pipeline.run_stage_task,
+            initial,
+            on_result=on_result,
+            should_stop=(
+                (lambda: shutdown.requested)
+                if shutdown is not None else None
+            ),
+        )
+        self.last_report = self._account_tasks(report, cache_hits)
+        if report.degraded:
+            logger.warning("run-level fan-out: %s", report.summary())
+        if report.interrupted:
+            raise InterruptedRunError(ckpt.run_id)
+
+    def _account_tasks(
+        self, report: RunReport, cache_hits: List[str]
+    ) -> RunReport:
+        """Cache-hit accounting for the task-level (pipelined) report.
+
+        Same contract as :meth:`_account`, but the pool outcomes here
+        are stage tasks, not workloads: cache-served campaigns are
+        prepended as ``path="cache"`` rows (canonical workload order)
+        ahead of the stage rows, so every workload of the call is
+        visible in the report whether it was computed or replayed.
+        """
+        if not cache_hits:
+            return report
+        merged = RunReport(
+            pool_poisoned=report.pool_poisoned,
+            interrupted=report.interrupted,
+        )
+        merged.outcomes = [
+            TaskOutcome(name, status="ok", attempts=0, path="cache")
+            for name in self.config.workload_names()
+            if name in cache_hits
+        ] + report.outcomes
+        return merged
 
     def _run_serial_checkpointed(
         self, pending: List[str], ckpt: RunCheckpoint

@@ -33,7 +33,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.common.errors import SimulationError
 from repro.common.rng import DeterministicRng
 from repro.detectors.base import AccessId, DetectionOutcome
-from repro.resilience.guard import guarded_outcomes, mark_plan_sharing
+from repro.resilience.guard import (
+    guarded_outcomes,
+    guarded_outcomes_batch,
+    mark_plan_sharing,
+)
 from repro.resilience.journal import TaskCheckpoint
 from repro.detectors.registry import DetectorSpec, standard_suite
 from repro.engine.executor import run_program
@@ -410,15 +414,52 @@ def analyze_recorded(
         return result
 
     digest = detectors_digest(detectors, check_soundness)
-    bundle_key = (
+    bundle_key = _bundle_key(recorded, switch_probability, digest)
+    slices = _load_bundle_slices(store, namespace, bundle_key, detectors)
+    missing = [spec for spec in detectors if spec.name not in slices]
+    fresh: Dict[str, DetectionOutcome] = (
+        guarded_outcomes(missing, recorded.n_threads, recorded.packed)
+        if missing else {}
+    )
+    _assemble_run(result, detectors, check_soundness, slices, fresh)
+
+    # Persist the merged bundle (post-soundness, rebuilt in canonical
+    # detector order so a resume-written bundle is byte-identical to an
+    # uninterrupted run's), then journal each fresh configuration as an
+    # ``analyzed`` transition -- the per-config kill points the chaos
+    # matrix exercises.  A run with nothing fresh rewrites nothing.
+    if fresh:
+        store.store_value(
+            namespace, bundle_key,
+            _merged_bundle(detectors, slices, fresh, result),
+        )
+        for spec in detectors:
+            if spec.name in fresh:
+                task.analyzed(spec.name)
+    return result
+
+
+def _bundle_key(
+    recorded: RecordedRun, switch_probability: float, digest: str
+) -> Tuple:
+    return (
         "outcomes", recorded.seed, recorded.target_index,
         switch_probability, digest,
     )
 
-    # Durable slices first (the journal's ``analyzed`` markers are only
-    # observational: a slice hits even when the journal record was lost
-    # to a torn tail, because the bundle write happens-before the
-    # journal appends).
+
+def _load_bundle_slices(
+    store: PackedTraceStore,
+    namespace: str,
+    bundle_key: Tuple,
+    detectors: Sequence[DetectorSpec],
+) -> Dict[str, Dict]:
+    """The run's durable per-config slices already on disk.
+
+    The journal's ``analyzed`` markers are only observational: a slice
+    hits even when the journal record was lost to a torn tail, because
+    the bundle write happens-before the journal appends.
+    """
     slices: Dict[str, Dict] = {}
     bundle = store.load_value(namespace, bundle_key)
     if isinstance(bundle, dict):
@@ -427,15 +468,22 @@ def analyze_recorded(
             if isinstance(value, dict) and {"raw", "problem", "counters",
                                             "flagged"} <= set(value):
                 slices[spec.name] = value
-    missing = [spec for spec in detectors if spec.name not in slices]
-    fresh: Dict[str, DetectionOutcome] = (
-        guarded_outcomes(missing, recorded.n_threads, recorded.packed)
-        if missing else {}
-    )
+    return slices
 
-    # Canonical-order assembly: durable counters already carry their
-    # post-soundness ``false_positive_accesses`` entry; fresh ones gain
-    # it below, appended last exactly as the plain path does.
+
+def _assemble_run(
+    result: RunResult,
+    detectors: Sequence[DetectorSpec],
+    check_soundness: bool,
+    slices: Dict[str, Dict],
+    fresh: Dict[str, DetectionOutcome],
+) -> None:
+    """Fill ``result`` from durable slices plus fresh outcomes.
+
+    Canonical-order assembly: durable counters already carry their
+    post-soundness ``false_positive_accesses`` entry; fresh ones gain
+    it below, appended last exactly as the plain path does.
+    """
     for spec in detectors:
         name = spec.name
         if name in slices:
@@ -470,29 +518,95 @@ def analyze_recorded(
                 result,
             )
 
-    # Persist the merged bundle (post-soundness, rebuilt in canonical
-    # detector order so a resume-written bundle is byte-identical to an
-    # uninterrupted run's), then journal each fresh configuration as an
-    # ``analyzed`` transition -- the per-config kill points the chaos
-    # matrix exercises.  A run with nothing fresh rewrites nothing.
-    if fresh:
-        store.store_value(namespace, bundle_key, {
-            spec.name: (
-                slices[spec.name]
-                if spec.name in slices
-                else {
-                    "raw": result.flagged[spec.name],
-                    "problem": result.problem[spec.name],
-                    "counters": result.counters[spec.name],
-                    "flagged": tuple(sorted(fresh[spec.name].flagged)),
-                }
+
+def _merged_bundle(
+    detectors: Sequence[DetectorSpec],
+    slices: Dict[str, Dict],
+    fresh: Dict[str, DetectionOutcome],
+    result: RunResult,
+) -> Dict[str, Dict]:
+    return {
+        spec.name: (
+            slices[spec.name]
+            if spec.name in slices
+            else {
+                "raw": result.flagged[spec.name],
+                "problem": result.problem[spec.name],
+                "counters": result.counters[spec.name],
+                "flagged": tuple(sorted(fresh[spec.name].flagged)),
+            }
+        )
+        for spec in detectors
+    }
+
+
+def analyze_recorded_batch(
+    recorded_runs: Sequence[RecordedRun],
+    detectors: Sequence[DetectorSpec],
+    check_soundness: bool = True,
+    store: Optional[PackedTraceStore] = None,
+    namespace: Optional[str] = None,
+    switch_probability: Optional[float] = None,
+) -> List[RunResult]:
+    """:func:`analyze_recorded` over a batch of same-workload runs.
+
+    The batch enters the ladder's multi-run tier
+    (:func:`repro.resilience.guard.guarded_outcomes_batch`): one arena
+    pass seeds every run's analysis plans, then each run flows through
+    the ordinary per-run tiers, so the per-run reports -- and, with a
+    ``store`` and ``switch_probability``, the persisted outcome
+    bundles -- are byte-identical to :func:`analyze_recorded`'s (pinned
+    by the batch property suite).  Runs whose bundles are already
+    complete on disk are assembled without re-analysis and rewrite
+    nothing, exactly like the per-run path.
+
+    No journal ``task`` rides along: the run-level scheduler journals
+    recording and commits, and bundle writes are atomic and keyed, so
+    the ``analyzed`` markers' observational granularity is not needed
+    here.
+    """
+    persist = store is not None and switch_probability is not None
+    digest = detectors_digest(detectors, check_soundness)
+    keys: List[Optional[Tuple]] = []
+    slices_per: List[Dict[str, Dict]] = []
+    missing_per: List[List[DetectorSpec]] = []
+    for recorded in recorded_runs:
+        if persist:
+            bundle_key = _bundle_key(recorded, switch_probability, digest)
+            slices = _load_bundle_slices(
+                store, namespace, bundle_key, detectors
             )
-            for spec in detectors
-        })
-        for spec in detectors:
-            if spec.name in fresh:
-                task.analyzed(spec.name)
-    return result
+        else:
+            bundle_key, slices = None, {}
+        keys.append(bundle_key)
+        slices_per.append(slices)
+        missing_per.append(
+            [spec for spec in detectors if spec.name not in slices]
+        )
+
+    items = [
+        (missing, recorded.n_threads, recorded.packed)
+        for recorded, missing in zip(recorded_runs, missing_per)
+        if missing
+    ]
+    fresh_iter = iter(
+        guarded_outcomes_batch(items) if items else []
+    )
+
+    results: List[RunResult] = []
+    for recorded, slices, missing, bundle_key in zip(
+        recorded_runs, slices_per, missing_per, keys
+    ):
+        fresh = next(fresh_iter) if missing else {}
+        result = _fresh_run_result(recorded)
+        _assemble_run(result, detectors, check_soundness, slices, fresh)
+        if persist and fresh:
+            store.store_value(
+                namespace, bundle_key,
+                _merged_bundle(detectors, slices, fresh, result),
+            )
+        results.append(result)
+    return results
 
 
 def run_injected_once(

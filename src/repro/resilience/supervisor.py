@@ -88,6 +88,11 @@ class TaskOutcome:
             ``"pool-retry"``, ``"serial"`` (the fallback rung), or
             ``"cache"`` (served durably, no worker occupied).
         errors: one human-readable line per failed attempt.
+        timings: per-stage wall times in seconds.  The supervisor stamps
+            ``task_s`` (winning attempt's spawn-to-result wall); the
+            task layer merges in its own stage breakdown (the run-level
+            scheduler adds ``record_s`` / ``analyze_s`` /
+            ``store_io_s``).  See :meth:`RunReport.profile`.
     """
 
     name: str
@@ -95,6 +100,7 @@ class TaskOutcome:
     attempts: int = 0
     path: str = "pool"
     errors: List[str] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -154,6 +160,21 @@ class RunReport:
             line += "; drained early, %d task(s) interrupted" % cut
         return line
 
+    def profile(self) -> Dict[str, float]:
+        """Aggregate per-stage wall time over every task's ``timings``.
+
+        Sums each stage key across the outcomes (``record_s``,
+        ``analyze_s``, ``store_io_s``, ``task_s``, ...).  With a
+        pipelined fan-out, ``task_s`` summed over tasks exceeding the
+        run's wall clock is the direct evidence that recording and
+        analysis actually overlapped.
+        """
+        totals: Dict[str, float] = {}
+        for out in self.outcomes:
+            for stage, seconds in out.timings.items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        return totals
+
     def raise_if_failed(self) -> None:
         bad = self.failed()
         if not bad:
@@ -207,6 +228,7 @@ class _Attempt:
     proc: multiprocessing.process.BaseProcess
     conn: Any
     deadline: float
+    started: float = 0.0
 
 
 class Supervisor:
@@ -263,13 +285,15 @@ class Supervisor:
         proc.daemon = True
         proc.start()
         send_end.close()
+        started = time.monotonic()
         return _Attempt(
             name=name,
             payload=payload,
             attempt=attempt,
             proc=proc,
             conn=recv_end,
-            deadline=time.monotonic() + self.timeout,
+            deadline=started + self.timeout,
+            started=started,
         )
 
     @staticmethod
@@ -442,6 +466,7 @@ class Supervisor:
                         out.path = (
                             "pool" if att.attempt == 0 else "pool-retry"
                         )
+                        out.timings["task_s"] = now - att.started
                         results[att.name] = msg[1]
                     else:
                         fail_attempt(
@@ -485,6 +510,227 @@ class Supervisor:
                     "serial fallback raised %s: %s"
                     % (type(exc).__name__, exc)
                 )
+        report.raise_if_failed()
+        return results, report
+
+    def run_stream(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Tuple[str, Any]],
+        on_result: Optional[Callable[..., None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> Tuple[Dict[str, Any], RunReport]:
+        """Like :meth:`run`, but the task graph may *grow* while it runs.
+
+        ``on_result(outcome, value, submit)`` is called in the parent the
+        moment a task succeeds (whatever path computed it);
+        ``submit(name, payload)`` enqueues a follow-up task into the
+        same work queue, so a pipeline -- record tasks fanning out into
+        analyze tasks as recordings land -- flows through one pool with
+        one load balancer.  The loop ends when the queue and the
+        in-flight set are both empty, follow-ups included.
+
+        Two deliberate differences from :meth:`run` (which is kept
+        byte-for-byte stable for the per-campaign fan-out):
+
+        * a task that exhausts its pool retries -- or hits a poisoned
+          pool -- runs **inline immediately** instead of in an
+          end-of-run serial rung, so its follow-ups still stream through
+          the queue while other workers keep computing;
+        * per-task wall time is stamped into
+          :attr:`TaskOutcome.timings` on every path.
+
+        Retry, poison, deadline, drain, and failure semantics are
+        otherwise identical (keep the two loops in sync).  Exceptions
+        raised by ``on_result`` itself propagate after the in-flight
+        children are reaped -- a coordinator bug must surface, not hang
+        the fan-out.
+        """
+        self._fn = fn
+        outcomes: Dict[str, TaskOutcome] = {}
+        order: List[str] = []
+        report = RunReport()
+        results: Dict[str, Any] = {}
+        #: (name, payload, attempt, not_before_monotonic)
+        queue: List[Tuple[str, Any, int, float]] = []
+        running: List[_Attempt] = []
+        pool_ok = True
+        deaths = 0
+
+        def submit(name: str, payload: Any) -> None:
+            if name in outcomes:
+                raise ValueError(
+                    "duplicate streamed task name %r" % (name,)
+                )
+            outcomes[name] = TaskOutcome(name)
+            order.append(name)
+            report.outcomes.append(outcomes[name])
+            queue.append((name, payload, 0, 0.0))
+
+        for name, payload in tasks:
+            submit(name, payload)
+
+        def finish_ok(name: str, value: Any) -> None:
+            results[name] = value
+            if on_result is not None:
+                on_result(outcomes[name], value, submit)
+
+        def run_serial_now(name: str, payload: Any) -> None:
+            out = outcomes[name]
+            out.attempts += 1
+            out.path = "serial"
+            logger.warning(
+                "task %s falling back to serial execution", name
+            )
+            started = time.monotonic()
+            try:
+                value = self._fn(payload)
+            except Exception as exc:  # noqa: BLE001
+                out.status = "failed"
+                out.errors.append(
+                    "serial fallback raised %s: %s"
+                    % (type(exc).__name__, exc)
+                )
+                return
+            out.status = "ok"
+            out.timings["task_s"] = time.monotonic() - started
+            finish_ok(name, value)
+
+        def fail_attempt(att: _Attempt, detail: str, infra: bool) -> None:
+            nonlocal pool_ok, deaths
+            out = outcomes[att.name]
+            out.errors.append(detail)
+            logger.warning(
+                "task %s attempt %d failed: %s",
+                att.name, att.attempt + 1, detail,
+            )
+            if not infra:
+                out.status = "failed"
+                return
+            deaths += 1
+            if deaths >= self.poison_limit:
+                pool_ok = False
+                report.pool_poisoned = True
+                logger.error(
+                    "pool poisoned after %d worker failures; "
+                    "remaining tasks run serially", deaths,
+                )
+            if pool_ok and att.attempt < self.max_retries:
+                delay = self._backoff(att.name, att.attempt)
+                queue.append((
+                    att.name, att.payload, att.attempt + 1,
+                    time.monotonic() + delay,
+                ))
+            else:
+                run_serial_now(att.name, att.payload)
+
+        try:
+            while queue or running:
+                if should_stop is not None and should_stop():
+                    report.interrupted = True
+                    break
+                now = time.monotonic()
+                if pool_ok:
+                    ready = [
+                        entry for entry in queue if entry[3] <= now
+                    ]
+                    for entry in ready:
+                        if len(running) >= self.jobs:
+                            break
+                        queue.remove(entry)
+                        name, payload, attempt, _ = entry
+                        outcomes[name].attempts += 1
+                        try:
+                            running.append(
+                                self._spawn(name, payload, attempt)
+                            )
+                        except OSError as exc:
+                            pool_ok = False
+                            report.pool_poisoned = True
+                            logger.error(
+                                "worker spawn failed (%s); falling back "
+                                "to serial execution", exc,
+                            )
+                            outcomes[name].attempts -= 1
+                            run_serial_now(name, payload)
+                            break
+                else:
+                    drained = list(queue)
+                    queue.clear()
+                    for name, payload, _attempt, _t in drained:
+                        run_serial_now(name, payload)
+                progressed = False
+                for att in list(running):
+                    msg = None
+                    dead = False
+                    if att.conn.poll():
+                        try:
+                            msg = att.conn.recv()
+                        except (EOFError, OSError):
+                            dead = True
+                    elif not att.proc.is_alive():
+                        # Drain the race where the child wrote and died
+                        # between our poll and the liveness check.
+                        att.proc.join()
+                        if att.conn.poll():
+                            try:
+                                msg = att.conn.recv()
+                            except (EOFError, OSError):
+                                dead = True
+                        else:
+                            dead = True
+                    elif now > att.deadline:
+                        self._reap(att)
+                        running.remove(att)
+                        progressed = True
+                        fail_attempt(
+                            att,
+                            repr(WorkerTimeoutError(
+                                att.name, att.attempt + 1,
+                                "deadline of %.1fs exceeded"
+                                % self.timeout,
+                            )),
+                            infra=True,
+                        )
+                        continue
+                    if msg is None and not dead:
+                        continue
+                    self._reap(att)
+                    running.remove(att)
+                    progressed = True
+                    if msg is None:
+                        code = att.proc.exitcode
+                        fail_attempt(
+                            att,
+                            "worker died without a result "
+                            "(exit code %r)" % (code,),
+                            infra=True,
+                        )
+                    elif msg[0] == "ok":
+                        out = outcomes[att.name]
+                        out.status = "ok"
+                        out.path = (
+                            "pool" if att.attempt == 0 else "pool-retry"
+                        )
+                        out.timings["task_s"] = now - att.started
+                        finish_ok(att.name, msg[1])
+                    else:
+                        fail_attempt(
+                            att,
+                            "%s\n%s" % (msg[1], msg[2]),
+                            infra=False,
+                        )
+                if not progressed and (running or queue):
+                    time.sleep(0.02)
+        finally:
+            for att in running:
+                self._reap(att)
+
+        if report.interrupted:
+            for out in outcomes.values():
+                if out.status not in ("ok", "failed"):
+                    out.status = "interrupted"
+            logger.warning("supervised run drained: %s", report.summary())
         report.raise_if_failed()
         return results, report
 

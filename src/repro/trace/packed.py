@@ -352,6 +352,47 @@ class PackedTrace:
         self._views[key] = (n, residual)
         return residual
 
+    # -- batch seeding ---------------------------------------------------------
+    #
+    # The batched analysis tier (:mod:`repro.resilience.guard`) builds
+    # the plan products for *k* same-geometry traces in one arena pass
+    # and seeds them here, so the per-trace accessors above become cache
+    # hits.  Seeders own the same key formats as their accessors, follow
+    # the same kernels-enabled gate (a seeded plan must never shadow the
+    # fallback path), and never clobber an already-derived product.
+
+    def seed_segment_plan(self, line_mask: int, plan) -> None:
+        """Pre-populate :meth:`segment_plan`'s cache for ``line_mask``."""
+        if not _kernels.kernels_enabled():
+            return
+        key = ("plan", line_mask & _U64)
+        n = len(self.thread)
+        cached = self._views.get(key)
+        if cached is not None and cached[0] == n:
+            return
+        self._views[key] = (n, plan)
+
+    def seed_word_residual(self, residual) -> None:
+        """Pre-populate :meth:`word_residual`'s cache."""
+        if not _kernels.kernels_enabled():
+            return
+        n = len(self.thread)
+        cached = self._views.get(("wordres",))
+        if cached is not None and cached[0] == n:
+            return
+        self._views[("wordres",)] = (n, residual)
+
+    def seed_line_residual(self, line_mask: int, residual) -> None:
+        """Pre-populate :meth:`line_residual`'s cache for ``line_mask``."""
+        if not _kernels.kernels_enabled():
+            return
+        key = ("lineres", line_mask & _U64)
+        n = len(self.thread)
+        cached = self._views.get(key)
+        if cached is not None and cached[0] == n:
+            return
+        self._views[key] = (n, residual)
+
     def derived(self, key, build):
         """Generic per-trace cache for derived analysis products.
 

@@ -423,6 +423,16 @@ class PackedTraceStore:
             encode_run_entry(packed, extra),
         )
 
+    def has_run(self, namespace: str, components: Tuple) -> bool:
+        """Is a recording durable under this key?
+
+        Existence only -- no read, no verification (a torn entry still
+        quarantines and re-records at load time).  The run-level
+        scheduler uses this to skip record tasks for runs a previous
+        (possibly interrupted) campaign already recorded.
+        """
+        return self._path("trace", namespace, components).exists()
+
     def export_run(
         self, namespace: str, components: Tuple
     ) -> Optional[Tuple[bytes, Dict[str, Any]]]:

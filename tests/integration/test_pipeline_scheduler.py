@@ -1,0 +1,302 @@
+"""Integration tests: the run-level pipelined scheduler under chaos.
+
+The tentpole contract of the run-level scheduler
+(:meth:`Suite._run_pipelined`): campaigns decompose into sizing /
+record / analyze tasks streamed through one supervisor queue, and
+*everything observable stays byte-identical to the serial path* --
+results, campaign caches, journals -- no matter which scheduler ran,
+which workers died, or where a drain request landed.  The batch
+analysis tier degrades per run: one poisoned batch pass costs only a
+log entry, never a wrong byte.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.common.errors import InterruptedRunError
+from repro.experiments.runner import (
+    SCHEDULER_MODES,
+    Suite,
+    SuiteConfig,
+)
+from repro.injection.campaign import analyze_recorded_batch
+from repro.resilience import faults
+from repro.resilience.guard import GUARD_LOG, guarded_outcomes_batch
+from repro.resilience.journal import WAL_SUFFIX, replay
+from repro.workloads import WorkloadParams
+
+_PARAMS = WorkloadParams(scale=0.25)
+
+#: Deliberately imbalanced mix: ocean is several times heavier than fft
+#: at this scale, which is exactly the shape campaign-level pooling
+#: handles worst and run-level pipelining handles best.
+_CONFIG = SuiteConfig(
+    runs_per_app=3,
+    workloads=("fft", "ocean"),
+    params=_PARAMS,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fault_hygiene(monkeypatch):
+    for var in ("REPRO_FAULTS", "REPRO_MAX_RETRIES", "REPRO_SCHED",
+                "REPRO_BATCH_RUNS", "REPRO_NO_SHM"):
+        monkeypatch.delenv(var, raising=False)
+    monkeypatch.setenv("REPRO_FSYNC", "0")
+    faults.reset()
+    GUARD_LOG.clear()
+    yield
+    faults.reset()
+    GUARD_LOG.clear()
+
+
+def _digest(suite):
+    out = {}
+    for name, campaign in suite.campaigns().items():
+        out[name] = (
+            campaign.sync_instances,
+            tuple(campaign.detector_names),
+            [
+                (
+                    run.run_index,
+                    run.seed,
+                    run.target_index,
+                    tuple(sorted(run.flagged.items())),
+                    tuple(sorted(run.problem.items())),
+                )
+                for run in campaign.runs
+            ],
+        )
+    return out
+
+
+def _campaign_caches(cache_dir):
+    return {
+        os.path.basename(path): open(path, "rb").read()
+        for path in glob.glob(str(cache_dir / "campaign-*.pkl"))
+    }
+
+
+class TestSchedulerEquivalence:
+    """Serial, campaign-pooled, and run-level runs are byte-identical."""
+
+    def test_all_schedulers_agree(self, tmp_path):
+        arms = {
+            "serial": Suite(_CONFIG, jobs=1, cache_dir=tmp_path / "s",
+                            scheduler="campaigns"),
+            "campaigns": Suite(_CONFIG, jobs=2,
+                               cache_dir=tmp_path / "c",
+                               scheduler="campaigns"),
+            "runs": Suite(_CONFIG, jobs=2, cache_dir=tmp_path / "r",
+                          scheduler="runs"),
+        }
+        digests = {name: _digest(suite) for name, suite in arms.items()}
+        assert digests["runs"] == digests["serial"]
+        assert digests["campaigns"] == digests["serial"]
+        caches = {
+            name: _campaign_caches(tmp_path / name[0])
+            for name in arms
+        }
+        assert caches["serial"]
+        assert caches["runs"] == caches["serial"]
+        assert caches["campaigns"] == caches["serial"]
+
+    def test_batch_size_does_not_change_bytes(self, tmp_path,
+                                              monkeypatch):
+        reference = Suite(_CONFIG, jobs=2, cache_dir=tmp_path / "a",
+                          scheduler="runs")
+        reference.campaigns()
+        monkeypatch.setenv("REPRO_BATCH_RUNS", "1")
+        one_by_one = Suite(_CONFIG, jobs=2, cache_dir=tmp_path / "b",
+                           scheduler="runs")
+        one_by_one.campaigns()
+        assert _campaign_caches(tmp_path / "b") == _campaign_caches(
+            tmp_path / "a"
+        )
+
+    def test_warm_and_partial_cache_accounting(self, tmp_path):
+        cache = tmp_path / "warm"
+        cold = Suite(_CONFIG, jobs=2, cache_dir=cache,
+                     scheduler="runs")
+        cold.campaigns()
+        reference = _campaign_caches(cache)
+
+        # Fully warm: served without any fan-out at all.
+        warm = Suite(_CONFIG, jobs=2, cache_dir=cache,
+                     scheduler="runs")
+        warm.campaigns()
+        assert warm.last_report is None
+
+        # Partially warm: the evicted campaign recomputes from the
+        # recorded traces (no record tasks), the cache hit shows up as
+        # its own report row, and the rewritten bytes are identical.
+        evicted = cold._cache_path("fft")
+        evicted.unlink()
+        partial = Suite(_CONFIG, jobs=2, cache_dir=cache,
+                        scheduler="runs")
+        partial.campaigns()
+        paths = {out.path for out in partial.last_report.outcomes}
+        assert "cache" in paths
+        assert not any(
+            out.name.startswith("rec:")
+            for out in partial.last_report.outcomes
+        )
+        assert _campaign_caches(cache) == reference
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            Suite(_CONFIG, jobs=1, scheduler="bogus")
+        assert "runs" in SCHEDULER_MODES
+
+    def test_env_selects_scheduler(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHED", "runs")
+        assert Suite(_CONFIG, jobs=1).scheduler == "runs"
+
+
+class TestPipelineUnderChaos:
+    """Killed workers and drain requests against the run-level path."""
+
+    def test_worker_kill_leaves_identical_state(self, tmp_path,
+                                                monkeypatch):
+        clean_dir = tmp_path / "clean"
+        clean = _digest(Suite(_CONFIG, jobs=2, cache_dir=clean_dir,
+                              scheduler="runs"))
+
+        monkeypatch.setenv("REPRO_FAULTS", "worker_kill:1")
+        faults.arm()
+        faulted_dir = tmp_path / "faulted"
+        suite = Suite(_CONFIG, jobs=2, cache_dir=faulted_dir,
+                      scheduler="runs")
+        assert _digest(suite) == clean
+        assert suite.last_report.degraded
+        assert _campaign_caches(faulted_dir) == _campaign_caches(
+            clean_dir
+        )
+
+    def test_drain_is_resumable_and_bit_identical(self, tmp_path,
+                                                  monkeypatch):
+        clean_dir = tmp_path / "clean"
+        baseline = _digest(Suite(_CONFIG, jobs=2, cache_dir=clean_dir,
+                                 scheduler="runs"))
+
+        # Land the drain request mid-campaign: after the workload rows
+        # and the first few per-run rows have hit the journal.
+        cache = tmp_path / "interrupted"
+        monkeypatch.setenv("REPRO_FAULTS", "sigterm_drain:6")
+        faults.arm()
+        suite = Suite(_CONFIG, jobs=2, cache_dir=cache,
+                      scheduler="runs")
+        with pytest.raises(InterruptedRunError) as excinfo:
+            suite.campaigns()
+        run_id = excinfo.value.run_id
+        assert run_id is not None
+        assert suite.last_report.interrupted
+        assert not any(
+            out.status == "failed"
+            for out in suite.last_report.outcomes
+        )
+        assert list(cache.rglob("*.tmp.*")) == []
+
+        # The journal replays: workload rows scheduled, nothing lies
+        # about completion.
+        wal = cache / "journal" / (run_id + WAL_SUFFIX)
+        assert wal.exists()
+        state = replay(wal)
+        assert state.task("fft").scheduled
+        assert not state.finished
+
+        # Resume over the same cache completes bit-identically.
+        faults.arm("")
+        resumed = Suite(_CONFIG, jobs=2, cache_dir=cache,
+                        scheduler="runs")
+        assert _digest(resumed) == baseline
+        assert resumed.warnings["resumed"] == 1
+        assert _campaign_caches(cache) == _campaign_caches(clean_dir)
+        assert replay(cache / "journal" / (run_id + ".done")).finished
+
+    def test_every_drain_point_resumes(self, tmp_path, monkeypatch):
+        # Sweep the drain tick across the journal's first transitions:
+        # wherever SIGTERM lands, the resume completes byte-identically.
+        clean_dir = tmp_path / "clean"
+        Suite(_CONFIG, jobs=2, cache_dir=clean_dir,
+              scheduler="runs").campaigns()
+        clean = _campaign_caches(clean_dir)
+        for tick in (1, 4, 9):
+            cache = tmp_path / ("drain%d" % tick)
+            monkeypatch.setenv(
+                "REPRO_FAULTS", "sigterm_drain:%d" % tick
+            )
+            faults.arm()
+            with pytest.raises(InterruptedRunError):
+                Suite(_CONFIG, jobs=2, cache_dir=cache,
+                      scheduler="runs").campaigns()
+            faults.arm("")
+            monkeypatch.delenv("REPRO_FAULTS")
+            resumed = Suite(_CONFIG, jobs=2, cache_dir=cache,
+                            scheduler="runs")
+            resumed.campaigns()
+            assert resumed.warnings["resumed"] == 1
+            assert _campaign_caches(cache) == clean
+
+
+class TestBatchTierDegradation:
+    """A poisoned batch pass degrades one batch, not the suite."""
+
+    def _items(self, count=2):
+        from repro.detectors.registry import standard_suite
+        from repro.engine import run_program
+        from repro.workloads.registry import get_workload
+
+        items = []
+        for i in range(count):
+            program = get_workload("fft").build(_PARAMS)
+            trace = run_program(program, seed=31 + i)
+            items.append(
+                (standard_suite(), program.n_threads, trace.packed)
+            )
+        return items
+
+    def test_batch_raise_degrades_alone(self, monkeypatch):
+        items = self._items()
+        baseline = [
+            {
+                name: (out.flagged, out.raw_count,
+                       out.problem_detected, dict(out.counters))
+                for name, out in outcome_map.items()
+            }
+            for outcome_map in guarded_outcomes_batch(items)
+        ]
+        monkeypatch.setenv("REPRO_FAULTS", "batch_raise:1")
+        faults.arm()
+        got = [
+            {
+                name: (out.flagged, out.raw_count,
+                       out.problem_detected, dict(out.counters))
+                for name, out in outcome_map.items()
+            }
+            for outcome_map in guarded_outcomes_batch(self._items())
+        ]
+        assert got == baseline
+        # Without numpy the batch tier gates itself off before the
+        # fault point, so nothing fires and nothing is logged.
+        from repro.trace.kernels import kernels_enabled
+
+        assert GUARD_LOG.count("batch") == (
+            1 if kernels_enabled() else 0
+        )
+
+    def test_batch_raise_through_suite_is_transparent(self, tmp_path,
+                                                      monkeypatch):
+        clean_dir = tmp_path / "clean"
+        Suite(_CONFIG, jobs=1, cache_dir=clean_dir,
+              scheduler="campaigns").campaigns()
+        monkeypatch.setenv("REPRO_FAULTS", "batch_raise:1")
+        faults.arm()
+        faulted_dir = tmp_path / "faulted"
+        Suite(_CONFIG, jobs=2, cache_dir=faulted_dir,
+              scheduler="runs").campaigns()
+        assert _campaign_caches(faulted_dir) == _campaign_caches(
+            clean_dir
+        )

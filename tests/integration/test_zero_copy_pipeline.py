@@ -141,7 +141,11 @@ def test_pooled_suite_shared_memory_byte_identical(tmp_path):
     )
 
     # Cold pooled pass: records every trace, nothing published yet.
-    cold = Suite(config, jobs=2, cache_dir=cache_dir)
+    # (Shared-memory publication belongs to the campaign-level
+    # scheduler; the run-level pipeline maps traces off the store mmap
+    # instead, so pin the scheduler this test is about.)
+    cold = Suite(config, jobs=2, cache_dir=cache_dir,
+                 scheduler="campaigns")
     cold.campaigns()
     cold_caches = _campaign_caches(cache_dir)
     assert cold_caches
@@ -149,7 +153,8 @@ def test_pooled_suite_shared_memory_byte_identical(tmp_path):
     # Warm pooled pass over the recorded store: the parent publishes
     # every recording and the workers attach zero-copy.
     _reset_campaign_caches(cache_dir)
-    warm = Suite(config, jobs=2, cache_dir=cache_dir)
+    warm = Suite(config, jobs=2, cache_dir=cache_dir,
+                 scheduler="campaigns")
     warm.campaigns()
     assert warm.warnings["shm_published"] == 2 * 3
     assert _campaign_caches(cache_dir) == cold_caches

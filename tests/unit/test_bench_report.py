@@ -1,0 +1,107 @@
+"""Unit tests for the benchmark-trajectory report tool."""
+
+import json
+
+from repro import bench_report
+
+
+def _write(path, payload):
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def _file(entries, schema=1):
+    return {"schema": schema, "entries": entries}
+
+
+def _entry(label, results):
+    return {"label": label, "date": "2026-08-08", "results": results}
+
+
+class TestLoadEntries:
+    def test_loads_schema_one(self, tmp_path):
+        path = _write(tmp_path / "BENCH_x.json",
+                      _file([_entry("a", {"t": {"wall_s": 1.0}})]))
+        entries = bench_report.load_entries(path)
+        assert entries is not None and len(entries) == 1
+
+    def test_unknown_schema_is_skipped(self, tmp_path, capsys):
+        path = _write(tmp_path / "BENCH_x.json", _file([], schema=99))
+        assert bench_report.load_entries(path) is None
+        assert "unknown schema" in capsys.readouterr().err
+
+    def test_garbage_json_is_skipped(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{not json")
+        assert bench_report.load_entries(str(path)) is None
+        assert "skipping" in capsys.readouterr().err
+
+
+class TestTrajectory:
+    ENTRIES = [
+        _entry("pr1", {"fast": {"wall_s": 0.5, "events_per_s": 100}}),
+        _entry("pr2", {"fast": {"wall_s": 0.25, "events_per_s": 200},
+                       "slow": {"wall_s": 2.0}}),
+    ]
+
+    def test_labels_become_columns_in_order(self):
+        table = bench_report.trajectory_table(
+            self.ENTRIES, "wall_s", "BENCH"
+        )
+        header = table.splitlines()[1]
+        assert header.index("pr1") < header.index("pr2")
+
+    def test_missing_cells_render_as_dash(self):
+        table = bench_report.trajectory_table(
+            self.ENTRIES, "wall_s", "BENCH"
+        )
+        slow_row = next(
+            line for line in table.splitlines()
+            if line.startswith("slow")
+        )
+        assert "-" in slow_row and "2.0" in slow_row
+
+    def test_absent_metric_yields_none(self):
+        assert bench_report.trajectory_table(
+            self.ENTRIES, "no_such_metric", "BENCH"
+        ) is None
+
+    def test_duplicate_labels_collapse_to_one_column(self):
+        entries = [
+            _entry("pr1", {"t": {"wall_s": 1.0}}),
+            _entry("pr1", {"t2": {"wall_s": 2.0}}),
+        ]
+        table = bench_report.trajectory_table(entries, "wall_s", "B")
+        assert table.splitlines()[1].count("pr1") == 1
+
+
+class TestMain:
+    def test_renders_default_glob(self, tmp_path, monkeypatch, capsys):
+        bench = tmp_path / "benchmarks"
+        bench.mkdir()
+        _write(bench / "BENCH_t.json",
+               _file([_entry("pr8", {"t": {"wall_s": 0.1}})]))
+        monkeypatch.chdir(tmp_path)
+        assert bench_report.main([]) == 0
+        out = capsys.readouterr().out
+        assert "pr8" in out and "wall_s" in out
+
+    def test_metrics_filter(self, tmp_path, capsys):
+        path = _write(
+            tmp_path / "BENCH_t.json",
+            _file([_entry("pr8", {"t": {"wall_s": 0.1,
+                                        "events_per_s": 5}})]),
+        )
+        assert bench_report.main([path, "--metrics", "events_per_s"]) == 0
+        out = capsys.readouterr().out
+        assert "events_per_s" in out and "wall_s" not in out
+
+    def test_no_files_is_an_error(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert bench_report.main([]) == 1
+
+    def test_real_committed_trajectories_render(self):
+        # The committed BENCH_*.json files must stay renderable.
+        paths = bench_report.default_paths()
+        assert paths, "committed trajectory files missing"
+        assert bench_report.main(["--metrics", "wall_s"]) == 0

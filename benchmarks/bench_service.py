@@ -1,0 +1,121 @@
+"""Campaign-service micro-benchmarks: submit-to-result overhead.
+
+Measures the service *plane*, not the simulator: a warm job (the result
+document already durable) isolates protocol + WAL + scheduling overhead
+per round trip, and a cold job measures end-to-end latency for a small
+real campaign through the server against the same campaign run
+in-process (the service tax).
+
+``CORD_SVC_THROUGHPUT_MIN`` (warm submit->result round trips per
+second, default 20) gates the warm path so protocol or WAL regressions
+fail loudly in CI rather than drifting.
+"""
+
+import asyncio
+import os
+import threading
+import time
+
+import pytest
+
+from repro.injection.campaign import CampaignConfig, run_campaign
+from repro.service.client import ServiceClient
+from repro.workloads import WorkloadParams, get_workload
+
+THROUGHPUT_MIN_ENV = "CORD_SVC_THROUGHPUT_MIN"
+_DEFAULT_THROUGHPUT_MIN = 20.0
+
+WARM_ROUNDTRIPS = 30
+SPEC = dict(runs=3, seed=77, scale=0.5)
+
+
+def _throughput_min() -> float:
+    raw = os.environ.get(THROUGHPUT_MIN_ENV, "").strip()
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return _DEFAULT_THROUGHPUT_MIN
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    """One in-process server on a unix socket, drained at teardown."""
+    root = tmp_path_factory.mktemp("svc-bench")
+    os.environ.setdefault("REPRO_FSYNC", "0")
+
+    def _serve():
+        from repro.service.server import serve
+
+        # Constructed inside the thread so the event loop owning the
+        # server's primitives is the one asyncio.run creates here.
+        asyncio.run(serve(root=root, concurrency=2))
+
+    thread = threading.Thread(target=_serve, daemon=True)
+    thread.start()
+    client = ServiceClient(socket_path=root / "service.sock")
+    client.wait_ready()
+    yield client
+    client.drain()
+    thread.join(timeout=60)
+
+
+def test_service_cold_job_latency(benchmark, bench_log, service):
+    """End-to-end cold campaign through the server vs in-process."""
+
+    def cold_job():
+        response = service.submit("fft", **SPEC)
+        assert response["ok"], response
+        final = service.result(response["job"])
+        assert final["state"] == "committed"
+        return final
+
+    final = benchmark(
+        bench_log.timed, "components", "service_cold_job", cold_job,
+        events=SPEC["runs"],
+    )
+    # The service path must agree with the in-process campaign to the
+    # byte -- the overhead being measured buys fault tolerance, not a
+    # different answer.
+    from repro.injection.campaign import format_campaign_report
+
+    workload = get_workload("fft")
+    campaign = run_campaign(
+        workload.program_factory(WorkloadParams(scale=SPEC["scale"])),
+        "fft",
+        CampaignConfig(n_runs=SPEC["runs"], base_seed=SPEC["seed"]),
+    )
+    assert final["report"] == format_campaign_report(campaign)
+
+
+def test_service_warm_roundtrip_throughput(benchmark, bench_log, service):
+    """Warm submit->result round trips per second (gated)."""
+    # Ensure the result document is durable before timing.
+    first = service.submit("fft", **SPEC)
+    job = first.get("job") or first
+    assert service.result(job)["state"] == "committed"
+
+    def roundtrips():
+        for _ in range(WARM_ROUNDTRIPS):
+            response = service.submit("fft", **SPEC)
+            assert response["ok"], response
+            final = service.result(response["job"])
+            assert final["state"] == "committed"
+            assert final["stats"]["result_hit"] == 1
+        return WARM_ROUNDTRIPS
+
+    start = time.perf_counter()
+    count = benchmark(
+        bench_log.timed, "components", "service_warm_roundtrip",
+        roundtrips, events=WARM_ROUNDTRIPS,
+    )
+    elapsed = time.perf_counter() - start
+    throughput = count / elapsed
+    floor = _throughput_min()
+    print("\nwarm service throughput: %.1f jobs/s (floor %.1f)"
+          % (throughput, floor))
+    assert throughput >= floor, (
+        "warm submit->result throughput %.1f jobs/s fell below %s=%.1f"
+        % (throughput, THROUGHPUT_MIN_ENV, floor)
+    )

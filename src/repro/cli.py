@@ -37,7 +37,11 @@ from repro.cord.replay import replay_trace, verify_replay
 from repro.engine.executor import run_program
 from repro.experiments.runner import Suite, SuiteConfig
 from repro.experiments.tables import table1
-from repro.injection.campaign import CampaignConfig, run_campaign
+from repro.injection.campaign import (
+    CampaignConfig,
+    format_campaign_report,
+    run_campaign,
+)
 from repro.trace.stats import compute_stats
 from repro.workloads.base import WorkloadParams
 from repro.workloads.registry import get_workload, workload_names
@@ -74,16 +78,9 @@ def _cmd_inject(args) -> int:
         spec.name,
         CampaignConfig(n_runs=args.runs, base_seed=args.seed),
     )
-    print("workload      : %s" % spec.name)
-    print("sync instances: %d" % campaign.sync_instances)
-    print("manifested    : %d / %d runs" % (
-        campaign.n_manifested, len(campaign.runs)))
-    for name in campaign.detector_names:
-        print("  %-10s problems=%-3d races=%-4d" % (
-            name,
-            campaign.problems_detected(name),
-            campaign.races_detected(name),
-        ))
+    # One renderer shared with the campaign service (repro.service), so
+    # the byte-identity contract between the two paths is structural.
+    sys.stdout.write(format_campaign_report(campaign))
     return 0
 
 

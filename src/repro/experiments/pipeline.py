@@ -114,14 +114,24 @@ def analyze_payload(
     }
 
 
-def run_stage_task(payload: Dict) -> Dict:
-    """Execute one pipeline stage (module-level, picklable)."""
+def run_stage_task(payload: Dict, store=None, factory=None) -> Dict:
+    """Execute one pipeline stage (module-level, picklable).
+
+    Supervisor children call this with just the payload and rebuild the
+    store and program factory from it.  In-process callers (the serial
+    fallback rung, the campaign service's inline executor) may pass
+    their own ``store``/``factory`` so one instance's stats counters
+    aggregate across every stage of a job instead of being discarded
+    with each per-call store.
+    """
     stage = payload["stage"]
-    store = PackedTraceStore(payload["store_dir"])
+    if store is None:
+        store = PackedTraceStore(payload["store_dir"])
     namespace = payload["namespace"]
-    factory = get_workload(payload["workload"]).program_factory(
-        payload["params"]
-    )
+    if factory is None:
+        factory = get_workload(payload["workload"]).program_factory(
+            payload["params"]
+        )
 
     if stage == "size":
         started = time.monotonic()

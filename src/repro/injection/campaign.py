@@ -609,6 +609,30 @@ def analyze_recorded_batch(
     return results
 
 
+def format_campaign_report(campaign: CampaignResult) -> str:
+    """Render a campaign's summary report (ends with a newline).
+
+    This is the *canonical* textual form of a campaign: the CLI
+    ``inject`` command prints it and the campaign service stores and
+    streams it, so "byte-identical reports across execution paths" is a
+    claim about one shared renderer, not two formatting functions kept
+    in sync by hand.
+    """
+    lines = [
+        "workload      : %s" % campaign.workload,
+        "sync instances: %d" % campaign.sync_instances,
+        "manifested    : %d / %d runs" % (
+            campaign.n_manifested, len(campaign.runs)),
+    ]
+    for name in campaign.detector_names:
+        lines.append("  %-10s problems=%-3d races=%-4d" % (
+            name,
+            campaign.problems_detected(name),
+            campaign.races_detected(name),
+        ))
+    return "\n".join(lines) + "\n"
+
+
 def run_injected_once(
     factory: ProgramFactory,
     seed: int,

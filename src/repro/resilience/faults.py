@@ -40,12 +40,25 @@ Fault points wired into the pipeline:
                    the write buffer (a power loss: the record is torn off)
 ``sigterm_drain``  a graceful-shutdown request is injected at a journal
                    transition, as if SIGTERM had just arrived
+``svc_kill``       the campaign *server* exits hard (``os._exit``) right
+                   after flushing a job-state WAL transition
+``queue_full``     the service admission controller rejects the next
+                   submission as if ``REPRO_SVC_QUEUE_MAX`` were hit
+``tenant_flood``   the service admission controller rejects the next
+                   submission as if the tenant's quota were exhausted
+``store_corrupt_mid_job``
+                   a service job's durable trace entry is truncated in
+                   place between its record and analyze phases (the
+                   self-healing store must quarantine and re-record)
 =================  =========================================================
 
-The three driver-level faults use *tick* semantics (:func:`tick`)
-rather than charge budgets: ``driver_kill:5`` fires at exactly the
-fifth journal transition of the process, which is what lets the resume
-test matrix kill the driver at *every* transition point in turn.
+The driver- and server-level kill faults use *tick* semantics
+(:func:`tick`) rather than charge budgets: ``driver_kill:5`` fires at
+exactly the fifth journal transition of the process (``svc_kill:5`` at
+the fifth job-WAL transition), which is what lets the resume test
+matrices kill the process at *every* transition point in turn.  The
+service admission faults (``queue_full``, ``tenant_flood``,
+``store_corrupt_mid_job``) are ordinary charge-budget faults.
 
 This module must stay import-light (stdlib only): it is imported by the
 trace store and the CORD hot paths, and must never create an import
@@ -69,6 +82,10 @@ DRIVER_KILL_EXIT_CODE = 87
 
 #: Exit status of a ``power_cut`` fault (exit with unflushed journal).
 POWER_CUT_EXIT_CODE = 88
+
+#: Exit status of an ``svc_kill`` fault (the campaign server's ``kill -9``,
+#: fired right after a job-state WAL transition became durable).
+SVC_KILL_EXIT_CODE = 89
 
 #: Per-process armed faults: name -> remaining charges.  ``None`` means
 #: the environment has not been parsed yet (lazily, so tests can set the

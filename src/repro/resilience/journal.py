@@ -86,6 +86,12 @@ def _encode_record(record: Dict) -> bytes:
     return frame_payload(body.encode("utf-8"))
 
 
+#: Public names for the framed-record codec: the campaign service's job
+#: WAL (:mod:`repro.service.jobs`) reuses the exact framing and replay
+#: tolerance of the sweep journal rather than inventing a second format.
+encode_record = _encode_record
+
+
 def _iter_records(data: bytes, what: str) -> Iterator[Dict]:
     """Yield sound records front to back; stop at the first torn one."""
     offset = 0
@@ -116,6 +122,10 @@ def _iter_records(data: bytes, what: str) -> Iterator[Dict]:
         yield record
         offset += record_len
         index += 1
+
+
+#: Public alias, paired with :data:`encode_record` (defined above).
+iter_records = _iter_records
 
 
 @dataclass

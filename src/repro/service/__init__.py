@@ -1,0 +1,32 @@
+"""Race detection as a service: the fault-tolerant campaign server.
+
+The package turns the repo's record-once / analyze-many pipeline into a
+long-running, multi-tenant job server:
+
+* :mod:`repro.service.protocol` -- the JSON-lines wire protocol;
+* :mod:`repro.service.jobs` -- job model, lifecycle states, and the
+  job-state WAL (crash-replayable, ``svc_kill`` chaos hook);
+* :mod:`repro.service.admission` -- bounded-queue backpressure,
+  per-tenant quotas, round-robin fair scheduling;
+* :mod:`repro.service.executor` -- runs one job against the shared
+  content-addressed trace store, idempotently and byte-deterministically;
+* :mod:`repro.service.server` -- the asyncio front end tying it all
+  together (graceful drain, crash resume, cross-tenant dedup stats);
+* :mod:`repro.service.client` -- a stdlib sync client;
+* ``python -m repro.service`` / ``cord-serve`` -- the CLI.
+
+See ``docs/service.md`` for the protocol and operational contract.
+"""
+
+from repro.service.admission import ServiceLimits
+from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.jobs import CampaignSpec, Job, JobRegistry
+
+__all__ = [
+    "CampaignSpec",
+    "Job",
+    "JobRegistry",
+    "ServiceClient",
+    "ServiceLimits",
+    "ServiceUnavailable",
+]

@@ -1,0 +1,147 @@
+"""Synchronous client for the campaign service.
+
+Deliberately stdlib-only and connection-per-request: every call opens a
+fresh socket, sends one JSON line, and reads the response line(s).
+That makes the client trivially robust to server restarts -- the exact
+scenario the service is built around -- at a per-request cost that is
+noise next to a campaign.  Responses are returned as plain dicts
+(``{"ok": bool, ...}``); nothing raises on an application-level error
+except :class:`ServiceUnavailable` when the socket itself cannot be
+reached (so callers can implement retry-after loops around rejections
+without exception plumbing).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro.service import protocol
+
+
+class ServiceUnavailable(ConnectionError):
+    """The server socket could not be reached (down or still starting)."""
+
+
+class ServiceClient:
+    """Talk to one campaign server over its unix or TCP socket."""
+
+    def __init__(
+        self,
+        socket_path=None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: float = 60.0,
+    ):
+        if socket_path is None and host is None:
+            raise ValueError("need a socket_path or a host/port")
+        self.socket_path = Path(socket_path) if socket_path else None
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        try:
+            if self.socket_path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(str(self.socket_path))
+                return sock
+            return socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ServiceUnavailable(
+                "campaign server unreachable: %s" % exc
+            )
+
+    def _roundtrip(self, message: Dict) -> Dict:
+        for response in self._stream(message):
+            return response
+        raise ServiceUnavailable("server closed the connection mid-request")
+
+    def _stream(self, message: Dict) -> Iterator[Dict]:
+        sock = self._connect()
+        try:
+            sock.sendall(protocol.encode_message(message))
+            with sock.makefile("rb") as fh:
+                for line in fh:
+                    yield protocol.decode_message(line)
+        finally:
+            sock.close()
+
+    # -- operations -----------------------------------------------------------
+
+    def submit(self, workload: str, **fields) -> Dict:
+        message = {"op": "submit", "workload": workload}
+        message.update(
+            {key: value for key, value in fields.items() if value is not None}
+        )
+        return self._roundtrip(message)
+
+    def status(self, job: str) -> Dict:
+        return self._roundtrip({"op": "status", "job": job})
+
+    def result(
+        self, job: str, timeout_s: Optional[float] = None
+    ) -> Dict:
+        """Block until the job terminalizes; its final result line."""
+        message: Dict = {"op": "result", "job": job}
+        if timeout_s is not None:
+            message["timeout_s"] = timeout_s
+        return self._roundtrip(message)
+
+    def stream_result(
+        self, job: str, timeout_s: Optional[float] = None
+    ) -> Iterator[Dict]:
+        """Yield per-run event lines, then the final result line."""
+        message: Dict = {"op": "result", "job": job, "stream": True}
+        if timeout_s is not None:
+            message["timeout_s"] = timeout_s
+        for response in self._stream(message):
+            yield response
+            if response.get("final"):
+                return
+
+    def cancel(self, job: str) -> Dict:
+        return self._roundtrip({"op": "cancel", "job": job})
+
+    def health(self) -> Dict:
+        return self._roundtrip({"op": "health"})
+
+    def drain(self) -> Dict:
+        return self._roundtrip({"op": "drain"})
+
+    # -- conveniences ---------------------------------------------------------
+
+    def wait_ready(
+        self, timeout: float = 30.0, interval: float = 0.05
+    ) -> Dict:
+        """Poll ``health`` until the server answers (startup barrier)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except ServiceUnavailable:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)
+
+    def submit_with_retry(
+        self,
+        workload: str,
+        attempts: int = 20,
+        **fields,
+    ) -> Dict:
+        """Submit, honoring ``retry_after`` on retryable rejections."""
+        last: Dict = {}
+        for _ in range(attempts):
+            last = self.submit(workload, **fields)
+            if last.get("ok") or last.get("error") not in protocol.RETRYABLE:
+                return last
+            time.sleep(float(last.get("retry_after", 0.05)))
+        return last

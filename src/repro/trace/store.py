@@ -433,6 +433,25 @@ class PackedTraceStore:
         """
         return self._path("trace", namespace, components).exists()
 
+    def run_entry_path(self, namespace: str, components: Tuple) -> Path:
+        """The on-disk path a run entry lives at (existence not implied).
+
+        Exposed for the chaos harness (the ``store_corrupt_mid_job``
+        fault truncates a real durable entry in place) and for tests
+        that assert on the cache layout; ordinary readers go through
+        :meth:`load_run`.
+        """
+        return self._path("trace", namespace, components)
+
+    def snapshot(self) -> Dict[str, int]:
+        """The stats counters as a plain JSON-safe dict.
+
+        The campaign service's ``health``/``result`` responses embed
+        this, so operators see quarantines, stale entries, and the
+        hit/miss split without attaching a debugger.
+        """
+        return {key: int(value) for key, value in sorted(self.stats.items())}
+
     def export_run(
         self, namespace: str, components: Tuple
     ) -> Optional[Tuple[bytes, Dict[str, Any]]]:

@@ -13,8 +13,12 @@ fail loudly in CI rather than drifting.
 
 import asyncio
 import os
+import signal
+import subprocess
+import sys
 import threading
 import time
+from pathlib import Path
 
 import pytest
 
@@ -25,18 +29,32 @@ from repro.workloads import WorkloadParams, get_workload
 THROUGHPUT_MIN_ENV = "CORD_SVC_THROUGHPUT_MIN"
 _DEFAULT_THROUGHPUT_MIN = 20.0
 
+#: Distributed floor is end-to-end cold jobs (record + analyze + full
+#: store replication over the socket) per second -- deliberately
+#: conservative so only a stall/livelock regression trips it.
+DIST_THROUGHPUT_MIN_ENV = "CORD_SVC_DIST_THROUGHPUT_MIN"
+_DEFAULT_DIST_THROUGHPUT_MIN = 0.05
+
 WARM_ROUNDTRIPS = 30
+DIST_JOBS = 3
+DIST_WORKERS = 2
 SPEC = dict(runs=3, seed=77, scale=0.5)
 
+_SRC = str(Path(__file__).resolve().parents[1] / "src")
 
-def _throughput_min() -> float:
-    raw = os.environ.get(THROUGHPUT_MIN_ENV, "").strip()
+
+def _floor(env_name: str, default: float) -> float:
+    raw = os.environ.get(env_name, "").strip()
     if raw:
         try:
             return float(raw)
         except ValueError:
             pass
-    return _DEFAULT_THROUGHPUT_MIN
+    return default
+
+
+def _throughput_min() -> float:
+    return _floor(THROUGHPUT_MIN_ENV, _DEFAULT_THROUGHPUT_MIN)
 
 
 @pytest.fixture(scope="module")
@@ -119,3 +137,88 @@ def test_service_warm_roundtrip_throughput(benchmark, bench_log, service):
         "warm submit->result throughput %.1f jobs/s fell below %s=%.1f"
         % (throughput, THROUGHPUT_MIN_ENV, floor)
     )
+
+
+def test_service_distributed_throughput(benchmark, bench_log, service,
+                                        tmp_path):
+    """Cold submit->result jobs per second through remote workers.
+
+    The in-process server leases every stage task to ``DIST_WORKERS``
+    ``cord-worker`` subprocesses with private trace stores, so each
+    job's recordings and outcome bundles cross the replication
+    sub-protocol twice.  Gated by ``CORD_SVC_DIST_THROUGHPUT_MIN``.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [_SRC]
+        + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    env.setdefault("REPRO_FSYNC", "0")
+    env.pop("REPRO_FAULTS", None)
+    socket_path = service.socket_path
+    workers = []
+    for index in range(DIST_WORKERS):
+        worker_root = tmp_path / ("wk%d" % index)
+        worker_root.mkdir()
+        workers.append(subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "worker",
+             "--socket", str(socket_path),
+             "--root", str(worker_root),
+             "--name", "bench%d" % index,
+             "--connect-timeout", "10"],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        ))
+    try:
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if service.health()["workers"]["live"] >= DIST_WORKERS:
+                break
+            time.sleep(0.05)
+        else:
+            raise AssertionError("bench workers never attached")
+
+        def cold_jobs():
+            remote = 0
+            for index in range(DIST_JOBS):
+                response = service.submit(
+                    "fft", runs=SPEC["runs"], seed=9000 + index,
+                    scale=SPEC["scale"],
+                )
+                assert response["ok"], response
+                final = service.result(response["job"])
+                assert final["state"] == "committed"
+                remote += final["stats"].get("remote", {}).get(
+                    "remote_completions", 0
+                )
+            assert remote > 0, "no stage task ever ran on a worker"
+            return DIST_JOBS
+
+        start = time.perf_counter()
+        count = benchmark(
+            bench_log.timed, "components", "service_distributed_job",
+            cold_jobs, events=DIST_JOBS * SPEC["runs"],
+        )
+        elapsed = time.perf_counter() - start
+        throughput = count / elapsed
+        floor = _floor(DIST_THROUGHPUT_MIN_ENV,
+                       _DEFAULT_DIST_THROUGHPUT_MIN)
+        print("\ndistributed service throughput: %.2f jobs/s "
+              "(%d workers, floor %.2f)"
+              % (throughput, DIST_WORKERS, floor))
+        assert throughput >= floor, (
+            "distributed submit->result throughput %.2f jobs/s fell "
+            "below %s=%.2f"
+            % (throughput, DIST_THROUGHPUT_MIN_ENV, floor)
+        )
+    finally:
+        for worker in workers:
+            if worker.poll() is None:
+                worker.send_signal(signal.SIGTERM)
+        for worker in workers:
+            try:
+                worker.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+                worker.wait(timeout=10)

@@ -50,6 +50,22 @@ Fault points wired into the pipeline:
                    a service job's durable trace entry is truncated in
                    place between its record and analyze phases (the
                    self-healing store must quarantine and re-record)
+``worker_vanish``  a remote ``cord-worker`` process exits hard
+                   (``os._exit``) at a lease-lifecycle transition, as if
+                   the host died mid-shard
+``lease_stall``    a remote worker freezes for
+                   ``REPRO_FAULT_STALL_SECONDS`` at a lease-lifecycle
+                   transition, overrunning its lease deadline so the
+                   server reassigns the shard (and the late completion
+                   must be deduped)
+``net_partition``  the remote worker's link to the server drops: its
+                   next ``REPRO_FAULT_PARTITION_REQUESTS`` (default 8)
+                   requests fail as connection errors, then the
+                   partition heals
+``replica_corrupt``
+                   one store-replication payload is corrupted in flight;
+                   the sha256 check on receipt must quarantine it and
+                   the transfer must be retried
 =================  =========================================================
 
 The driver- and server-level kill faults use *tick* semantics
@@ -57,8 +73,13 @@ The driver- and server-level kill faults use *tick* semantics
 exactly the fifth journal transition of the process (``svc_kill:5`` at
 the fifth job-WAL transition), which is what lets the resume test
 matrices kill the process at *every* transition point in turn.  The
-service admission faults (``queue_full``, ``tenant_flood``,
-``store_corrupt_mid_job``) are ordinary charge-budget faults.
+remote-worker faults (``worker_vanish``, ``lease_stall``,
+``net_partition``) are tick-gated on the worker's lease-lifecycle
+transitions and ``replica_corrupt`` on successive replication
+transfers, for the same reason: the multi-host matrix places one fault
+at every transition in turn.  The service admission faults
+(``queue_full``, ``tenant_flood``, ``store_corrupt_mid_job``) are
+ordinary charge-budget faults.
 
 This module must stay import-light (stdlib only): it is imported by the
 trace store and the CORD hot paths, and must never create an import
@@ -72,6 +93,7 @@ from typing import Dict, Optional
 
 _ENV = "REPRO_FAULTS"
 _STALL_ENV = "REPRO_FAULT_STALL_SECONDS"
+_PARTITION_ENV = "REPRO_FAULT_PARTITION_REQUESTS"
 
 #: Exit status a ``worker_kill`` child dies with (distinguishable from a
 #: crash in the campaign itself, which reports through the result pipe).
@@ -86,6 +108,10 @@ POWER_CUT_EXIT_CODE = 88
 #: Exit status of an ``svc_kill`` fault (the campaign server's ``kill -9``,
 #: fired right after a job-state WAL transition became durable).
 SVC_KILL_EXIT_CODE = 89
+
+#: Exit status of a ``worker_vanish`` fault (a remote ``cord-worker``
+#: dying hard at a lease-lifecycle transition).
+WORKER_VANISH_EXIT_CODE = 90
 
 #: Per-process armed faults: name -> remaining charges.  ``None`` means
 #: the environment has not been parsed yet (lazily, so tests can set the
@@ -199,6 +225,18 @@ def stall_seconds() -> float:
         except ValueError:
             pass
     return 30.0
+
+
+def partition_requests() -> int:
+    """How many requests a ``net_partition`` window fails
+    (``REPRO_FAULT_PARTITION_REQUESTS``)."""
+    raw = os.environ.get(_PARTITION_ENV, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return 8
 
 
 def worker_entry(attempt: int) -> None:

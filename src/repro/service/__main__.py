@@ -77,6 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     _client_parser(sub, "health", "server health and stats")
     _client_parser(sub, "drain", "ask the server to drain gracefully")
+
+    sub.add_parser(
+        "worker",
+        help="run a remote execution agent (see cord-worker --help)",
+        add_help=False,
+    )
     return parser
 
 
@@ -94,6 +100,11 @@ def _client_parser(sub, name: str, help_text: str):
     _add_endpoint_args(parser)
     parser.add_argument("--timeout-connect", type=float, default=60.0,
                         help="socket timeout per request (seconds)")
+    parser.add_argument(
+        "--connect-timeout", type=float, default=0.0,
+        help="retry refused/reset connects with capped exponential "
+             "backoff for up to this many seconds (0 = fail fast)",
+    )
     return parser
 
 
@@ -105,6 +116,7 @@ def _client(args) -> ServiceClient:
     return ServiceClient(
         socket_path=args.socket, host=args.host,
         port=args.port or None, timeout=args.timeout_connect,
+        connect_timeout=args.connect_timeout,
     )
 
 
@@ -159,6 +171,13 @@ def _cmd_result(args, client: ServiceClient) -> int:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "worker":
+        # Delegated wholesale: the agent owns its own argparse surface
+        # (`cord-serve worker ...` == `cord-worker ...`).
+        from repro.service.workers.remote import main as worker_main
+
+        return worker_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "serve":
         return _cmd_serve(args)

@@ -18,7 +18,38 @@ import time
 from pathlib import Path
 from typing import Dict, Iterator, Optional
 
+from repro.common.rng import DeterministicRng
 from repro.service import protocol
+
+#: Connect-retry backoff shape: the delay doubles from ``BACKOFF_BASE_S``
+#: per attempt up to ``BACKOFF_CAP_S``, each scaled by a deterministic
+#: jitter factor in [0.5, 1.0) so a fleet of reconnecting workers does
+#: not stampede the listener in lockstep.
+BACKOFF_BASE_S = 0.05
+BACKOFF_CAP_S = 2.0
+
+
+def connect_backoff(
+    key: str,
+    attempt: int,
+    base: float = BACKOFF_BASE_S,
+    cap: float = BACKOFF_CAP_S,
+) -> float:
+    """Capped exponential backoff with deterministic jitter.
+
+    The jitter is a pure function of ``(key, attempt)`` via the named
+    fork machinery in :mod:`repro.common.rng` -- two processes with
+    different keys desynchronize, while any single schedule is exactly
+    reproducible (the chaos tests assert on it).
+    """
+    bounded = min(cap, base * (2 ** min(max(0, attempt), 16)))
+    jitter = (
+        DeterministicRng(0, "connect-backoff")
+        .fork(key)
+        .fork("attempt%d" % attempt)
+        .random()
+    )
+    return bounded * (0.5 + 0.5 * jitter)
 
 
 class ServiceUnavailable(ConnectionError):
@@ -26,7 +57,15 @@ class ServiceUnavailable(ConnectionError):
 
 
 class ServiceClient:
-    """Talk to one campaign server over its unix or TCP socket."""
+    """Talk to one campaign server over its unix or TCP socket.
+
+    ``connect_timeout`` bounds connection-level retry: while it is
+    positive, ECONNREFUSED/reset during connect is retried with capped
+    exponential backoff + deterministic jitter until the budget is
+    spent; at 0 (the default) a failed connect raises
+    :class:`ServiceUnavailable` immediately, preserving fail-fast
+    semantics for health polls and liveness probes.
+    """
 
     def __init__(
         self,
@@ -34,6 +73,7 @@ class ServiceClient:
         host: Optional[str] = None,
         port: Optional[int] = None,
         timeout: float = 60.0,
+        connect_timeout: float = 0.0,
     ):
         if socket_path is None and host is None:
             raise ValueError("need a socket_path or a host/port")
@@ -41,23 +81,45 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_timeout = max(0.0, connect_timeout)
 
     # -- transport ------------------------------------------------------------
 
-    def _connect(self) -> socket.socket:
-        try:
-            if self.socket_path is not None:
-                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                sock.settimeout(self.timeout)
+    def _endpoint(self) -> str:
+        if self.socket_path is not None:
+            return str(self.socket_path)
+        return "%s:%s" % (self.host, self.port)
+
+    def _connect_once(self) -> socket.socket:
+        """One connection attempt; raises plain :class:`OSError`."""
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
                 sock.connect(str(self.socket_path))
-                return sock
-            return socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
-            )
-        except OSError as exc:
-            raise ServiceUnavailable(
-                "campaign server unreachable: %s" % exc
-            )
+            except OSError:
+                sock.close()
+                raise
+            return sock
+        return socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+
+    def _connect(self) -> socket.socket:
+        deadline = time.monotonic() + self.connect_timeout
+        attempt = 0
+        while True:
+            try:
+                return self._connect_once()
+            except OSError as exc:
+                now = time.monotonic()
+                if self.connect_timeout <= 0 or now >= deadline:
+                    raise ServiceUnavailable(
+                        "campaign server unreachable: %s" % exc
+                    )
+                delay = connect_backoff(self._endpoint(), attempt)
+                time.sleep(min(delay, max(0.001, deadline - now)))
+                attempt += 1
 
     def _roundtrip(self, message: Dict) -> Dict:
         for response in self._stream(message):
@@ -65,16 +127,37 @@ class ServiceClient:
         raise ServiceUnavailable("server closed the connection mid-request")
 
     def _stream(self, message: Dict) -> Iterator[Dict]:
+        # A server that dies after accepting surfaces as a reset/broken
+        # pipe on the established socket, not as a connect failure --
+        # wrap those too so callers see one retryable exception type.
         sock = self._connect()
         try:
-            sock.sendall(protocol.encode_message(message))
-            with sock.makefile("rb") as fh:
-                for line in fh:
+            try:
+                sock.sendall(protocol.encode_message(message))
+                fh = sock.makefile("rb")
+            except OSError as exc:
+                raise ServiceUnavailable(
+                    "connection lost mid-request: %s" % exc
+                )
+            with fh:
+                while True:
+                    try:
+                        line = fh.readline()
+                    except OSError as exc:
+                        raise ServiceUnavailable(
+                            "connection lost mid-stream: %s" % exc
+                        )
+                    if not line:
+                        return
                     yield protocol.decode_message(line)
         finally:
             sock.close()
 
     # -- operations -----------------------------------------------------------
+
+    def call(self, message: Dict) -> Dict:
+        """One raw request/response round trip (worker and tooling use)."""
+        return self._roundtrip(message)
 
     def submit(self, workload: str, **fields) -> Dict:
         message = {"op": "submit", "workload": workload}
@@ -137,7 +220,14 @@ class ServiceClient:
         attempts: int = 20,
         **fields,
     ) -> Dict:
-        """Submit, honoring ``retry_after`` on retryable rejections."""
+        """Submit, honoring ``retry_after`` on retryable rejections.
+
+        Connection-level failures (ECONNREFUSED, resets) are retried at
+        the transport layer with capped exponential backoff and
+        deterministic jitter, bounded by the client's
+        ``connect_timeout`` budget; once that budget is spent
+        :class:`ServiceUnavailable` propagates.
+        """
         last: Dict = {}
         for _ in range(attempts):
             last = self.submit(workload, **fields)

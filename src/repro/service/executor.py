@@ -100,6 +100,8 @@ def execute_job(
     workers: int = 1,
     on_phase: Callable[..., None] = _noop,
     on_run: Callable[[RunResult], None] = _noop,
+    pool=None,
+    job_id: str = "",
 ) -> Dict:
     """Run ``spec``'s campaign to a committed result document.
 
@@ -108,6 +110,12 @@ def execute_job(
     and per-run durability -- then ``recording`` and ``analyzing``);
     ``on_run(run)`` fires per completed run, in run-index order.  Both
     are invoked on the executing thread; callers own thread safety.
+
+    ``pool`` (a :class:`~repro.service.workers.pool.WorkerPool`) routes
+    the stage tasks to remote workers when any are live at job start;
+    with zero workers attached the job runs exactly the single-host
+    path, and workers dying mid-job fall back to local execution inside
+    the pool -- either way the result bytes are identical.
 
     Returns ``{"report", "campaign", "stats"}``.  Raises
     :class:`JobInterrupted` if ``stop`` tripped, or a
@@ -118,6 +126,7 @@ def execute_job(
     store = PackedTraceStore(root / "traces")
     namespace = spec.trace_namespace()
     config = spec.campaign_config()
+    use_remote = pool is not None and pool.live_worker_count() > 0
 
     cached = load_result(store, spec)
     if cached is not None:
@@ -157,16 +166,29 @@ def execute_job(
         spec.workload_params()
     )
     store_dir = str(store.root)
+    remote_stats: Dict[str, int] = {}
+
+    def run_local(payload: Dict) -> Dict:
+        return pipeline.run_stage_task(payload, store=store,
+                                       factory=factory)
 
     # -- shard: sizing run, then the deterministic run-key schedule ----
     _check_stop(stop)
-    sizing = pipeline.run_stage_task(
-        pipeline.size_payload(
-            spec.workload, spec.workload_params(), store_dir, namespace,
-            campaign_sizing_seed(spec.workload, config.base_seed),
-        ),
-        store=store, factory=factory,
+    size_task = pipeline.size_payload(
+        spec.workload, spec.workload_params(), store_dir, namespace,
+        campaign_sizing_seed(spec.workload, config.base_seed),
     )
+    if use_remote:
+        values, stats, interrupted = pool.run_tasks(
+            job_id or spec.digest(), [("size", size_task)], run_local,
+            should_stop=stop,
+        )
+        _merge_stats(remote_stats, stats)
+        if interrupted:
+            raise JobInterrupted("job stop requested (pool drained)")
+        sizing = values["size"]
+    else:
+        sizing = run_local(size_task)
     instances = sizing["instances"]
     if instances == 0:
         raise SimulationError(
@@ -216,7 +238,14 @@ def execute_job(
         for start in range(0, len(keys), batch_runs)
     ]
 
-    if workers <= 1:
+    if use_remote:
+        _execute_remote(
+            stop, store, run_local, pool, job_id or spec.digest(),
+            missing, batches, record_task, analyze_task, on_phase,
+            results, emit_ready, namespace, config.switch_probability,
+            remote_stats,
+        )
+    elif workers <= 1:
         _execute_inline(
             stop, store, factory, missing, batches,
             record_task, analyze_task, on_phase, results, emit_ready,
@@ -240,21 +269,30 @@ def execute_job(
         SERVICE_NAMESPACE, result_key(spec),
         {"schema": RESULT_SCHEMA, "report": report, "campaign": campaign},
     )
+    stats_out = {
+        "result_hit": 0,
+        "simulated": len(missing),
+        "replayed": len(keys) - len(missing),
+        "store": store.snapshot(),
+    }
+    if use_remote:
+        stats_out["remote"] = remote_stats
     return {
         "report": report,
         "campaign": campaign,
-        "stats": {
-            "result_hit": 0,
-            "simulated": len(missing),
-            "replayed": len(keys) - len(missing),
-            "store": store.snapshot(),
-        },
+        "stats": stats_out,
     }
 
 
 def _check_stop(stop: Callable[[], bool]) -> None:
     if stop():
         raise JobInterrupted("job stop requested")
+
+
+def _merge_stats(into: Dict[str, int], stats: Dict[str, int]) -> None:
+    for key, value in stats.items():
+        if isinstance(value, int) and not isinstance(value, bool):
+            into[key] = into.get(key, 0) + value
 
 
 def _chaos_corrupt(
@@ -368,4 +406,69 @@ def _execute_pooled(
         on_result=on_result, should_stop=stop,
     )
     if report.interrupted:
+        raise JobInterrupted("job stop requested (pool drained)")
+
+
+def _execute_remote(
+    stop, store, run_local, pool, job_id, missing, batches,
+    record_task, analyze_task, on_phase, results, emit_ready,
+    namespace, switch_probability, remote_stats,
+) -> None:
+    """Shard the stage tasks across the multi-host worker pool.
+
+    The streaming shape mirrors ``_execute_pooled`` -- all record tasks
+    enter up front, each analysis batch follows the moment its last
+    member run completes -- but execution happens on whichever remote
+    worker leases each task (with the pool's reassignment, dedup, and
+    local fallback underneath, so a worker dying mid-shard never fails
+    the job).
+    """
+    on_phase("recording")
+    batch_of: Dict[int, int] = {}
+    pending = []
+    for index, batch in enumerate(batches):
+        for run_index, _seed, _target in batch:
+            batch_of[run_index] = index
+        pending.append(
+            sum(1 for key in batch if key in missing)
+        )
+    analyzing = [False]
+
+    def start_analyzing() -> None:
+        if not analyzing[0]:
+            analyzing[0] = True
+            _chaos_corrupt(store, namespace, batches, switch_probability)
+            on_phase("analyzing")
+
+    tasks = [
+        ("record/%d" % key[0], record_task(key)) for key in missing
+    ]
+    ready_now = [
+        index for index, left in enumerate(pending) if left == 0
+    ]
+
+    def on_result(name, value, submit) -> None:
+        if name.startswith("record/"):
+            index = batch_of[value["run_index"]]
+            pending[index] -= 1
+            if pending[index] == 0:
+                start_analyzing()
+                submit("analyze/%d" % index,
+                       analyze_task(batches[index]))
+            return
+        for run_index, run in value["results"]:
+            results[run_index] = run
+        emit_ready()
+
+    if ready_now and not missing:
+        start_analyzing()
+    for index in ready_now:
+        tasks.append(("analyze/%d" % index, analyze_task(batches[index])))
+
+    _values, stats, interrupted = pool.run_tasks(
+        job_id, tasks, run_local,
+        on_result=on_result, should_stop=stop,
+    )
+    _merge_stats(remote_stats, stats)
+    if interrupted:
         raise JobInterrupted("job stop requested (pool drained)")

@@ -208,6 +208,13 @@ class ReplayedJob:
     deadline_s: Optional[float] = None
     error: Optional[str] = None
     detail: str = ""
+    #: Highest lease epoch seen per task name (``type: "lease"``
+    #: records).  Purely observational -- resume re-derives all work
+    #: from the store -- but it proves reassignment history survived
+    #: the WAL, and the lease tests assert on it.
+    lease_epochs: Dict[str, int] = field(default_factory=dict)
+    #: Deduped completions recorded for this job (``duplicate`` events).
+    duplicate_completions: int = 0
 
 
 class JobRegistry:
@@ -243,6 +250,25 @@ class JobRegistry:
             data = b""
         for record in _iter_records(data, "service WAL"):
             self._n_records += 1
+            if record.get("type") == "lease":
+                # Lease-epoch records ride along in the same WAL.  They
+                # are observational (stores are content-addressed, so
+                # resume never needs them to be complete), and a job's
+                # lease history without an accepted record is dropped
+                # with the job below.
+                job_id = record.get("job")
+                task = record.get("task")
+                epoch = record.get("epoch")
+                if not isinstance(job_id, str) or not isinstance(task, str):
+                    continue
+                replayed = jobs.setdefault(job_id, ReplayedJob(job_id))
+                if isinstance(epoch, int) and not isinstance(epoch, bool):
+                    replayed.lease_epochs[task] = max(
+                        replayed.lease_epochs.get(task, 0), epoch
+                    )
+                if record.get("event") == "duplicate":
+                    replayed.duplicate_completions += 1
+                continue
             if record.get("type") != "job":
                 continue
             job_id = record.get("job")
@@ -298,6 +324,20 @@ class JobRegistry:
         record = {"type": "job", "job": job_id, "state": state}
         record.update(extra)
         self._append(record, durable=state in TERMINAL)
+
+    def log_lease(self, record: Dict) -> None:
+        """Append one worker-pool lease event (``type: "lease"``).
+
+        Non-durable: a lost lease record only loses reassignment
+        *history*, never results -- duplicate-completion dedup is
+        enforced by the in-memory pool and the content-addressed store,
+        the WAL records the epochs so a post-mortem (and the replay
+        tests) can reconstruct who executed what.
+        """
+        framed = {"type": "lease"}
+        framed.update(record)
+        framed["type"] = "lease"
+        self._append(framed)
 
     def _append(self, record: Dict, durable: bool = False) -> None:
         with self._lock:

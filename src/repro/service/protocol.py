@@ -24,6 +24,24 @@ Ops:
 ``drain``    --                                ->  pending jobs; server
                                                    begins graceful drain
 
+Worker-pool ops (spoken by ``cord-worker`` processes; same JSON-lines
+framing, one connection per request so liveness is carried by
+heartbeats, not sockets):
+
+``worker_register``    name?, pid?, host?       ->  worker id + knobs
+``worker_heartbeat``   worker                   ->  server state
+``worker_lease``       worker                   ->  a stage task lease,
+                                                    or ``idle: true``
+``worker_complete``    worker, lease, epoch,
+                       value (framed blob)      ->  accepted/duplicate
+``worker_fail``        worker, lease, epoch,
+                       detail                   ->  task requeued
+``worker_deregister``  worker                   ->  released lease count
+``repl_pull``          kind, namespace,
+                       components               ->  sha256-framed entry
+``repl_push``          kind, namespace,
+                       components, data, sha256 ->  stored/duplicate
+
 See ``docs/service.md`` for the full tables.
 """
 
@@ -34,11 +52,17 @@ from typing import Any, Dict, Optional
 
 from repro.workloads.registry import workload_names
 
-#: Protocol schema version, reported by ``health``.
-PROTOCOL_VERSION = 1
+#: Protocol schema version, reported by ``health``.  Version 2 added the
+#: worker-pool and store-replication ops (all version-1 ops unchanged).
+PROTOCOL_VERSION = 2
 
 #: Every operation the server understands.
-OPS = ("submit", "status", "result", "cancel", "health", "drain")
+OPS = (
+    "submit", "status", "result", "cancel", "health", "drain",
+    "worker_register", "worker_heartbeat", "worker_lease",
+    "worker_complete", "worker_fail", "worker_deregister",
+    "repl_pull", "repl_push",
+)
 
 # -- error codes --------------------------------------------------------------
 
@@ -64,6 +88,17 @@ ERR_DEADLINE = "deadline_exceeded"
 #: A ``result`` request's ``timeout_s`` expired with the job still in
 #: flight (retryable; the job keeps running).
 ERR_PENDING = "pending"
+#: ``worker`` names no registered (live) worker -- the worker was
+#: declared dead or the server restarted; the worker must re-register.
+ERR_UNKNOWN_WORKER = "unknown_worker"
+#: ``lease`` names no outstanding lease (already completed, reassigned
+#: and completed elsewhere, or expired past its run).
+ERR_UNKNOWN_LEASE = "unknown_lease"
+#: A replicated payload failed its sha256 check on receipt; the sender
+#: should re-encode and retry (the receiver quarantined the bytes).
+ERR_REPLICA_CORRUPT = "replica_corrupt"
+#: A ``repl_pull`` named an entry the server store does not hold.
+ERR_NOT_FOUND = "not_found"
 
 #: Errors whose response carries a ``retry_after`` hint.
 RETRYABLE = (ERR_QUEUE_FULL, ERR_TENANT_OVER_QUOTA, ERR_DRAINING,

@@ -66,6 +66,13 @@ from repro.service.jobs import (
     RESUMABLE,
     job_from_replay,
 )
+from repro.service.workers import (
+    PoolLimits,
+    UnknownLease,
+    UnknownWorker,
+    WorkerPool,
+    replicate,
+)
 from repro.trace.store import PackedTraceStore
 
 logger = logging.getLogger("repro.service.server")
@@ -139,6 +146,17 @@ class CampaignServer:
         )
 
         self.registry = JobRegistry(self.root)
+        #: Remote ``cord-worker`` pool; lease events land in the job WAL
+        #: so epochs and dedup decisions survive a restart.
+        self.workers = WorkerPool(
+            limits=PoolLimits.from_env(),
+            lease_log=self.registry.log_lease,
+        )
+        #: Store handle for the replication ops (same ``traces/`` root
+        #: the executors use; paths are content-addressed so sharing is
+        #: safe) plus transfer accounting for ``health``.
+        self._repl_store = PackedTraceStore(self.root / "traces")
+        self.repl_stats: Counter = Counter()
         self.admission = AdmissionController(self.limits)
         self.jobs: Dict[str, Job] = {}
         self.queue = FairQueue()
@@ -175,9 +193,19 @@ class CampaignServer:
                 loop.add_signal_handler(signum, self.begin_drain)
             except (NotImplementedError, RuntimeError):
                 pass  # non-unix event loops
+        scan_task = asyncio.ensure_future(self._scan_workers())
+        self._tasks.add(scan_task)
+        scan_task.add_done_callback(self._tasks.discard)
         self._pump()
         await self._stopped.wait()
         return await self._shutdown()
+
+    async def _scan_workers(self) -> None:
+        """Advance worker liveness / lease deadlines on a timer."""
+        interval = max(0.05, self.workers.limits.heartbeat_s / 2.0)
+        while True:
+            await asyncio.sleep(interval)
+            self.workers.scan()
 
     async def _listen(self) -> None:
         if self.socket_path is not None:
@@ -274,6 +302,7 @@ class CampaignServer:
         self.draining = True
         print("cord-serve: draining (no new submissions accepted)",
               file=sys.stderr, flush=True)
+        self.workers.drain()
         for job_id in list(self.running):
             self.jobs[job_id].interrupt("drain")
         self._maybe_stop()
@@ -351,6 +380,8 @@ class CampaignServer:
                     workers=self.job_workers,
                     on_phase=on_phase,
                     on_run=on_run,
+                    pool=self.workers,
+                    job_id=job.job_id,
                 ),
             )
         except JobInterrupted:
@@ -368,6 +399,11 @@ class CampaignServer:
                 if isinstance(value, int):
                     job.stats[key] = job.stats.get(key, 0) + value
             job.stats["store"] = outcome["stats"].get("store", {})
+            remote = outcome["stats"].get("remote")
+            if remote:
+                job.stats["remote"] = {
+                    key: int(value) for key, value in sorted(remote.items())
+                }
             job.state = COMMITTED
             # Result document first (store = source of truth), then the
             # WAL commit -- a kill between the two replays as
@@ -492,6 +528,24 @@ class CampaignServer:
             asyncio.get_running_loop().call_soon(self.begin_drain)
         elif op == "result":
             await self._op_result(message, request_id, writer)
+        elif op == "worker_register":
+            self._send(writer, self._op_worker_register(message, request_id))
+        elif op == "worker_heartbeat":
+            self._send(writer, self._op_worker_heartbeat(message, request_id))
+        elif op == "worker_lease":
+            self._send(writer, self._op_worker_lease(message, request_id))
+        elif op == "worker_complete":
+            self._send(writer, self._op_worker_complete(message, request_id))
+        elif op == "worker_fail":
+            self._send(writer, self._op_worker_fail(message, request_id))
+        elif op == "worker_deregister":
+            self._send(
+                writer, self._op_worker_deregister(message, request_id)
+            )
+        elif op == "repl_pull":
+            self._send(writer, self._op_repl_pull(message, request_id))
+        elif op == "repl_push":
+            self._send(writer, self._op_repl_push(message, request_id))
         else:
             self._send(writer, protocol.error_response(
                 protocol.ERR_UNKNOWN_OP,
@@ -627,6 +681,13 @@ class CampaignServer:
             stats={
                 key: int(value) for key, value in sorted(self.stats.items())
             },
+            workers=dict(
+                self.workers.health(),
+                replication={
+                    key: int(value)
+                    for key, value in sorted(self.repl_stats.items())
+                },
+            ),
             limits={
                 "queue_max": self.limits.queue_max,
                 "tenant_max": self.limits.tenant_max,
@@ -641,6 +702,194 @@ class CampaignServer:
             job_id for job_id, job in self.jobs.items() if not job.terminal
         )
         return protocol.ok_response("drain", request_id, pending=pending)
+
+    # -- worker-pool ops -------------------------------------------------------
+
+    def _unknown_worker(self, exc: UnknownWorker, request_id) -> Dict:
+        self.stats["unknown_worker_requests"] += 1
+        return protocol.error_response(
+            protocol.ERR_UNKNOWN_WORKER,
+            "no live worker %s on this server (re-register)" % exc,
+            request_id,
+        )
+
+    def _op_worker_register(self, message: Dict, request_id) -> Dict:
+        if self.draining:
+            return protocol.error_response(
+                protocol.ERR_DRAINING,
+                "server is draining; not attaching workers",
+                request_id, retry_after=self.limits.retry_after_s,
+            )
+        fields = self.workers.register(
+            name=str(message.get("name", ""))[:64],
+            pid=int(message.get("pid") or 0),
+            host=str(message.get("host", ""))[:128],
+        )
+        self.stats["workers_attached"] += 1
+        return protocol.ok_response("worker_register", request_id, **fields)
+
+    def _op_worker_heartbeat(self, message: Dict, request_id) -> Dict:
+        try:
+            fields = self.workers.heartbeat(str(message.get("worker", "")))
+        except UnknownWorker as exc:
+            return self._unknown_worker(exc, request_id)
+        return protocol.ok_response("worker_heartbeat", request_id, **fields)
+
+    def _op_worker_lease(self, message: Dict, request_id) -> Dict:
+        try:
+            grant = self.workers.lease(str(message.get("worker", "")))
+        except UnknownWorker as exc:
+            return self._unknown_worker(exc, request_id)
+        if grant is None:
+            return protocol.ok_response(
+                "worker_lease", request_id, idle=True,
+                draining=self.draining or self.workers.draining,
+            )
+        payload = grant.pop("payload")
+        return protocol.ok_response(
+            "worker_lease", request_id,
+            payload=replicate.pickle_blob(payload), **grant,
+        )
+
+    def _op_worker_complete(self, message: Dict, request_id) -> Dict:
+        worker = str(message.get("worker", ""))
+        lease = str(message.get("lease", ""))
+        epoch = int(message.get("epoch") or 0)
+        blob = message.get("value")
+        try:
+            value = replicate.unpickle_blob(
+                blob if isinstance(blob, dict) else {}, "completion value"
+            )
+        except replicate.ReplicaIntegrityError as exc:
+            # Keep the evidence, reject, let the worker re-encode.
+            self.repl_stats["corrupt_rejected"] += 1
+            self._repl_store.quarantine_bytes(
+                "complete-%s.bin" % (lease or "unknown"),
+                replicate.raw_bytes(blob if isinstance(blob, dict) else {}),
+                exc,
+            )
+            return protocol.error_response(
+                protocol.ERR_REPLICA_CORRUPT, str(exc), request_id,
+            )
+        try:
+            fields = self.workers.complete(worker, lease, epoch, value)
+        except UnknownWorker as exc:
+            return self._unknown_worker(exc, request_id)
+        except UnknownLease as exc:
+            return protocol.error_response(
+                protocol.ERR_UNKNOWN_LEASE,
+                "lease %s is not open or retired here" % exc, request_id,
+            )
+        return protocol.ok_response("worker_complete", request_id, **fields)
+
+    def _op_worker_fail(self, message: Dict, request_id) -> Dict:
+        try:
+            fields = self.workers.fail(
+                str(message.get("worker", "")),
+                str(message.get("lease", "")),
+                int(message.get("epoch") or 0),
+                str(message.get("detail", ""))[:500],
+            )
+        except UnknownWorker as exc:
+            return self._unknown_worker(exc, request_id)
+        except UnknownLease as exc:
+            return protocol.error_response(
+                protocol.ERR_UNKNOWN_LEASE,
+                "lease %s is not open or retired here" % exc, request_id,
+            )
+        return protocol.ok_response("worker_fail", request_id, **fields)
+
+    def _op_worker_deregister(self, message: Dict, request_id) -> Dict:
+        stats = message.get("stats")
+        try:
+            released = self.workers.deregister(
+                str(message.get("worker", "")),
+                stats=stats if isinstance(stats, dict) else None,
+            )
+        except UnknownWorker as exc:
+            return self._unknown_worker(exc, request_id)
+        return protocol.ok_response(
+            "worker_deregister", request_id, released=released,
+        )
+
+    # -- store replication ops -------------------------------------------------
+
+    def _repl_key(self, message: Dict, request_id):
+        """Parse (kind, namespace, components) or an error response."""
+        wire_kind = message.get("kind")
+        disk_kind = replicate.ENTRY_KINDS.get(wire_kind)
+        namespace = message.get("namespace")
+        if disk_kind is None or not isinstance(namespace, str) \
+                or not namespace:
+            return protocol.error_response(
+                protocol.ERR_BAD_REQUEST,
+                "replication needs kind in %s and a namespace"
+                % sorted(replicate.ENTRY_KINDS),
+                request_id,
+            )
+        try:
+            components = replicate.components_from_wire(
+                message.get("components")
+            )
+        except ValueError as exc:
+            return protocol.error_response(
+                protocol.ERR_BAD_REQUEST, str(exc), request_id,
+            )
+        return disk_kind, namespace, components
+
+    def _op_repl_pull(self, message: Dict, request_id) -> Dict:
+        parsed = self._repl_key(message, request_id)
+        if isinstance(parsed, dict):
+            return parsed
+        kind, namespace, components = parsed
+        raw = replicate.read_entry(
+            self._repl_store, kind, namespace, components
+        )
+        if raw is None:
+            return protocol.error_response(
+                protocol.ERR_NOT_FOUND,
+                "no such %s entry on this server"
+                % message.get("kind"), request_id,
+            )
+        self.repl_stats["pulls"] += 1
+        self.repl_stats["bytes_out"] += len(raw)
+        return protocol.ok_response(
+            "repl_pull", request_id, **replicate.encode_blob(raw)
+        )
+
+    def _op_repl_push(self, message: Dict, request_id) -> Dict:
+        parsed = self._repl_key(message, request_id)
+        if isinstance(parsed, dict):
+            return parsed
+        kind, namespace, components = parsed
+        try:
+            raw = replicate.decode_blob(message, "pushed entry")
+        except replicate.ReplicaIntegrityError as exc:
+            self.repl_stats["corrupt_rejected"] += 1
+            self._repl_store.quarantine_bytes(
+                "push-%s.bin" % namespace,
+                replicate.raw_bytes(message), exc,
+            )
+            return protocol.error_response(
+                protocol.ERR_REPLICA_CORRUPT, str(exc), request_id,
+            )
+        try:
+            stored = replicate.install_entry(
+                self._repl_store, kind, namespace, components, raw
+            )
+        except replicate.ReplicaIntegrityError as exc:
+            # install_entry already quarantined the bytes.
+            self.repl_stats["corrupt_rejected"] += 1
+            return protocol.error_response(
+                protocol.ERR_REPLICA_CORRUPT, str(exc), request_id,
+            )
+        self.repl_stats["pushes"] += 1
+        self.repl_stats["bytes_in"] += len(raw)
+        if not stored:
+            self.repl_stats["push_duplicates"] += 1
+        return protocol.ok_response(
+            "repl_push", request_id, stored=stored, duplicate=not stored,
+        )
 
     async def _op_result(self, message: Dict, request_id, writer) -> None:
         job, error = self._lookup(message, request_id)

@@ -1,0 +1,248 @@
+"""Store replication: ship content-addressed entries between hosts.
+
+Workers have no shared filesystem with the server, so trace entries
+(``CORDRUN3`` run containers), sizing values, and outcome bundles move
+over the wire as the *exact framed bytes* the store keeps on disk:
+``CORDSTOR1`` magic + length + sha256 + payload (see
+:mod:`repro.trace.store`).  Because store paths are a pure function of
+``(kind, namespace, components)``, the receiver lands the bytes at the
+identical relative path -- replication is a byte-for-byte copy of the
+single-host cache, which is what keeps multi-host reports byte-identical
+to ``cord-repro inject``.
+
+Integrity is verified twice on receipt: an outer sha256 over the whole
+framed blob (computed fresh by the sender, catching in-flight damage),
+then the frame's own embedded digest when the entry is installed.  A
+mismatch quarantines the damaged bytes (reusing the store's quarantine
+directory and counters) and raises :class:`ReplicaIntegrityError`; the
+sender re-encodes and retries.  The ``replica_corrupt`` chaos fault
+flips one byte of the next decoded payload, proving that path end to
+end.
+
+Stage-task payloads and completion values are not JSON (they carry
+:class:`~repro.workloads.base.WorkloadParams` and
+:class:`~repro.injection.campaign.RunResult` objects), so they travel as
+pickles wrapped in the same frame -- same verification, same quarantine
+semantics.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import pickle
+from typing import Any, Dict, Optional, Tuple
+
+from repro.common.errors import StoreCorruptError
+from repro.resilience import faults
+from repro.resilience.checkpoint import atomic_write_bytes
+from repro.trace.store import (
+    PackedTraceStore,
+    frame_payload,
+    unframe_payload,
+)
+
+#: Wire ``kind`` -> on-disk store entry kind.
+ENTRY_KINDS = {"run": "trace", "value": "value"}
+
+
+class ReplicaIntegrityError(StoreCorruptError):
+    """A replicated payload failed its sha256 check on receipt."""
+
+
+def encode_blob(framed: bytes) -> Dict[str, Any]:
+    """Wire fields for one framed blob (base64 + outer sha256 + size)."""
+    return {
+        "data": base64.b64encode(framed).decode("ascii"),
+        "sha256": hashlib.sha256(framed).hexdigest(),
+        "n": len(framed),
+    }
+
+
+def decode_blob(fields: Dict[str, Any], what: str) -> bytes:
+    """Verify and return the framed bytes of one wire blob.
+
+    Raises :class:`ReplicaIntegrityError` when the outer digest does not
+    match -- including when the ``replica_corrupt`` chaos fault flips a
+    byte in flight (tick-gated, one tick per decoded transfer, so the
+    fault matrix can corrupt each successive transfer in turn).
+    """
+    data = fields.get("data")
+    digest = fields.get("sha256")
+    if not isinstance(data, str) or not isinstance(digest, str):
+        raise ReplicaIntegrityError("%s: malformed replication blob" % what)
+    try:
+        raw = base64.b64decode(data.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise ReplicaIntegrityError("%s: undecodable payload: %s"
+                                    % (what, exc))
+    if faults.active() and raw and faults.tick("replica_corrupt"):
+        flipped = bytearray(raw)
+        flipped[len(flipped) // 2] ^= 0xFF
+        raw = bytes(flipped)
+    if hashlib.sha256(raw).hexdigest() != digest:
+        raise ReplicaIntegrityError(
+            "%s: sha256 mismatch on receipt (%d bytes)" % (what, len(raw))
+        )
+    return raw
+
+
+def pickle_blob(value: Any) -> Dict[str, Any]:
+    """Frame and encode a picklable value for the wire."""
+    return encode_blob(
+        frame_payload(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    )
+
+
+def unpickle_blob(fields: Dict[str, Any], what: str) -> Any:
+    """Decode, verify (outer digest + frame digest) and unpickle."""
+    raw = decode_blob(fields, what)
+    try:
+        payload = unframe_payload(raw, what)
+    except StoreCorruptError as exc:
+        raise ReplicaIntegrityError(str(exc))
+    return pickle.loads(payload)
+
+
+def components_to_wire(components: Tuple) -> list:
+    """Store-key components as JSON (tuples become lists)."""
+    return [
+        components_to_wire(item) if isinstance(item, (tuple, list)) else item
+        for item in components
+    ]
+
+
+def components_from_wire(value) -> Tuple:
+    """Invert :func:`components_to_wire`.
+
+    Store digests hash the ``repr`` of the key tuple, and
+    ``repr([1, 2]) != repr((1, 2))`` -- so every JSON list must become a
+    tuple again before touching a store path.
+    """
+    if not isinstance(value, (list, tuple)):
+        raise ValueError("components must be a list, got %r" % (value,))
+    return tuple(
+        components_from_wire(item) if isinstance(item, (list, tuple))
+        else item
+        for item in value
+    )
+
+
+# -- store-side install/read -------------------------------------------------
+
+
+def read_entry(store: PackedTraceStore, kind: str, namespace: str,
+               components: Tuple) -> Optional[bytes]:
+    """The raw framed on-disk bytes of one entry, or ``None``."""
+    path = store.entry_path(kind, namespace, components)
+    try:
+        return path.read_bytes()
+    except FileNotFoundError:
+        return None
+    except OSError:
+        store.stats["io_errors"] += 1
+        return None
+
+
+def install_entry(store: PackedTraceStore, kind: str, namespace: str,
+                  components: Tuple, raw: bytes) -> bool:
+    """Land verified framed bytes in the store; ``True`` if newly stored.
+
+    The frame's embedded sha256 is checked before anything touches disk;
+    corrupt bytes are quarantined (kept for post-mortem, counted in
+    ``stats['quarantined']``) and :class:`ReplicaIntegrityError` raised.
+    Installation is idempotent: an entry that already exists is left
+    untouched (first writer wins -- entries are content-addressed, so a
+    duplicate push carries identical bytes anyway).
+    """
+    path = store.entry_path(kind, namespace, components)
+    try:
+        unframe_payload(raw, "replicated %s" % path.name)
+    except StoreCorruptError as exc:
+        store.quarantine_bytes(path.name, raw, exc)
+        raise ReplicaIntegrityError(str(exc))
+    if path.exists():
+        return False
+    atomic_write_bytes(path, raw)
+    return True
+
+
+# -- worker-side pull/push ---------------------------------------------------
+
+
+def pull_entry(call, store: PackedTraceStore, kind: str, namespace: str,
+               components: Tuple, attempts: int = 3) -> bool:
+    """Fetch one entry from the server into the local store.
+
+    ``call`` is a transport callable (``message -> reply dict``) that may
+    raise :class:`~repro.service.client.ServiceUnavailable`; those
+    propagate (the worker's lease loop owns reconnect policy).  Returns
+    ``True`` when the entry is present locally afterwards.  A corrupt
+    transfer is quarantined and re-fetched up to ``attempts`` times; a
+    ``not_found`` reply returns ``False`` (the caller re-records
+    deterministically -- never an error).
+    """
+    if store.entry_path(kind, namespace, components).exists():
+        return True
+    wire_kind = _wire_kind(kind)
+    message = {
+        "op": "repl_pull", "kind": wire_kind, "namespace": namespace,
+        "components": components_to_wire(components),
+    }
+    name = store.entry_path(kind, namespace, components).name
+    for _attempt in range(max(1, attempts)):
+        reply = call(message)
+        if not reply.get("ok"):
+            return False
+        try:
+            raw = decode_blob(reply, "pulled %s entry" % wire_kind)
+        except ReplicaIntegrityError as exc:
+            store.quarantine_bytes(name, raw_bytes(reply), exc)
+            continue
+        try:
+            install_entry(store, kind, namespace, components, raw)
+        except ReplicaIntegrityError:
+            continue
+        return True
+    return False
+
+
+def push_entry(call, store: PackedTraceStore, kind: str, namespace: str,
+               components: Tuple, attempts: int = 3) -> bool:
+    """Replicate one local entry to the server; ``True`` on success.
+
+    A ``replica_corrupt`` rejection (the server quarantined a damaged
+    transfer) re-encodes and retries up to ``attempts`` times; any other
+    rejection gives up (the entry stays local; the server can always
+    re-derive it deterministically).
+    """
+    raw = read_entry(store, kind, namespace, components)
+    if raw is None:
+        return False
+    message = {
+        "op": "repl_push", "kind": _wire_kind(kind), "namespace": namespace,
+        "components": components_to_wire(components),
+    }
+    message.update(encode_blob(raw))
+    for _attempt in range(max(1, attempts)):
+        reply = call(message)
+        if reply.get("ok"):
+            return True
+        if reply.get("error") != "replica_corrupt":
+            return False
+    return False
+
+
+def raw_bytes(fields: Dict[str, Any]) -> bytes:
+    """Best-effort bytes of a message's payload, for quarantine dumps."""
+    try:
+        return base64.b64decode(str(fields.get("data", "")).encode("ascii"))
+    except (ValueError, UnicodeEncodeError):
+        return b""
+
+
+def _wire_kind(kind: str) -> str:
+    for wire, disk in ENTRY_KINDS.items():
+        if disk == kind:
+            return wire
+    raise ValueError("unknown store entry kind %r" % (kind,))

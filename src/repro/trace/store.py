@@ -443,6 +443,42 @@ class PackedTraceStore:
         """
         return self._path("trace", namespace, components)
 
+    def entry_path(self, kind: str, namespace: str,
+                   components: Tuple) -> Path:
+        """The on-disk path for any entry ``kind`` (``trace``/``value``).
+
+        The store-replication protocol ships whole framed entry files
+        between hosts; because paths are a pure function of the key, the
+        receiver lands the bytes at the identical relative path.
+        """
+        return self._path(kind, namespace, components)
+
+    def quarantine_bytes(self, name: str, raw: bytes,
+                         exc: Exception) -> None:
+        """Quarantine loose bytes that never made it into the store.
+
+        The replication receive path calls this when an in-flight
+        payload fails its sha256 check: the damaged bytes are kept for
+        post-mortem under ``<root>/quarantine/`` exactly like a corrupt
+        on-disk entry, and counted in ``stats['quarantined']``.
+        """
+        self.stats["quarantined"] += 1
+        qdir = self.quarantine_dir
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            (qdir / name).write_bytes(raw)
+            (qdir / (name + ".reason.txt")).write_text(
+                "quarantined replication payload\n"
+                "reason: %s: %s\n" % (type(exc).__name__, exc)
+            )
+        except OSError as write_exc:
+            self.stats["quarantine_failed"] += 1
+            logger.warning(
+                "could not quarantine replication payload %s: %s",
+                name, write_exc,
+            )
+        logger.warning("quarantined replication payload %s: %s", name, exc)
+
     def snapshot(self) -> Dict[str, int]:
         """The stats counters as a plain JSON-safe dict.
 

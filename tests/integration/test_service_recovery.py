@@ -227,3 +227,58 @@ def test_store_corruption_mid_job_self_heals(tmp_path, warm):
         if proc.poll() is None:
             proc.kill()
             proc.wait(timeout=10)
+
+
+def test_restart_replays_interleaved_lease_records(tmp_path, warm):
+    """A WAL mixing job transitions with worker lease-epoch records --
+    grants, an expiry/requeue/re-grant at epoch 2, a duplicate late
+    completion, and a torn tail mid-lease -- must replay cleanly: the
+    restarted server resumes the job and commits the byte-identical
+    report with zero re-recording."""
+    from repro.service.jobs import Job, JobRegistry
+
+    root = _prewarmed_root(tmp_path, warm)
+    registry = JobRegistry(root)
+    registry.begin()
+    job_id = registry.allocate_job_id(SPEC)
+    registry.log_accepted(Job(job_id=job_id, tenant="matrix", spec=SPEC))
+    registry.log_state(job_id, "sharded")
+    registry.log_state(job_id, "recording")
+    for event, task, epoch in [
+        ("grant", "record/0", 1),
+        ("grant", "record/1", 1),
+        ("expire", "record/0", 1),
+        ("requeue", "record/0", 1),
+        ("grant", "record/0", 2),
+        ("done", "record/1", 1),
+        ("duplicate", "record/0", 1),
+    ]:
+        registry.log_lease({
+            "event": event, "job": job_id, "task": task,
+            "epoch": epoch, "worker": "wk0001-gone",
+        })
+    # Tear the tail mid-lease: at worst the newest lease record is
+    # forgotten, never the job.
+    wal = root / "service" / "jobs.wal"
+    wal.write_bytes(wal.read_bytes()[:-5])
+
+    proc = _start(root)
+    client = _client(root)
+    try:
+        health = client.wait_ready()
+        jobs = health["jobs_list"]
+        assert [entry["job"] for entry in jobs] == [job_id]
+
+        final = client.result(job_id, timeout_s=120)
+        assert final["ok"] is True
+        assert final["state"] == "committed"
+        assert final["report"] == warm["report"]
+        assert final["stats"].get("simulated", 0) == 0
+        assert client.status(job_id)["resumed"] is True
+
+        client.drain()
+        assert proc.wait(timeout=30) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)

@@ -312,6 +312,75 @@ def test_registry_drops_job_with_lost_accepted_record(tmp_path):
     assert JobRegistry(tmp_path).replay() == {}
 
 
+# -- lease-epoch records in the WAL -------------------------------------------
+
+
+def _log_lease(registry, job_id, event, task, epoch, worker="wk0001",
+               **extra):
+    registry.log_lease({
+        "event": event, "job": job_id, "task": task, "epoch": epoch,
+        "worker": worker, **extra,
+    })
+
+
+def test_registry_replay_interleaves_lease_epoch_records(tmp_path):
+    """Lease grants/expiries/dedups ride the job WAL and replay into
+    per-task epoch high-water marks without disturbing job state."""
+    registry = JobRegistry(tmp_path)
+    registry.begin()
+    spec = CampaignSpec(workload="fft", runs=2, seed=7)
+    job_id = registry.allocate_job_id(spec)
+    registry.log_accepted(Job(job_id=job_id, tenant="alice", spec=spec))
+    registry.log_state(job_id, SHARDED)
+    _log_lease(registry, job_id, "grant", "record/0", 1)
+    registry.log_state(job_id, RECORDING)
+    _log_lease(registry, job_id, "expire", "record/0", 1)
+    _log_lease(registry, job_id, "requeue", "record/0", 1, why="deadline")
+    _log_lease(registry, job_id, "grant", "record/0", 2, worker="wk0002")
+    _log_lease(registry, job_id, "done", "record/0", 2, worker="wk0002")
+    _log_lease(registry, job_id, "duplicate", "record/0", 1)
+    _log_lease(registry, job_id, "grant", "record/1", 1)
+    registry.close()
+
+    replayed = JobRegistry(tmp_path).replay()
+    entry = replayed[job_id]
+    assert entry.state == RECORDING  # lease records never change state
+    assert entry.lease_epochs == {"record/0": 2, "record/1": 1}
+    assert entry.duplicate_completions == 1
+
+
+def test_registry_replay_tolerates_torn_tail_mid_lease(tmp_path):
+    """A WAL torn inside a lease record loses only that record: the
+    job's state and every earlier lease epoch survive."""
+    registry = JobRegistry(tmp_path)
+    registry.begin()
+    spec = CampaignSpec(workload="fft", runs=2, seed=7)
+    job_id = registry.allocate_job_id(spec)
+    registry.log_accepted(Job(job_id=job_id, tenant="alice", spec=spec))
+    registry.log_state(job_id, RECORDING)
+    _log_lease(registry, job_id, "grant", "record/0", 1)
+    _log_lease(registry, job_id, "grant", "record/1", 3)
+    registry.close()
+
+    wal = tmp_path / "service" / "jobs.wal"
+    wal.write_bytes(wal.read_bytes()[:-5])  # tear the newest lease record
+    replayed = JobRegistry(tmp_path).replay()
+    entry = replayed[job_id]
+    assert entry.state == RECORDING
+    assert entry.lease_epochs == {"record/0": 1}
+    assert entry.duplicate_completions == 0
+
+
+def test_registry_drops_lease_records_of_unaccepted_job(tmp_path):
+    registry = JobRegistry(tmp_path)
+    registry.begin()
+    # Lease history for a job whose accepted record was torn away must
+    # vanish with the job (no client ever held its id).
+    _log_lease(registry, "j0009-deadbeef", "grant", "record/0", 1)
+    registry.close()
+    assert JobRegistry(tmp_path).replay() == {}
+
+
 # -- executor -----------------------------------------------------------------
 
 
